@@ -1,0 +1,31 @@
+//! # hbc-baseline — PCA dimensionality-reduction baseline
+//!
+//! Table II of the paper compares the random-projection front-end against an
+//! off-line Principal Component Analysis (the `PCA-PC` row, following Ceylan
+//! & Özbay): the beat window is projected onto its top `k` principal
+//! components before feeding the same neuro-fuzzy classifier.
+//!
+//! PCA is a far heavier front-end than a random projection — it needs the
+//! training covariance matrix, an eigendecomposition, and a dense
+//! floating-point matrix–vector product per beat — which is exactly why the
+//! paper argues it is not WBSN-friendly even when its accuracy is comparable.
+//! This crate implements it from scratch (covariance accumulation + cyclic
+//! Jacobi eigensolver) so the comparison can be regenerated without any
+//! external linear-algebra dependency.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod pca;
+
+pub use pca::{Pca, PcaError};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_are_usable() {
+        // Compile-time check that the public surface is wired up.
+        fn assert_send<T: Send>() {}
+        assert_send::<super::Pca>();
+    }
+}

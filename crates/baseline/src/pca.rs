@@ -1,0 +1,395 @@
+//! Principal Component Analysis via covariance accumulation and a cyclic
+//! Jacobi eigensolver.
+//!
+//! The implementation is deliberately dependency-free: the matrices involved
+//! are at most `d × d` with `d ≤ 200` (the beat-window length), for which the
+//! classic Jacobi rotation method is both simple and numerically robust.
+
+/// Errors produced by the PCA baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcaError {
+    /// The training set is empty or its rows have inconsistent lengths.
+    InvalidData(String),
+    /// More components were requested than input dimensions are available.
+    TooManyComponents {
+        /// Components requested.
+        requested: usize,
+        /// Input dimensionality available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for PcaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcaError::InvalidData(m) => write!(f, "invalid training data: {m}"),
+            PcaError::TooManyComponents {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} components but only {available} dimensions are available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PcaError {}
+
+/// A fitted PCA projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// Principal components stored row-major: `components[c]` is the c-th
+    /// eigenvector (unit norm), ordered by decreasing eigenvalue.
+    components: Vec<Vec<f64>>,
+    eigenvalues: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a PCA with `num_components` components on the rows of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcaError::InvalidData`] for an empty or ragged training set
+    /// and [`PcaError::TooManyComponents`] when `num_components` exceeds the
+    /// input dimensionality.
+    pub fn fit(data: &[Vec<f64>], num_components: usize) -> Result<Self, PcaError> {
+        if data.is_empty() {
+            return Err(PcaError::InvalidData("empty training set".into()));
+        }
+        let d = data[0].len();
+        if d == 0 {
+            return Err(PcaError::InvalidData("zero-dimensional rows".into()));
+        }
+        if data.iter().any(|row| row.len() != d) {
+            return Err(PcaError::InvalidData(
+                "training rows have inconsistent lengths".into(),
+            ));
+        }
+        if num_components == 0 || num_components > d {
+            return Err(PcaError::TooManyComponents {
+                requested: num_components,
+                available: d,
+            });
+        }
+
+        // Mean.
+        let n = data.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in data {
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += x / n;
+            }
+        }
+
+        // Covariance (upper triangle, then mirrored).
+        let mut cov = vec![vec![0.0; d]; d];
+        for row in data {
+            let centered: Vec<f64> = row.iter().zip(&mean).map(|(x, m)| x - m).collect();
+            for i in 0..d {
+                for j in i..d {
+                    cov[i][j] += centered[i] * centered[j] / n;
+                }
+            }
+        }
+        for i in 0..d {
+            for j in 0..i {
+                cov[i][j] = cov[j][i];
+            }
+        }
+
+        let (eigenvalues, eigenvectors) = jacobi_eigen(&cov, 100, 1e-12);
+
+        // Sort by decreasing eigenvalue.
+        let mut order: Vec<usize> = (0..d).collect();
+        order.sort_by(|&a, &b| {
+            eigenvalues[b]
+                .partial_cmp(&eigenvalues[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let components = order
+            .iter()
+            .take(num_components)
+            .map(|&c| eigenvectors.iter().map(|row| row[c]).collect())
+            .collect();
+        let sorted_values = order
+            .iter()
+            .take(num_components)
+            .map(|&c| eigenvalues[c])
+            .collect();
+
+        Ok(Pca {
+            mean,
+            components,
+            eigenvalues: sorted_values,
+        })
+    }
+
+    /// Number of components retained.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Input dimensionality the PCA was fitted on.
+    pub fn input_dimension(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Eigenvalues (variances) of the retained components, in decreasing
+    /// order.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Projects one sample onto the retained components.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sample length does not match
+    /// [`Self::input_dimension`]; use [`Self::try_project`] for a fallible
+    /// variant.
+    pub fn project(&self, sample: &[f64]) -> Vec<f64> {
+        self.try_project(sample)
+            .expect("sample length must equal the fitted dimensionality")
+    }
+
+    /// Fallible projection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcaError::InvalidData`] when the sample length does not match
+    /// the fitted dimensionality.
+    pub fn try_project(&self, sample: &[f64]) -> Result<Vec<f64>, PcaError> {
+        if sample.len() != self.mean.len() {
+            return Err(PcaError::InvalidData(format!(
+                "sample has {} dimensions, PCA was fitted on {}",
+                sample.len(),
+                self.mean.len()
+            )));
+        }
+        let centered: Vec<f64> = sample.iter().zip(&self.mean).map(|(x, m)| x - m).collect();
+        Ok(self
+            .components
+            .iter()
+            .map(|c| c.iter().zip(&centered).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Fraction of the total variance captured by the retained components
+    /// (only meaningful when the PCA was fitted with all components it needs
+    /// for the numerator; the denominator uses the trace of the covariance,
+    /// which equals the sum of all eigenvalues).
+    pub fn explained_variance_ratio(&self, total_variance: f64) -> f64 {
+        if total_variance <= 0.0 {
+            return 0.0;
+        }
+        self.eigenvalues.iter().sum::<f64>() / total_variance
+    }
+
+    /// Floating-point multiply–accumulate operations needed to project one
+    /// beat — the cost figure that disqualifies PCA from WBSN deployment in
+    /// the paper's argument.
+    pub fn multiplications_per_projection(&self) -> usize {
+        self.num_components() * self.input_dimension()
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix. Returns
+/// `(eigenvalues, eigenvectors)` where `eigenvectors[i][j]` is the i-th
+/// coordinate of the j-th eigenvector.
+fn jacobi_eigen(matrix: &[Vec<f64>], max_sweeps: usize, tolerance: f64) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = matrix.len();
+    let mut a: Vec<Vec<f64>> = matrix.to_vec();
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    for _ in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off.sqrt() < tolerance {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let eigenvalues = (0..n).map(|i| a[i][i]).collect();
+    (eigenvalues, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn correlated_data(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        // Two latent factors embedded in 6 dimensions plus small noise: the
+        // top-2 PCA subspace must capture almost all the variance.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let a: f64 = rng.gen::<f64>() * 4.0 - 2.0;
+                let b: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+                let mut noise = || rng.gen::<f64>() * 0.01;
+                vec![
+                    a + noise(),
+                    a - b + noise(),
+                    2.0 * b + noise(),
+                    -a + noise(),
+                    b + noise(),
+                    a + b + noise(),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_validates_its_input() {
+        assert!(matches!(Pca::fit(&[], 2), Err(PcaError::InvalidData(_))));
+        let ragged = vec![vec![0.0; 3], vec![0.0; 2]];
+        assert!(matches!(Pca::fit(&ragged, 1), Err(PcaError::InvalidData(_))));
+        let data = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert!(matches!(
+            Pca::fit(&data, 3),
+            Err(PcaError::TooManyComponents { .. })
+        ));
+        assert!(matches!(
+            Pca::fit(&data, 0),
+            Err(PcaError::TooManyComponents { .. })
+        ));
+        assert!(matches!(
+            Pca::fit(&[vec![], vec![]], 1),
+            Err(PcaError::InvalidData(_))
+        ));
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted_and_nonnegative() {
+        let data = correlated_data(300, 1);
+        let pca = Pca::fit(&data, 6).expect("fit");
+        let ev = pca.eigenvalues();
+        for w in ev.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "eigenvalues not sorted: {ev:?}");
+        }
+        assert!(ev.iter().all(|&v| v > -1e-9));
+    }
+
+    #[test]
+    fn two_components_capture_the_two_latent_factors() {
+        let data = correlated_data(500, 2);
+        let full = Pca::fit(&data, 6).expect("fit");
+        let total: f64 = full.eigenvalues().iter().sum();
+        let top2 = Pca::fit(&data, 2).expect("fit");
+        let ratio = top2.explained_variance_ratio(total);
+        assert!(
+            ratio > 0.98,
+            "top-2 components should explain nearly all variance, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn projection_recovers_separable_structure() {
+        // Two clusters separated along one direction stay separated after
+        // projection onto the first component.
+        let mut data = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..200 {
+            let offset = if i % 2 == 0 { 5.0 } else { -5.0 };
+            data.push(vec![
+                offset + rng.gen::<f64>() * 0.2,
+                rng.gen::<f64>(),
+                rng.gen::<f64>(),
+            ]);
+        }
+        let pca = Pca::fit(&data, 1).expect("fit");
+        for (i, row) in data.iter().enumerate() {
+            let p = pca.project(row)[0];
+            if i % 2 == 0 {
+                assert!(p.abs() > 2.0);
+            }
+        }
+        // The two clusters map to opposite signs.
+        let p0 = pca.project(&data[0])[0];
+        let p1 = pca.project(&data[1])[0];
+        assert!(p0 * p1 < 0.0);
+    }
+
+    #[test]
+    fn projection_validates_dimensions() {
+        let data = correlated_data(50, 4);
+        let pca = Pca::fit(&data, 2).expect("fit");
+        assert!(pca.try_project(&[0.0; 5]).is_err());
+        assert_eq!(pca.project(&data[0]).len(), 2);
+        assert_eq!(pca.num_components(), 2);
+        assert_eq!(pca.input_dimension(), 6);
+        assert_eq!(pca.multiplications_per_projection(), 12);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let data = correlated_data(300, 5);
+        let pca = Pca::fit(&data, 3).expect("fit");
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = pca.components[i]
+                    .iter()
+                    .zip(&pca.components[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (dot - expected).abs() < 1e-6,
+                    "component {i}·{j} = {dot}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_solves_a_known_matrix() {
+        // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+        let m = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let (vals, _) = jacobi_eigen(&m, 50, 1e-14);
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        assert!((sorted[0] - 3.0).abs() < 1e-9);
+        assert!((sorted[1] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,54 @@
+//! Ablation: how much the genetic optimisation of the projection matrix
+//! improves over a single random draw (Section III-A argues that "certain
+//! projections perform better than others" and that a few GA generations find
+//! a good one). Reports the training-set-2 fitness (NDR at the ARR target)
+//! of a plain random projection versus the GA-optimised one, and measures the
+//! cost of one GA generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbc_bench::bench_config;
+use hbc_ecg::Dataset;
+use hbc_nfc::{TwoStepConfig, TwoStepTrainer};
+use hbc_rp::GeneticConfig;
+
+fn bench_ga_gain(c: &mut Criterion) {
+    let config = bench_config();
+    let dataset = Dataset::synthetic(config.dataset, config.seed);
+
+    // Baseline: single random projections (a handful of seeds).
+    let quick = TwoStepConfig::quick(config.coefficients);
+    let trainer = TwoStepTrainer::new(quick).expect("valid config");
+    let mut single_fitness = Vec::new();
+    for seed in 0..4u64 {
+        let fitted = trainer.fit_single(&dataset, seed).expect("fit");
+        single_fitness.push(fitted.fitness);
+    }
+    let best_single = single_fitness.iter().cloned().fold(0.0f64, f64::max);
+    let mean_single = single_fitness.iter().sum::<f64>() / single_fitness.len() as f64;
+
+    // GA-optimised projection (small budget so the bench stays tractable).
+    let mut ga_config = quick;
+    ga_config.genetic = GeneticConfig {
+        population: 6,
+        generations: 4,
+        ..GeneticConfig::quick()
+    };
+    let ga_trainer = TwoStepTrainer::new(ga_config).expect("valid config");
+    let ga_fitted = ga_trainer.fit(&dataset).expect("fit");
+
+    println!("\nAblation — genetic optimisation of the projection matrix");
+    println!("mean single-draw fitness (NDR @ target ARR): {:.4}", mean_single);
+    println!("best single-draw fitness                  : {:.4}", best_single);
+    println!("GA-optimised fitness                      : {:.4}", ga_fitted.fitness);
+    println!("GA history                                : {:?}", ga_fitted.ga_history);
+
+    let mut group = c.benchmark_group("ablation_ga");
+    group.sample_size(10);
+    group.bench_function("fit_single_random_projection", |b| {
+        b.iter(|| trainer.fit_single(&dataset, 1).expect("fit"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ga_gain);
+criterion_main!(benches);

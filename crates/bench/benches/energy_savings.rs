@@ -1,0 +1,39 @@
+//! Section IV-E bench: regenerates the computation / wireless / total energy
+//! savings of the classifier-gated node and measures the energy-model
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbc_bench::bench_config;
+use hbc_core::experiments::energy_report;
+use hbc_embedded::cycles::DutyCycleReport;
+use hbc_embedded::energy::{EnergyModel, SessionStats};
+
+fn bench_energy(c: &mut Criterion) {
+    let config = bench_config();
+    let experiment = energy_report(&config).expect("energy report");
+    println!("\n{experiment}");
+
+    let duty = DutyCycleReport {
+        rp_classifier: 0.005,
+        subsystem1: 0.12,
+        subsystem2: 0.83,
+        subsystem3: 0.30,
+    };
+    let stats = SessionStats {
+        total_beats: 89_012,
+        forwarded_beats: 20_473,
+        duration_s: 89_012.0 / 1.2,
+    };
+    let model = EnergyModel::paper();
+
+    let mut group = c.benchmark_group("energy");
+    group.sample_size(10);
+    group.bench_function("full_experiment", |b| {
+        b.iter(|| energy_report(&config).expect("report"))
+    });
+    group.bench_function("energy_model_only", |b| b.iter(|| model.report(&duty, &stats)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_energy);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 5 bench: regenerates the NDR/ARR pareto fronts of the Gaussian,
+//! linearised and triangular membership families and measures the α_test
+//! sweep cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbc_bench::bench_config;
+use hbc_core::experiments::figure5_pareto;
+
+fn bench_figure5(c: &mut Criterion) {
+    let config = bench_config();
+    let report = figure5_pareto(&config).expect("figure 5 report");
+    println!("\n{report}");
+
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+    group.bench_function("pareto_front_sweep", |b| {
+        b.iter(|| figure5_pareto(&config).expect("report"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure5);
+criterion_main!(benches);

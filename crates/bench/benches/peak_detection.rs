@@ -1,0 +1,39 @@
+//! Micro-benchmark: the conditioning front-end of sub-system (1) —
+//! morphological filtering and wavelet peak detection — on one minute of
+//! synthetic three-lead ECG. These two stages dominate the duty cycle of
+//! sub-system (1) in Table III.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbc_dsp::{Delineator, MorphologicalFilter, PeakDetector};
+use hbc_ecg::record::Lead;
+use hbc_ecg::synthetic::SyntheticEcg;
+
+fn bench_peak_detection(c: &mut Criterion) {
+    let mut generator = SyntheticEcg::with_seed(3);
+    let rhythm = generator.rhythm(75, 0.1, 0.1); // ~1 minute at 1.2 bps
+    let record = generator.record(1, &rhythm, 3).expect("record");
+    let lead0 = record.lead(Lead(0)).expect("lead 0").to_vec();
+    let filter = MorphologicalFilter::for_sampling_rate(record.fs);
+    let filtered = filter.apply(&lead0).expect("filter");
+    let detector = PeakDetector::new(record.fs);
+    let peaks = detector.detect(&filtered).expect("peaks");
+    let delineator = Delineator::new(record.fs);
+    let window = hbc_ecg::beat::BeatWindow::PAPER;
+    let beat = window.extract(&filtered, peaks[peaks.len() / 2]).expect("window");
+
+    let mut group = c.benchmark_group("conditioning_one_minute");
+    group.sample_size(20);
+    group.bench_function("morphological_filter", |b| {
+        b.iter(|| filter.apply(&lead0).expect("filter"))
+    });
+    group.bench_function("wavelet_peak_detection", |b| {
+        b.iter(|| detector.detect(&filtered).expect("peaks"))
+    });
+    group.bench_function("mmd_delineation_per_beat", |b| {
+        b.iter(|| delineator.delineate_beat(&beat, window.pre).expect("delineate"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_peak_detection);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmark: per-beat cost of the dimensionality-reduction front-ends
+//! — dense Achlioptas projection (float and integer), 2-bit packed
+//! projection, and the PCA baseline — across the coefficient counts of
+//! Table II. This quantifies the paper's argument that random projections
+//! are the WBSN-friendly choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbc_baseline::Pca;
+use hbc_bench::bench_dataset;
+use hbc_rp::{AchlioptasMatrix, PackedProjection};
+
+fn bench_projection(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let beat = &dataset.test[0];
+    let beat_f: Vec<f64> = beat.samples.clone();
+    let beat_i: Vec<i32> = beat.quantize(5.0, 12);
+    let training: Vec<Vec<f64>> = dataset
+        .training1
+        .iter()
+        .map(|b| b.samples.clone())
+        .collect();
+
+    let mut group = c.benchmark_group("projection_per_beat");
+    for &k in &[8usize, 16, 32] {
+        let dense = AchlioptasMatrix::generate(k, beat_f.len(), 42);
+        let packed = PackedProjection::from_matrix(&dense);
+        let pca = Pca::fit(&training, k).expect("pca fits");
+
+        group.bench_with_input(BenchmarkId::new("dense_float", k), &k, |b, _| {
+            b.iter(|| dense.project(&beat_f))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_integer", k), &k, |b, _| {
+            b.iter(|| dense.project_i32(&beat_i).expect("dims"))
+        });
+        group.bench_with_input(BenchmarkId::new("packed_2bit_integer", k), &k, |b, _| {
+            b.iter(|| packed.project_i32(&beat_i).expect("dims"))
+        });
+        group.bench_with_input(BenchmarkId::new("pca_float", k), &k, |b, _| {
+            b.iter(|| pca.project(&beat_f))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table I bench: regenerates the dataset-composition report and measures
+//! how long synthesising the (scaled) dataset takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbc_bench::bench_config;
+use hbc_core::experiments::table1_composition;
+use hbc_ecg::dataset::{Dataset, DatasetSpec};
+
+fn bench_table1(c: &mut Criterion) {
+    let config = bench_config();
+    let report = table1_composition(&config).expect("table 1 report");
+    println!("\n{report}");
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("dataset_composition_report", |b| {
+        b.iter(|| table1_composition(&config).expect("report"))
+    });
+    group.bench_function("synthesize_tiny_dataset", |b| {
+        b.iter(|| Dataset::synthetic(DatasetSpec::tiny(), 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table II bench: regenerates the NDR-vs-coefficient-count table (rows
+//! NDR-PC / NDR-WBSN / PCA-PC at ARR ≥ 97 %) and measures the cost of one
+//! full sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbc_bench::bench_config;
+use hbc_core::experiments::table2_ndr;
+
+fn bench_table2(c: &mut Criterion) {
+    let config = bench_config();
+    let report = table2_ndr(&config).expect("table 2 report");
+    println!("\n{report}");
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("ndr_sweep_8_16_32", |b| {
+        b.iter(|| table2_ndr(&config).expect("report"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

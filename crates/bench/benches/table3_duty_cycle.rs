@@ -1,0 +1,30 @@
+//! Table III bench: regenerates the code-size / duty-cycle table of the four
+//! embedded sub-systems and measures the cycle-model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbc_bench::{bench_config, bench_system};
+use hbc_core::experiments::table3_runtime;
+use hbc_embedded::cycles::{CycleModel, Workload};
+
+fn bench_table3(c: &mut Criterion) {
+    let config = bench_config();
+    let report = table3_runtime(&config).expect("table 3 report");
+    println!("\n{report}");
+
+    let system = bench_system();
+    let cycle_model = CycleModel::default();
+    let workload = Workload::paper(report.forwarded_fraction);
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("full_experiment", |b| {
+        b.iter(|| table3_runtime(&config).expect("report"))
+    });
+    group.bench_function("duty_cycle_model_only", |b| {
+        b.iter(|| cycle_model.duty_cycles(&system.wbsn.projection, &system.wbsn.classifier, &workload))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

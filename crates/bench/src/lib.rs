@@ -1,0 +1,51 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target under `benches/` regenerates one table or figure of the
+//! paper (printing the rows once) and measures the cost of the underlying
+//! computation with Criterion. The helpers here keep the per-bench setup
+//! (trained systems, datasets) in one place so every target uses the same
+//! workload.
+
+use hbc_core::config::ExperimentConfig;
+use hbc_core::pipeline::TrainedSystem;
+use hbc_ecg::dataset::{Dataset, DatasetSpec};
+
+/// Configuration used by the benches: the quick preset unless the
+/// `HBC_BENCH_SCALE` environment variable selects `paper` or a fraction.
+pub fn bench_config() -> ExperimentConfig {
+    match std::env::var("HBC_BENCH_SCALE").as_deref() {
+        Ok("paper") => ExperimentConfig::paper(),
+        Ok(value) => value
+            .parse::<f64>()
+            .ok()
+            .and_then(|f| ExperimentConfig::at_scale(hbc_core::config::Scale::Fraction(f)).ok())
+            .unwrap_or_else(ExperimentConfig::quick),
+        Err(_) => ExperimentConfig::quick(),
+    }
+}
+
+/// A trained system shared by the benches that need one.
+pub fn bench_system() -> TrainedSystem {
+    TrainedSystem::train(&bench_config()).expect("bench training succeeds")
+}
+
+/// A small synthetic dataset for micro-benchmarks that only need beats.
+pub fn bench_dataset() -> Dataset {
+    Dataset::synthetic(DatasetSpec::tiny(), 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_defaults_to_quick() {
+        assert_eq!(bench_config(), ExperimentConfig::quick());
+    }
+
+    #[test]
+    fn bench_dataset_is_nonempty() {
+        let ds = bench_dataset();
+        assert!(!ds.test.is_empty());
+    }
+}

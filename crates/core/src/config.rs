@@ -1,0 +1,232 @@
+//! Experiment configuration.
+//!
+//! Every experiment in this repository runs from an [`ExperimentConfig`],
+//! which bundles the dataset specification, the training budgets and the
+//! operating-point targets of the paper. Two presets exist:
+//!
+//! * [`ExperimentConfig::paper`] — the full Table I dataset (101 462 beats),
+//!   the paper's GA budget (population 20, 30 generations) and its 97 % ARR
+//!   target. Reproducing every table at this scale takes hours of CPU time.
+//! * [`ExperimentConfig::quick`] — a class-balance-preserving scaled-down
+//!   dataset and a small GA, suitable for CI, examples and benches.
+
+use hbc_ecg::dataset::DatasetSpec;
+use hbc_nfc::{TrainingConfig, TwoStepConfig};
+use hbc_rp::GeneticConfig;
+
+use crate::{CoreError, Result};
+
+/// How much of the paper-scale workload an experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scale {
+    /// Full Table I dataset and the paper's GA budget.
+    Paper,
+    /// Scaled-down dataset (fraction of the large splits) and a reduced GA.
+    Quick,
+    /// Explicit scaling factor applied to training set 2 and the test set.
+    Fraction(f64),
+}
+
+/// Configuration shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Dataset composition.
+    pub dataset: DatasetSpec,
+    /// Seed driving dataset generation and every stochastic component.
+    pub seed: u64,
+    /// Coefficient count used by single-k experiments (Figure 5, Table III,
+    /// energy): the paper uses 8.
+    pub coefficients: usize,
+    /// Coefficient counts swept by Table II.
+    pub coefficient_sweep: [usize; 3],
+    /// Genetic-algorithm budget (`None` disables the GA and uses a single
+    /// random projection, which is the quick default).
+    pub genetic: Option<GeneticConfig>,
+    /// Membership-function training budget.
+    pub training: TrainingConfig,
+    /// Minimum Abnormal Recognition Rate targeted when calibrating α
+    /// (paper: 0.97).
+    pub target_arr: f64,
+    /// Downsampling factor of the WBSN variant (paper: 4, i.e. 360 → 90 Hz).
+    pub downsample: usize,
+    /// Number of α_test points swept when drawing the Figure 5 fronts.
+    pub pareto_points: usize,
+}
+
+impl ExperimentConfig {
+    /// Full paper-scale configuration.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            dataset: DatasetSpec::paper(),
+            seed: 2013,
+            coefficients: 8,
+            coefficient_sweep: [8, 16, 32],
+            genetic: Some(GeneticConfig::paper()),
+            training: TrainingConfig::default(),
+            target_arr: 0.97,
+            downsample: 4,
+            pareto_points: 40,
+        }
+    }
+
+    /// Reduced configuration for CI, examples and benches (no GA, scaled
+    /// dataset).
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            dataset: DatasetSpec::tiny(),
+            seed: 2013,
+            coefficients: 8,
+            coefficient_sweep: [8, 16, 32],
+            genetic: None,
+            training: TrainingConfig::quick(),
+            target_arr: 0.97,
+            downsample: 4,
+            pareto_points: 15,
+        }
+    }
+
+    /// Configuration at an arbitrary scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] when `scale` is a non-positive fraction.
+    pub fn at_scale(scale: Scale) -> Result<Self> {
+        match scale {
+            Scale::Paper => Ok(Self::paper()),
+            Scale::Quick => Ok(Self::quick()),
+            Scale::Fraction(f) => {
+                if !(f > 0.0 && f <= 1.0) {
+                    return Err(CoreError::Config(format!(
+                        "scale fraction must be in (0, 1], got {f}"
+                    )));
+                }
+                Ok(ExperimentConfig {
+                    dataset: DatasetSpec::paper_scaled(f),
+                    genetic: None,
+                    training: TrainingConfig::quick(),
+                    ..Self::paper()
+                })
+            }
+        }
+    }
+
+    /// Overrides the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the single-k coefficient count (builder style).
+    pub fn with_coefficients(mut self, coefficients: usize) -> Self {
+        self.coefficients = coefficients;
+        self
+    }
+
+    /// Two-step training configuration for a given coefficient count.
+    pub fn two_step(&self, coefficients: usize) -> TwoStepConfig {
+        TwoStepConfig {
+            coefficients,
+            genetic: self.genetic.unwrap_or_else(GeneticConfig::quick),
+            training: self.training,
+            target_arr: self.target_arr,
+            alpha_tolerance: 1e-3,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] when a field is out of range.
+    pub fn validate(&self) -> Result<()> {
+        if self.coefficients == 0 {
+            return Err(CoreError::Config("coefficient count must be non-zero".into()));
+        }
+        if self.downsample == 0 {
+            return Err(CoreError::Config("downsampling factor must be non-zero".into()));
+        }
+        if !(self.target_arr > 0.0 && self.target_arr <= 1.0) {
+            return Err(CoreError::Config(format!(
+                "target ARR must be in (0, 1], got {}",
+                self.target_arr
+            )));
+        }
+        if self.pareto_points < 2 {
+            return Err(CoreError::Config(
+                "at least two pareto points are required".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(ExperimentConfig::paper().validate().is_ok());
+        assert!(ExperimentConfig::quick().validate().is_ok());
+        assert!(ExperimentConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn paper_preset_matches_the_manuscript() {
+        let c = ExperimentConfig::paper();
+        assert_eq!(c.coefficient_sweep, [8, 16, 32]);
+        assert_eq!(c.coefficients, 8);
+        assert_eq!(c.downsample, 4);
+        assert!((c.target_arr - 0.97).abs() < 1e-12);
+        assert_eq!(c.dataset.test.total(), 89_012);
+        let ga = c.genetic.expect("paper preset uses the GA");
+        assert_eq!(ga.population, 20);
+        assert_eq!(ga.generations, 30);
+    }
+
+    #[test]
+    fn scale_fraction_is_validated() {
+        assert!(ExperimentConfig::at_scale(Scale::Fraction(0.0)).is_err());
+        assert!(ExperimentConfig::at_scale(Scale::Fraction(1.5)).is_err());
+        let c = ExperimentConfig::at_scale(Scale::Fraction(0.01)).expect("valid");
+        assert!(c.dataset.test.total() < 1000);
+        assert!(c.genetic.is_none());
+        assert!(ExperimentConfig::at_scale(Scale::Paper).expect("valid").genetic.is_some());
+        assert_eq!(
+            ExperimentConfig::at_scale(Scale::Quick).expect("valid"),
+            ExperimentConfig::quick()
+        );
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = ExperimentConfig::quick().with_seed(7).with_coefficients(16);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.coefficients, 16);
+        let ts = c.two_step(16);
+        assert_eq!(ts.coefficients, 16);
+        assert!((ts.target_arr - 0.97).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_fields_are_rejected() {
+        let mut c = ExperimentConfig::quick();
+        c.coefficients = 0;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::quick();
+        c.downsample = 0;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::quick();
+        c.target_arr = 1.2;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::quick();
+        c.pareto_points = 1;
+        assert!(c.validate().is_err());
+    }
+}

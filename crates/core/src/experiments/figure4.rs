@@ -1,0 +1,160 @@
+//! Figure 4 — shape of the Gaussian membership function compared with its
+//! 4-segment linear approximation and the simpler triangular interpolation.
+//!
+//! The experiment samples all three curves over `[c − 4.7σ, c]` (the range
+//! plotted in the paper) and reports the maximum and mean deviation of each
+//! approximation from the true Gaussian, which is the quantitative content
+//! behind the qualitative figure.
+
+use hbc_embedded::linear_mf::{LinearizedMf, TriangularMf, MF_FULL_SCALE};
+use hbc_nfc::GaussianMf;
+
+use crate::Result;
+
+/// Sampled membership curves plus deviation statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MembershipCurves {
+    /// Offsets from the centre (in σ units) at which the curves are sampled.
+    pub offsets_sigma: Vec<f64>,
+    /// Gaussian curve, normalised to `[0, 1]`.
+    pub gaussian: Vec<f64>,
+    /// 4-segment linearised curve, normalised to `[0, 1]`.
+    pub linearized: Vec<f64>,
+    /// Triangular curve, normalised to `[0, 1]`.
+    pub triangular: Vec<f64>,
+    /// Maximum absolute deviation of the linearised curve from the Gaussian.
+    pub linearized_max_error: f64,
+    /// Maximum absolute deviation of the triangular curve from the Gaussian.
+    pub triangular_max_error: f64,
+    /// Mean absolute deviation of the linearised curve.
+    pub linearized_mean_error: f64,
+    /// Mean absolute deviation of the triangular curve.
+    pub triangular_mean_error: f64,
+}
+
+impl std::fmt::Display for MembershipCurves {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 4 — membership-function approximation error")?;
+        writeln!(
+            f,
+            "{:<22} {:>12} {:>12}",
+            "approximation", "max error", "mean error"
+        )?;
+        writeln!(
+            f,
+            "{:<22} {:>12.4} {:>12.4}",
+            "4-segment linear", self.linearized_max_error, self.linearized_mean_error
+        )?;
+        writeln!(
+            f,
+            "{:<22} {:>12.4} {:>12.4}",
+            "triangular", self.triangular_max_error, self.triangular_mean_error
+        )?;
+        Ok(())
+    }
+}
+
+/// Samples the three membership curves of Figure 4 at `points` offsets over
+/// `[−4.7σ, 0]`.
+///
+/// # Errors
+///
+/// Returns [`crate::CoreError::Config`] when fewer than two points are
+/// requested.
+pub fn figure4_curves(points: usize) -> Result<MembershipCurves> {
+    if points < 2 {
+        return Err(crate::CoreError::Config(
+            "at least two sample points are required".into(),
+        ));
+    }
+    // Work in a concrete integer domain representative of projected
+    // coefficients: σ = 400 integer units.
+    let sigma = 400.0f64;
+    let center = 0i32;
+    let gaussian = GaussianMf::new(center as f64, sigma);
+    let s = (2.35 * sigma).round() as i32;
+    let linear = LinearizedMf::new(center, s);
+    let triangle = TriangularMf::new(center, s);
+
+    let mut offsets_sigma = Vec::with_capacity(points);
+    let mut g = Vec::with_capacity(points);
+    let mut l = Vec::with_capacity(points);
+    let mut t = Vec::with_capacity(points);
+    for i in 0..points {
+        let frac = i as f64 / (points - 1) as f64;
+        let offset_sigma = -4.7 * (1.0 - frac);
+        let x = (offset_sigma * sigma).round() as i32;
+        offsets_sigma.push(offset_sigma);
+        g.push(gaussian.grade(x as f64));
+        l.push(linear.grade(x) as f64 / MF_FULL_SCALE as f64);
+        t.push(triangle.grade(x) as f64 / MF_FULL_SCALE as f64);
+    }
+
+    let errors = |approx: &[f64]| -> (f64, f64) {
+        let diffs: Vec<f64> = approx.iter().zip(&g).map(|(a, b)| (a - b).abs()).collect();
+        let max = diffs.iter().cloned().fold(0.0, f64::max);
+        let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        (max, mean)
+    };
+    let (linearized_max_error, linearized_mean_error) = errors(&l);
+    let (triangular_max_error, triangular_mean_error) = errors(&t);
+
+    Ok(MembershipCurves {
+        offsets_sigma,
+        gaussian: g,
+        linearized: l,
+        triangular: t,
+        linearized_max_error,
+        triangular_max_error,
+        linearized_mean_error,
+        triangular_mean_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_have_the_requested_resolution() {
+        let curves = figure4_curves(100).expect("curves");
+        assert_eq!(curves.gaussian.len(), 100);
+        assert_eq!(curves.linearized.len(), 100);
+        assert_eq!(curves.triangular.len(), 100);
+        assert!(figure4_curves(1).is_err());
+    }
+
+    #[test]
+    fn linearized_tracks_the_gaussian_better_than_triangular() {
+        let curves = figure4_curves(200).expect("curves");
+        assert!(
+            curves.linearized_mean_error < curves.triangular_mean_error,
+            "linear mean error {} should beat triangular {}",
+            curves.linearized_mean_error,
+            curves.triangular_mean_error
+        );
+        assert!(curves.linearized_max_error < 0.15);
+    }
+
+    #[test]
+    fn all_curves_peak_at_the_center_and_vanish_far_away() {
+        let curves = figure4_curves(200).expect("curves");
+        let last = curves.gaussian.len() - 1;
+        // The centre (offset 0) is the last sample.
+        assert!((curves.gaussian[last] - 1.0).abs() < 1e-9);
+        assert!(curves.linearized[last] > 0.999);
+        assert!(curves.triangular[last] > 0.999);
+        // At −4.7σ (= 2S) the triangular curve is already zero, the
+        // linearised one keeps its 1-LSB floor, and the Gaussian is tiny.
+        assert!(curves.gaussian[0] < 1e-4);
+        assert!(curves.triangular[0] == 0.0);
+        assert!(curves.linearized[0] > 0.0);
+    }
+
+    #[test]
+    fn display_reports_both_approximations() {
+        let text = figure4_curves(50).expect("curves").to_string();
+        assert!(text.contains("4-segment linear"));
+        assert!(text.contains("triangular"));
+    }
+}

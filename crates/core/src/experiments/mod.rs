@@ -1,0 +1,30 @@
+//! Experiment harness: one module per table / figure of the paper.
+//!
+//! | module | paper artefact | produced rows |
+//! |---|---|---|
+//! | [`table1`] | Table I | dataset composition per split |
+//! | [`table2`] | Table II | NDR at ARR ≥ 97 % for k = 8/16/32, rows NDR-PC / NDR-WBSN / PCA-PC |
+//! | [`figure4`] | Figure 4 | Gaussian vs linearised vs triangular membership curves |
+//! | [`figure5`] | Figure 5 | NDR/ARR pareto fronts per membership family |
+//! | [`table3`] | Table III | code size + duty cycle of the four sub-systems |
+//! | [`energy`] | Section IV-E | computation / wireless / total energy savings |
+//!
+//! Every experiment takes an [`crate::ExperimentConfig`]; use
+//! [`crate::ExperimentConfig::quick`] for fast runs and
+//! [`crate::ExperimentConfig::paper`] for the full-scale reproduction. The
+//! benches in `crates/bench` and the examples at the workspace root call
+//! exactly these functions.
+
+pub mod energy;
+pub mod figure4;
+pub mod figure5;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use energy::{energy_report, EnergyExperiment};
+pub use figure4::{figure4_curves, MembershipCurves};
+pub use figure5::{figure5_pareto, Figure5Report, MfFamily};
+pub use table1::{table1_composition, Table1Report};
+pub use table2::{table2_ndr, Table2Report};
+pub use table3::{table3_runtime, Table3Report};

@@ -1,0 +1,102 @@
+//! Table I — size and composition of the two training sets and of the test
+//! set.
+
+use hbc_ecg::beat::NUM_CLASSES;
+use hbc_ecg::dataset::{Dataset, Split};
+
+use crate::config::ExperimentConfig;
+use crate::Result;
+
+/// The composition rows of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Report {
+    /// Per-split class counts, in split order (training 1, training 2, test)
+    /// and class order (N, V, L).
+    pub rows: [(Split, [usize; NUM_CLASSES]); 3],
+}
+
+impl Table1Report {
+    /// Total number of beats across all splits.
+    pub fn total(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|(_, counts)| counts.iter().sum::<usize>())
+            .sum()
+    }
+
+    /// Counts of one split.
+    pub fn split(&self, split: Split) -> [usize; NUM_CLASSES] {
+        self.rows
+            .iter()
+            .find(|(s, _)| *s == split)
+            .map(|(_, c)| *c)
+            .expect("all three splits are always present")
+    }
+}
+
+impl std::fmt::Display for Table1Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Table I — dataset composition")?;
+        writeln!(f, "{:<16} {:>8} {:>8} {:>8} {:>8}", "split", "N", "V", "L", "Total")?;
+        for (split, counts) in &self.rows {
+            writeln!(
+                f,
+                "{:<16} {:>8} {:>8} {:>8} {:>8}",
+                split.to_string(),
+                counts[0],
+                counts[1],
+                counts[2],
+                counts.iter().sum::<usize>()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the Table I report by materialising the dataset of `config` and
+/// counting its beats (so the report reflects what the experiments actually
+/// train on, not just the specification).
+///
+/// # Errors
+///
+/// Returns an error when the configuration is invalid.
+pub fn table1_composition(config: &ExperimentConfig) -> Result<Table1Report> {
+    config.validate()?;
+    let dataset = Dataset::synthetic(config.dataset, config.seed);
+    Ok(Table1Report {
+        rows: [
+            (Split::Training1, dataset.class_counts(Split::Training1)),
+            (Split::Training2, dataset.class_counts(Split::Training2)),
+            (Split::Test, dataset.class_counts(Split::Test)),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_matches_its_specification() {
+        let config = ExperimentConfig::quick();
+        let report = table1_composition(&config).expect("report");
+        assert_eq!(report.split(Split::Training1), config.dataset.training1.counts);
+        assert_eq!(report.split(Split::Test), config.dataset.test.counts);
+        assert_eq!(report.total(), config.dataset.total());
+        let text = report.to_string();
+        assert!(text.contains("training set 1"));
+        assert!(text.contains("test set"));
+    }
+
+    #[test]
+    fn paper_specification_reproduces_table1_exactly() {
+        // The specification itself (not the materialised beats, which would
+        // take a while to generate) must carry the exact Table I numbers.
+        let spec = ExperimentConfig::paper().dataset;
+        assert_eq!(spec.training1.counts, [150, 150, 150]);
+        assert_eq!(spec.training2.counts, [10_024, 892, 1_084]);
+        assert_eq!(spec.test.counts, [74_355, 6_618, 8_039]);
+        assert_eq!(spec.training2.total(), 12_000);
+        assert_eq!(spec.test.total(), 89_012);
+    }
+}

@@ -1,0 +1,200 @@
+//! Table III — code size and duty cycle of the embedded sub-systems on the
+//! IcyHeart platform at 6 MHz.
+//!
+//! The four configurations follow Figure 6 of the paper:
+//!
+//! 1. the RP classifier alone,
+//! 2. sub-system (1): RP classifier + single-lead filtering + peak detection,
+//! 3. sub-system (2): always-on three-lead delineation,
+//! 4. sub-system (3): the proposed system, with delineation gated by the
+//!    classifier.
+//!
+//! Duty cycles come from the operation-count model of `hbc-embedded::cycles`;
+//! the *forwarded fraction* that drives the gated configuration is not
+//! assumed — it is measured by running the trained WBSN classifier on the
+//! test split of the configured dataset.
+
+use hbc_embedded::cycles::{CycleModel, Workload};
+use hbc_embedded::memory::MemoryModel;
+use hbc_embedded::platform::IcyHeartPlatform;
+
+use crate::config::ExperimentConfig;
+use crate::pipeline::TrainedSystem;
+use crate::Result;
+
+/// One row of Table III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// Configuration name as used in the paper.
+    pub name: &'static str,
+    /// Code + data size in KB.
+    pub code_size_kib: f64,
+    /// Duty cycle (fraction of CPU time) at 6 MHz.
+    pub duty_cycle: f64,
+}
+
+/// The full Table III report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Report {
+    /// Rows in the paper's order: RP classifier, sub-system (1), (2), (3).
+    pub rows: [Table3Row; 4],
+    /// Fraction of test beats the classifier forwarded to the delineator
+    /// (drives the gated duty cycle).
+    pub forwarded_fraction: f64,
+    /// Run-time reduction of the proposed system over always-on delineation.
+    pub runtime_reduction: f64,
+    /// Memory overhead of the proposed system over the delineation-only
+    /// system, in KB.
+    pub memory_overhead_kib: f64,
+}
+
+impl std::fmt::Display for Table3Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Table III — code size and duty cycle on the IcyHeart platform (6 MHz)"
+        )?;
+        writeln!(f, "{:<38} {:>14} {:>12}", "", "Code Size (KB)", "Duty Cycle")?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<38} {:>14.2} {:>12.3}",
+                row.name, row.code_size_kib, row.duty_cycle
+            )?;
+        }
+        writeln!(
+            f,
+            "forwarded fraction = {:.1} %, run-time reduction = {:.1} %, memory overhead = {:.1} KB",
+            100.0 * self.forwarded_fraction,
+            100.0 * self.runtime_reduction,
+            self.memory_overhead_kib
+        )?;
+        Ok(())
+    }
+}
+
+/// Runs the Table III experiment.
+///
+/// # Errors
+///
+/// Returns an error when the configuration is invalid or training fails.
+pub fn table3_runtime(config: &ExperimentConfig) -> Result<Table3Report> {
+    config.validate()?;
+    let system = TrainedSystem::train(config)?;
+
+    // Measure the forwarded fraction with the trained integer classifier on
+    // the test split.
+    let report = system.evaluate_wbsn_on_test()?;
+    let forwarded_fraction = report.binary.forwarded_fraction();
+
+    let platform = IcyHeartPlatform::paper();
+    let cycle_model = CycleModel::new(platform);
+    let workload = Workload::paper(forwarded_fraction);
+    let duty = cycle_model.duty_cycles(&system.wbsn.projection, &system.wbsn.classifier, &workload);
+
+    let memory = MemoryModel::default();
+    let rp_mem = memory.rp_classifier(&system.wbsn.projection, &system.wbsn.classifier);
+    let s1_mem = memory.subsystem1(&system.wbsn.projection, &system.wbsn.classifier);
+    let s2_mem = memory.subsystem2(workload.delineation_leads);
+    let s3_mem = memory.subsystem3(
+        &system.wbsn.projection,
+        &system.wbsn.classifier,
+        workload.delineation_leads,
+    );
+
+    let rows = [
+        Table3Row {
+            name: "RP-classifier",
+            code_size_kib: rp_mem.total_kib(),
+            duty_cycle: duty.rp_classifier,
+        },
+        Table3Row {
+            name: "RP + filtering + peak detection (1)",
+            code_size_kib: s1_mem.total_kib(),
+            duty_cycle: duty.subsystem1,
+        },
+        Table3Row {
+            name: "Multi-lead delineation (2)",
+            code_size_kib: s2_mem.total_kib(),
+            duty_cycle: duty.subsystem2,
+        },
+        Table3Row {
+            name: "Proposed system (3)",
+            code_size_kib: s3_mem.total_kib(),
+            duty_cycle: duty.subsystem3,
+        },
+    ];
+
+    Ok(Table3Report {
+        rows,
+        forwarded_fraction,
+        runtime_reduction: duty.runtime_reduction(),
+        memory_overhead_kib: s3_mem.total_kib() - s2_mem.total_kib(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn report() -> &'static Table3Report {
+        static REPORT: OnceLock<Table3Report> = OnceLock::new();
+        REPORT.get_or_init(|| table3_runtime(&ExperimentConfig::quick()).expect("table 3 runs"))
+    }
+
+    #[test]
+    fn rows_follow_the_papers_ordering() {
+        let r = report();
+        // Code size: classifier < (1) < (2) < (3).
+        assert!(r.rows[0].code_size_kib < r.rows[1].code_size_kib);
+        assert!(r.rows[1].code_size_kib < r.rows[2].code_size_kib);
+        assert!(r.rows[2].code_size_kib < r.rows[3].code_size_kib);
+        // Duty cycle: classifier tiny, (3) well below (2).
+        assert!(r.rows[0].duty_cycle < 0.01, "classifier duty {}", r.rows[0].duty_cycle);
+        assert!(r.rows[1].duty_cycle < r.rows[2].duty_cycle);
+        assert!(r.rows[3].duty_cycle < r.rows[2].duty_cycle);
+    }
+
+    #[test]
+    fn classifier_resources_match_the_papers_scale() {
+        let r = report();
+        // Paper: less than 2 KB and less than 1 % duty cycle for the
+        // RP classifier.
+        assert!(r.rows[0].code_size_kib < 2.0);
+        assert!(r.rows[0].duty_cycle < 0.01);
+    }
+
+    #[test]
+    fn gating_yields_a_substantial_runtime_reduction() {
+        let r = report();
+        assert!(
+            r.runtime_reduction > 0.35 && r.runtime_reduction < 0.85,
+            "run-time reduction {} outside the plausible band around the paper's 63 %",
+            r.runtime_reduction
+        );
+        // The forwarded fraction is the abnormal share plus misclassified
+        // normals; for the synthetic test split it must stay well below 1.
+        assert!(r.forwarded_fraction > 0.05 && r.forwarded_fraction < 0.6);
+        // Memory overhead of keeping the classifier resident is around the
+        // 30 KB reported by the paper.
+        assert!(
+            r.memory_overhead_kib > 20.0 && r.memory_overhead_kib < 40.0,
+            "memory overhead {} KB",
+            r.memory_overhead_kib
+        );
+    }
+
+    #[test]
+    fn display_contains_every_row() {
+        let text = report().to_string();
+        for name in [
+            "RP-classifier",
+            "RP + filtering + peak detection (1)",
+            "Multi-lead delineation (2)",
+            "Proposed system (3)",
+        ] {
+            assert!(text.contains(name), "missing row {name}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Decimation utilities.
+//!
+//! The WBSN version of the classifier operates on signals downsampled 4×
+//! (from 360 Hz to 90 Hz): this shrinks both the beat window (200 → 50
+//! samples) and the stored projection matrix (Section III-B of the paper).
+//! Decimation on the embedded platform is a simple keep-one-in-N (the signal
+//! has already been band-limited by the acquisition front-end and the
+//! morphological filter), but an optional anti-aliasing moving average is
+//! provided for PC-side studies.
+
+use crate::filter::moving_average;
+use crate::{DspError, Result};
+
+/// Keeps one sample out of every `factor` samples.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] when `factor == 0`.
+pub fn decimate(signal: &[f64], factor: usize) -> Result<Vec<f64>> {
+    if factor == 0 {
+        return Err(DspError::InvalidParameter(
+            "decimation factor must be non-zero".into(),
+        ));
+    }
+    Ok(signal.iter().step_by(factor).copied().collect())
+}
+
+/// Decimates after applying a `factor`-sample moving-average anti-aliasing
+/// filter.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] when `factor == 0`.
+pub fn decimate_antialiased(signal: &[f64], factor: usize) -> Result<Vec<f64>> {
+    if factor == 0 {
+        return Err(DspError::InvalidParameter(
+            "decimation factor must be non-zero".into(),
+        ));
+    }
+    if factor == 1 {
+        return Ok(signal.to_vec());
+    }
+    let smoothed = moving_average(signal, factor);
+    Ok(smoothed.into_iter().step_by(factor).collect())
+}
+
+/// Length of the decimated output for a given input length and factor.
+pub fn decimated_len(len: usize, factor: usize) -> usize {
+    if factor == 0 {
+        return 0;
+    }
+    len.div_ceil(factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimate_keeps_every_nth_sample() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y = decimate(&x, 4).expect("factor ok");
+        assert_eq!(y, vec![0.0, 4.0, 8.0, 12.0, 16.0]);
+        assert_eq!(y.len(), decimated_len(x.len(), 4));
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64 * 0.5).collect();
+        assert_eq!(decimate(&x, 1).expect("ok"), x);
+        assert_eq!(decimate_antialiased(&x, 1).expect("ok"), x);
+    }
+
+    #[test]
+    fn zero_factor_is_an_error() {
+        assert!(decimate(&[1.0], 0).is_err());
+        assert!(decimate_antialiased(&[1.0], 0).is_err());
+        assert_eq!(decimated_len(10, 0), 0);
+    }
+
+    #[test]
+    fn antialiasing_attenuates_high_frequency() {
+        // Nyquist-rate alternation would alias badly under plain decimation;
+        // the anti-aliased path must attenuate it.
+        let x: Vec<f64> = (0..400).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let plain = decimate(&x, 4).expect("ok");
+        let aa = decimate_antialiased(&x, 4).expect("ok");
+        let energy = |v: &[f64]| v.iter().map(|s| s * s).sum::<f64>();
+        assert!(energy(&aa) < 0.05 * energy(&plain));
+    }
+
+    #[test]
+    fn lengths_match_the_paper_window() {
+        // 200-sample window at 360 Hz -> 50 samples at 90 Hz.
+        assert_eq!(decimated_len(200, 4), 50);
+        let x = vec![0.0; 200];
+        assert_eq!(decimate(&x, 4).expect("ok").len(), 50);
+    }
+}

@@ -1,0 +1,299 @@
+//! Morphological filtering of ECG signals.
+//!
+//! Ambulatory ECG is corrupted by baseline wander (respiration) and motion
+//! artefacts. The embedded filtering stage of the paper (taken from Rincón et
+//! al.) uses *mathematical morphology*: erosion and dilation with flat
+//! structuring elements, combined into opening and closing, estimate the
+//! baseline which is then subtracted from the signal. Morphological operators
+//! need only comparisons — no multiplications — which is why they suit a
+//! 6 MHz integer-only microcontroller.
+//!
+//! The baseline estimator follows the standard two-stage scheme:
+//!
+//! 1. opening followed by closing with a structuring element slightly longer
+//!    than the QRS complex removes the beats and keeps the drift,
+//! 2. a second pass with a longer element smooths the estimate,
+//! 3. the estimate is subtracted from the input.
+
+use crate::{DspError, Result};
+
+/// Flat-structuring-element erosion: each output sample is the minimum of the
+/// input over a window of `size` samples centred on it (edges are clamped).
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn erode(signal: &[f64], size: usize) -> Vec<f64> {
+    assert!(size > 0, "structuring element must be non-empty");
+    sliding_extreme(signal, size, f64::min, f64::INFINITY)
+}
+
+/// Flat-structuring-element dilation: each output sample is the maximum of
+/// the input over a window of `size` samples centred on it.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn dilate(signal: &[f64], size: usize) -> Vec<f64> {
+    assert!(size > 0, "structuring element must be non-empty");
+    sliding_extreme(signal, size, f64::max, f64::NEG_INFINITY)
+}
+
+fn sliding_extreme(
+    signal: &[f64],
+    size: usize,
+    pick: fn(f64, f64) -> f64,
+    identity: f64,
+) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let half = size / 2;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let mut ext = identity;
+        for &s in &signal[lo..hi] {
+            ext = pick(ext, s);
+        }
+        out.push(ext);
+    }
+    out
+}
+
+/// Morphological opening: erosion followed by dilation. Removes upward peaks
+/// narrower than the structuring element.
+pub fn open(signal: &[f64], size: usize) -> Vec<f64> {
+    dilate(&erode(signal, size), size)
+}
+
+/// Morphological closing: dilation followed by erosion. Removes downward
+/// spikes narrower than the structuring element.
+pub fn close(signal: &[f64], size: usize) -> Vec<f64> {
+    erode(&dilate(signal, size), size)
+}
+
+/// Baseline-wander removal filter built from morphological opening/closing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MorphologicalFilter {
+    /// First structuring element length in samples (slightly longer than the
+    /// QRS complex; the reference uses ≈0.2 s).
+    pub qrs_element: usize,
+    /// Second structuring element length in samples (longer than a full beat;
+    /// the reference uses ≈0.53 s).
+    pub beat_element: usize,
+}
+
+impl MorphologicalFilter {
+    /// Filter tuned for a given sampling frequency, using the reference
+    /// structuring-element durations (0.2 s and 0.53 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fs` is not positive.
+    pub fn for_sampling_rate(fs: f64) -> Self {
+        assert!(fs > 0.0, "sampling frequency must be positive");
+        MorphologicalFilter {
+            qrs_element: ((0.2 * fs).round() as usize).max(1),
+            beat_element: ((0.53 * fs).round() as usize).max(1),
+        }
+    }
+
+    /// Estimates the baseline of `signal`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::SignalTooShort`] when the signal is shorter than
+    /// the longest structuring element.
+    pub fn baseline(&self, signal: &[f64]) -> Result<Vec<f64>> {
+        let required = self.beat_element.max(self.qrs_element);
+        if signal.len() < required {
+            return Err(DspError::SignalTooShort {
+                required,
+                provided: signal.len(),
+            });
+        }
+        // Stage 1: remove beats (opening then closing with the short element).
+        let stage1 = close(&open(signal, self.qrs_element), self.qrs_element);
+        // Stage 2: smooth with the long element (average of opening and
+        // closing to avoid the bias either one introduces alone).
+        let opened = open(&stage1, self.beat_element);
+        let closed = close(&stage1, self.beat_element);
+        Ok(opened
+            .iter()
+            .zip(&closed)
+            .map(|(a, b)| 0.5 * (a + b))
+            .collect())
+    }
+
+    /// Removes the baseline from `signal`, returning the corrected signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::SignalTooShort`] when the signal is shorter than
+    /// the longest structuring element.
+    pub fn apply(&self, signal: &[f64]) -> Result<Vec<f64>> {
+        let baseline = self.baseline(signal)?;
+        Ok(signal
+            .iter()
+            .zip(&baseline)
+            .map(|(s, b)| s - b)
+            .collect())
+    }
+
+    /// Number of comparison operations the filter performs per input sample,
+    /// used by the platform cycle model of `hbc-embedded`.
+    ///
+    /// Each erosion/dilation costs one comparison per element of the
+    /// structuring window; the filter runs 4 passes with the short element
+    /// and 4 with the long one (2 openings + 2 closings).
+    pub fn comparisons_per_sample(&self) -> usize {
+        4 * self.qrs_element + 4 * self.beat_element
+    }
+}
+
+impl Default for MorphologicalFilter {
+    fn default() -> Self {
+        MorphologicalFilter::for_sampling_rate(360.0)
+    }
+}
+
+/// Simple moving-average smoother, used by the delineator to stabilise the
+/// MMD signal.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn moving_average(signal: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be non-empty");
+    let n = signal.len();
+    let half = window / 2;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let sum: f64 = signal[lo..hi].iter().sum();
+        out.push(sum / (hi - lo) as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_ecg_with_drift(n: usize, fs: f64) -> (Vec<f64>, Vec<f64>) {
+        // Impulsive "QRS" every second plus a slow sinusoidal drift.
+        let mut clean = vec![0.0; n];
+        let mut drift = vec![0.0; n];
+        for i in 0..n {
+            let t = i as f64 / fs;
+            drift[i] = 0.4 * (2.0 * std::f64::consts::PI * 0.2 * t).sin();
+            if (i % fs as usize) < 20 {
+                clean[i] = 1.0 * (-((i % fs as usize) as f64 - 10.0).powi(2) / 8.0).exp();
+            }
+        }
+        let noisy: Vec<f64> = clean.iter().zip(&drift).map(|(c, d)| c + d).collect();
+        (clean, noisy)
+    }
+
+    #[test]
+    fn erosion_and_dilation_are_extremes() {
+        let x = vec![0.0, 1.0, 5.0, 1.0, 0.0, -3.0, 0.0];
+        let e = erode(&x, 3);
+        let d = dilate(&x, 3);
+        for i in 0..x.len() {
+            assert!(e[i] <= x[i] && x[i] <= d[i]);
+        }
+        assert_eq!(e[5], -3.0);
+        assert_eq!(d[2], 5.0);
+    }
+
+    #[test]
+    fn opening_removes_narrow_peaks_closing_removes_narrow_valleys() {
+        let mut x = vec![0.0; 50];
+        x[25] = 10.0; // one-sample spike
+        let o = open(&x, 5);
+        assert!(o.iter().all(|&v| v.abs() < 1e-12), "opening removes the spike");
+        let mut y = vec![0.0; 50];
+        y[25] = -10.0;
+        let c = close(&y, 5);
+        assert!(c.iter().all(|&v| v.abs() < 1e-12), "closing removes the dip");
+    }
+
+    #[test]
+    fn idempotence_of_opening_and_closing() {
+        let x: Vec<f64> = (0..100).map(|i| ((i as f64) * 0.3).sin() * 2.0).collect();
+        let once = open(&x, 7);
+        let twice = open(&once, 7);
+        for (a, b) in once.iter().zip(&twice) {
+            assert!((a - b).abs() < 1e-12, "opening is idempotent");
+        }
+        let once = close(&x, 7);
+        let twice = close(&once, 7);
+        for (a, b) in once.iter().zip(&twice) {
+            assert!((a - b).abs() < 1e-12, "closing is idempotent");
+        }
+    }
+
+    #[test]
+    fn baseline_removal_recovers_flat_baseline() {
+        let fs = 360.0;
+        let (clean, noisy) = synthetic_ecg_with_drift(3600, fs);
+        let filter = MorphologicalFilter::for_sampling_rate(fs);
+        let corrected = filter.apply(&noisy).expect("long enough");
+        // After correction the residual drift (measured away from beats)
+        // should be far smaller than the original 0.4 mV drift.
+        let mut residual: f64 = 0.0;
+        let mut count = 0;
+        for i in 400..3200 {
+            if clean[i].abs() < 1e-6 {
+                residual += corrected[i].abs();
+                count += 1;
+            }
+        }
+        let mean_residual = residual / count as f64;
+        assert!(
+            mean_residual < 0.08,
+            "baseline residual {mean_residual} should be well below the 0.4 drift"
+        );
+        // The QRS peaks must survive filtering.
+        let max_after = corrected.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max_after > 0.7, "QRS amplitude should be preserved, got {max_after}");
+    }
+
+    #[test]
+    fn too_short_signal_is_an_error() {
+        let filter = MorphologicalFilter::for_sampling_rate(360.0);
+        let r = filter.apply(&[0.0; 10]);
+        assert!(matches!(r, Err(DspError::SignalTooShort { .. })));
+    }
+
+    #[test]
+    fn default_filter_matches_360_hz() {
+        let f = MorphologicalFilter::default();
+        assert_eq!(f.qrs_element, 72);
+        assert_eq!(f.beat_element, 191);
+        assert!(f.comparisons_per_sample() > 0);
+    }
+
+    #[test]
+    fn moving_average_smooths_and_preserves_mean() {
+        let x: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y = moving_average(&x, 4);
+        let energy_before: f64 = x.iter().map(|v| v * v).sum();
+        let energy_after: f64 = y.iter().map(|v| v * v).sum();
+        assert!(energy_after < energy_before / 4.0);
+        let flat = vec![2.5; 30];
+        let smoothed = moving_average(&flat, 7);
+        assert!(smoothed.iter().all(|&v| (v - 2.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn empty_signal_yields_empty_output() {
+        assert!(erode(&[], 3).is_empty());
+        assert!(dilate(&[], 3).is_empty());
+    }
+}

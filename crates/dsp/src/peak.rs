@@ -1,0 +1,299 @@
+//! Wavelet-based R-peak detection.
+//!
+//! The peak detector of the paper (Section IV-A, taken from Rincón et al.)
+//! decomposes the filtered ECG into four dyadic wavelet scales and searches
+//! for couples of maximum–minimum wavelet extrema that appear *across* the
+//! scales; the R peak is then located at the zero crossing of the first-scale
+//! coefficients between the two extrema. A refractory period suppresses
+//! double detections inside a physiologically impossible interval.
+
+use crate::wavelet::DyadicWavelet;
+use crate::{DspError, Result};
+
+/// Configuration of the wavelet peak detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakDetectorConfig {
+    /// Number of wavelet scales used for the cross-scale confirmation.
+    pub scales: usize,
+    /// Fraction of the running RMS of the first-scale coefficients used as
+    /// the detection threshold.
+    pub threshold_factor: f64,
+    /// Minimum distance between two detected peaks, in seconds (refractory
+    /// period; 200 ms by default, the physiological minimum).
+    pub refractory_s: f64,
+    /// How many scales (out of `scales`) must confirm an extremum pair.
+    pub min_scales_agreeing: usize,
+}
+
+impl Default for PeakDetectorConfig {
+    fn default() -> Self {
+        PeakDetectorConfig {
+            scales: 4,
+            threshold_factor: 1.5,
+            refractory_s: 0.2,
+            min_scales_agreeing: 3,
+        }
+    }
+}
+
+/// Wavelet-based QRS / R-peak detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakDetector {
+    config: PeakDetectorConfig,
+    fs: f64,
+}
+
+impl PeakDetector {
+    /// Creates a detector for signals sampled at `fs` Hz with the default
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fs` is not positive.
+    pub fn new(fs: f64) -> Self {
+        Self::with_config(fs, PeakDetectorConfig::default())
+    }
+
+    /// Creates a detector with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fs` is not positive, `scales == 0` or
+    /// `min_scales_agreeing > scales`.
+    pub fn with_config(fs: f64, config: PeakDetectorConfig) -> Self {
+        assert!(fs > 0.0, "sampling frequency must be positive");
+        assert!(config.scales > 0, "at least one scale is required");
+        assert!(
+            config.min_scales_agreeing >= 1 && config.min_scales_agreeing <= config.scales,
+            "min_scales_agreeing must be within [1, scales]"
+        );
+        PeakDetector { config, fs }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PeakDetectorConfig {
+        &self.config
+    }
+
+    /// Detects R peaks in `signal`, returning their sample indices in
+    /// ascending order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::SignalTooShort`] when the signal cannot support the
+    /// wavelet decomposition.
+    pub fn detect(&self, signal: &[f64]) -> Result<Vec<usize>> {
+        let wavelet = DyadicWavelet::with_scales(self.config.scales);
+        let details = wavelet.transform(signal)?;
+        let first = &details[0];
+        let n = first.len();
+        if n < 4 {
+            return Err(DspError::SignalTooShort {
+                required: 4,
+                provided: n,
+            });
+        }
+
+        // Detection threshold from the RMS of the first scale.
+        let rms = (first.iter().map(|v| v * v).sum::<f64>() / n as f64).sqrt();
+        let threshold = self.config.threshold_factor * rms;
+        let refractory = (self.config.refractory_s * self.fs).round() as usize;
+        // A QRS modulus-maxima pair spans at most ~80 ms.
+        let pair_window = (0.08 * self.fs).round() as usize;
+
+        let mut peaks: Vec<usize> = Vec::new();
+        let mut i = 1usize;
+        while i < n {
+            // Find a first-scale extremum exceeding the threshold.
+            if first[i].abs() < threshold || !is_local_extremum(first, i) {
+                i += 1;
+                continue;
+            }
+            // Look for an opposite-sign extremum within the pair window.
+            let sign = first[i].signum();
+            let end = (i + pair_window).min(n);
+            let mut partner: Option<usize> = None;
+            for j in (i + 1)..end {
+                if first[j].signum() == -sign
+                    && first[j].abs() >= 0.5 * threshold
+                    && is_local_extremum(first, j)
+                {
+                    partner = Some(j);
+                    break;
+                }
+            }
+            let Some(j) = partner else {
+                i += 1;
+                continue;
+            };
+
+            // Cross-scale confirmation: enough coarser scales must show a
+            // significant response in the same neighbourhood.
+            let mut agreeing = 1usize; // scale 1 agrees by construction
+            for d in details.iter().skip(1) {
+                let lo = i.saturating_sub(pair_window);
+                let hi = (j + pair_window).min(n);
+                let local_max = d[lo..hi].iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+                let scale_rms = (d.iter().map(|v| v * v).sum::<f64>() / n as f64).sqrt();
+                if local_max > self.config.threshold_factor * scale_rms {
+                    agreeing += 1;
+                }
+            }
+            if agreeing < self.config.min_scales_agreeing {
+                i += 1;
+                continue;
+            }
+
+            // R peak = zero crossing of the first scale between the pair.
+            let zero = zero_crossing(first, i, j).unwrap_or((i + j) / 2);
+
+            if let Some(&last) = peaks.last() {
+                if zero < last + refractory {
+                    // Too close to the previous peak: keep the larger one.
+                    let last_amp = signal[last].abs();
+                    let this_amp = signal[zero].abs();
+                    if this_amp > last_amp {
+                        *peaks.last_mut().expect("non-empty") = zero;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            peaks.push(zero);
+            i = j + 1;
+        }
+        Ok(peaks)
+    }
+}
+
+fn is_local_extremum(x: &[f64], i: usize) -> bool {
+    if i == 0 || i + 1 >= x.len() {
+        return false;
+    }
+    (x[i] >= x[i - 1] && x[i] >= x[i + 1]) || (x[i] <= x[i - 1] && x[i] <= x[i + 1])
+}
+
+/// Finds the zero crossing of `x` between indices `a` and `b` (exclusive),
+/// returning the index whose value is closest to zero around the sign change.
+fn zero_crossing(x: &[f64], a: usize, b: usize) -> Option<usize> {
+    for i in a..b {
+        if x[i].signum() != x[i + 1].signum() {
+            return Some(if x[i].abs() <= x[i + 1].abs() { i } else { i + 1 });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbc_ecg::synthetic::SyntheticEcg;
+    use hbc_ecg::noise::NoiseModel;
+    use hbc_ecg::record::Lead;
+    use hbc_ecg::BeatClass;
+
+    #[test]
+    fn detects_peaks_in_a_clean_synthetic_record() {
+        let mut gen = SyntheticEcg::with_seed(42).with_noise(NoiseModel::clean());
+        let rhythm = vec![BeatClass::Normal; 20];
+        let record = gen.record(1, &rhythm, 1).expect("record");
+        let signal = record.lead(Lead(0)).expect("lead 0");
+        let detector = PeakDetector::new(record.fs);
+        let peaks = detector.detect(signal).expect("detection");
+        assert_eq!(
+            peaks.len(),
+            record.annotations.len(),
+            "every beat should be detected exactly once"
+        );
+        // Each detection within 50 ms of an annotation.
+        let tolerance = (0.05 * record.fs) as isize;
+        for ann in &record.annotations {
+            let ok = peaks
+                .iter()
+                .any(|&p| (p as isize - ann.sample as isize).abs() <= tolerance);
+            assert!(ok, "annotation at {} not matched by any peak", ann.sample);
+        }
+    }
+
+    #[test]
+    fn detects_peaks_with_ambulatory_noise_and_mixed_morphologies() {
+        let mut gen = SyntheticEcg::with_seed(7).with_noise(NoiseModel::ambulatory());
+        let rhythm = gen.rhythm(30, 0.15, 0.15);
+        let record = gen.record(2, &rhythm, 1).expect("record");
+        let signal = record.lead(Lead(0)).expect("lead 0");
+        // Remove baseline wander first, as the WBSN pipeline does.
+        let filtered = crate::filter::MorphologicalFilter::for_sampling_rate(record.fs)
+            .apply(signal)
+            .expect("filter");
+        let peaks = PeakDetector::new(record.fs).detect(&filtered).expect("detect");
+        let tolerance = (0.06 * record.fs) as isize;
+        let matched = record
+            .annotations
+            .iter()
+            .filter(|ann| {
+                peaks
+                    .iter()
+                    .any(|&p| (p as isize - ann.sample as isize).abs() <= tolerance)
+            })
+            .count();
+        let sensitivity = matched as f64 / record.annotations.len() as f64;
+        assert!(
+            sensitivity >= 0.9,
+            "sensitivity {sensitivity} too low ({matched}/{} beats)",
+            record.annotations.len()
+        );
+        // No more than a handful of false positives.
+        assert!(
+            peaks.len() <= record.annotations.len() + 3,
+            "too many detections: {} for {} beats",
+            peaks.len(),
+            record.annotations.len()
+        );
+    }
+
+    #[test]
+    fn refractory_period_suppresses_double_detection() {
+        let mut gen = SyntheticEcg::with_seed(3).with_noise(NoiseModel::clean());
+        let record = gen.record(3, &[BeatClass::Normal; 10], 1).expect("record");
+        let signal = record.lead(Lead(0)).expect("lead");
+        let peaks = PeakDetector::new(record.fs).detect(signal).expect("detect");
+        let refractory = (0.2 * record.fs) as usize;
+        for w in peaks.windows(2) {
+            assert!(w[1] - w[0] >= refractory, "peaks {} and {} too close", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn flat_signal_has_no_peaks() {
+        let detector = PeakDetector::new(360.0);
+        let peaks = detector.detect(&vec![0.0; 1000]).expect("ok");
+        assert!(peaks.is_empty());
+    }
+
+    #[test]
+    fn short_signal_is_an_error() {
+        let detector = PeakDetector::new(360.0);
+        assert!(matches!(
+            detector.detect(&[0.0; 5]),
+            Err(DspError::SignalTooShort { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_scales_agreeing")]
+    fn invalid_config_panics() {
+        let cfg = PeakDetectorConfig {
+            min_scales_agreeing: 9,
+            ..Default::default()
+        };
+        PeakDetector::with_config(360.0, cfg);
+    }
+
+    #[test]
+    fn zero_crossing_helper_finds_sign_change() {
+        let x = [2.0, 1.0, 0.25, -0.5, -2.0];
+        assert_eq!(zero_crossing(&x, 0, 4), Some(2));
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(zero_crossing(&y, 0, 2), None);
+    }
+}

@@ -1,0 +1,365 @@
+//! Streaming (sample-by-sample) versions of the conditioning kernels.
+//!
+//! The batch functions of [`crate::filter`] are convenient for training and
+//! for record-level experiments, but the firmware on the WBSN processes one
+//! ADC sample at a time with bounded memory. This module provides the
+//! online equivalents:
+//!
+//! * [`SlidingExtremum`] — O(1) amortised sliding-window minimum/maximum
+//!   (monotone-wedge algorithm), the primitive behind streaming erosion and
+//!   dilation;
+//! * [`StreamingErosion`] / [`StreamingDilation`] — centred structuring
+//!   elements with a fixed group delay of `size/2` samples;
+//! * [`StreamingBaselineFilter`] — the opening/closing baseline estimator of
+//!   [`crate::filter::MorphologicalFilter`] as a push-based pipeline.
+//!
+//! Unit tests verify that, after accounting for the group delay, the
+//! streaming outputs match the batch implementations sample for sample in
+//! the interior of the signal — the property that lets the duty-cycle model
+//! meter the batch kernels while the firmware conceptually runs online.
+
+use std::collections::VecDeque;
+
+/// Which extremum a [`SlidingExtremum`] tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtremumKind {
+    /// Sliding minimum (erosion).
+    Min,
+    /// Sliding maximum (dilation).
+    Max,
+}
+
+/// Sliding-window extremum over the last `window` pushed samples, computed in
+/// O(1) amortised time with a monotone wedge.
+#[derive(Debug, Clone)]
+pub struct SlidingExtremum {
+    kind: ExtremumKind,
+    window: usize,
+    /// (index, value) pairs forming a monotone sequence.
+    wedge: VecDeque<(u64, f64)>,
+    pushed: u64,
+}
+
+impl SlidingExtremum {
+    /// Creates a tracker over the last `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(kind: ExtremumKind, window: usize) -> Self {
+        assert!(window > 0, "window must be non-empty");
+        SlidingExtremum {
+            kind,
+            window,
+            wedge: VecDeque::new(),
+            pushed: 0,
+        }
+    }
+
+    fn dominates(&self, kept: f64, incoming: f64) -> bool {
+        match self.kind {
+            ExtremumKind::Min => kept <= incoming,
+            ExtremumKind::Max => kept >= incoming,
+        }
+    }
+
+    /// Pushes a sample and returns the extremum of the last `window` samples
+    /// (fewer at the start of the stream).
+    pub fn push(&mut self, value: f64) -> f64 {
+        // Drop samples that left the window.
+        while let Some(&(idx, _)) = self.wedge.front() {
+            if idx + self.window as u64 <= self.pushed {
+                self.wedge.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Maintain monotonicity: remove dominated tail entries.
+        while let Some(&(_, v)) = self.wedge.back() {
+            if self.dominates(v, value) {
+                break;
+            }
+            self.wedge.pop_back();
+        }
+        self.wedge.push_back((self.pushed, value));
+        self.pushed += 1;
+        self.wedge.front().map(|&(_, v)| v).expect("just pushed")
+    }
+
+    /// Number of samples pushed so far.
+    pub fn len(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Whether no sample has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+}
+
+/// Streaming erosion with a centred flat structuring element of `size`
+/// samples: the output for input sample `n` is produced `size/2` samples
+/// later (the group delay), matching [`crate::filter::erode`] away from the
+/// borders.
+#[derive(Debug, Clone)]
+pub struct StreamingErosion {
+    extremum: SlidingExtremum,
+    delay: usize,
+    seen: usize,
+}
+
+/// Streaming dilation with a centred flat structuring element (see
+/// [`StreamingErosion`]).
+#[derive(Debug, Clone)]
+pub struct StreamingDilation {
+    extremum: SlidingExtremum,
+    delay: usize,
+    seen: usize,
+}
+
+macro_rules! impl_streaming_morph {
+    ($name:ident, $kind:expr) => {
+        impl $name {
+            /// Creates the operator for a structuring element of `size`
+            /// samples.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `size == 0`.
+            pub fn new(size: usize) -> Self {
+                // The batch operator uses a window of `2*(size/2) + 1`
+                // centred samples; the streaming window matches that.
+                let half = size / 2;
+                Self {
+                    extremum: SlidingExtremum::new($kind, 2 * half + 1),
+                    delay: half,
+                    seen: 0,
+                }
+            }
+
+            /// Group delay (samples) between an input and the output that
+            /// corresponds to it.
+            pub fn delay(&self) -> usize {
+                self.delay
+            }
+
+            /// Pushes one sample; returns the output aligned to the sample
+            /// pushed `delay()` calls ago, or `None` while the pipeline is
+            /// still filling.
+            pub fn push(&mut self, value: f64) -> Option<f64> {
+                let out = self.extremum.push(value);
+                self.seen += 1;
+                if self.seen > self.delay {
+                    Some(out)
+                } else {
+                    None
+                }
+            }
+        }
+    };
+}
+
+impl_streaming_morph!(StreamingErosion, ExtremumKind::Min);
+impl_streaming_morph!(StreamingDilation, ExtremumKind::Max);
+
+/// Streaming baseline-wander filter: opening followed by closing with the
+/// short (QRS) structuring element, then the average of opening and closing
+/// with the long (beat) element, subtracted from the delayed input — the
+/// same computation as [`crate::filter::MorphologicalFilter`], expressed as a
+/// push pipeline with a fixed total latency.
+#[derive(Debug, Clone)]
+pub struct StreamingBaselineFilter {
+    // Stage 1: opening (erode then dilate) and closing (dilate then erode)
+    // with the QRS element, chained.
+    open1_erode: StreamingErosion,
+    open1_dilate: StreamingDilation,
+    close1_dilate: StreamingDilation,
+    close1_erode: StreamingErosion,
+    // Stage 2: opening and closing with the beat element, in parallel.
+    open2_erode: StreamingErosion,
+    open2_dilate: StreamingDilation,
+    close2_dilate: StreamingDilation,
+    close2_erode: StreamingErosion,
+    // Delay line aligning the raw input with the baseline estimate.
+    input_delay: VecDeque<f64>,
+    total_delay: usize,
+}
+
+impl StreamingBaselineFilter {
+    /// Builds the streaming filter for a sampling rate, using the same
+    /// structuring-element durations as the batch filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fs` is not positive.
+    pub fn for_sampling_rate(fs: f64) -> Self {
+        let batch = crate::filter::MorphologicalFilter::for_sampling_rate(fs);
+        let qrs_half = batch.qrs_element / 2;
+        let beat_half = batch.beat_element / 2;
+        let total_delay = 4 * qrs_half + 2 * beat_half;
+        StreamingBaselineFilter {
+            open1_erode: StreamingErosion::new(batch.qrs_element),
+            open1_dilate: StreamingDilation::new(batch.qrs_element),
+            close1_dilate: StreamingDilation::new(batch.qrs_element),
+            close1_erode: StreamingErosion::new(batch.qrs_element),
+            open2_erode: StreamingErosion::new(batch.beat_element),
+            open2_dilate: StreamingDilation::new(batch.beat_element),
+            close2_dilate: StreamingDilation::new(batch.beat_element),
+            close2_erode: StreamingErosion::new(batch.beat_element),
+            input_delay: VecDeque::new(),
+            total_delay,
+        }
+    }
+
+    /// Total group delay of the pipeline, in samples.
+    pub fn delay(&self) -> usize {
+        self.total_delay
+    }
+
+    /// Pushes one raw sample; returns the baseline-corrected sample aligned
+    /// to the input pushed `delay()` calls ago, once the pipeline has filled.
+    pub fn push(&mut self, value: f64) -> Option<f64> {
+        self.input_delay.push_back(value);
+
+        // Stage 1 chain.
+        let opened = self
+            .open1_erode
+            .push(value)
+            .and_then(|v| self.open1_dilate.push(v));
+        let stage1 = opened
+            .and_then(|v| self.close1_dilate.push(v))
+            .and_then(|v| self.close1_erode.push(v));
+
+        // Stage 2 runs on the stage-1 output; the two branches consume the
+        // same sample so their outputs stay aligned.
+        let Some(s1) = stage1 else { return None };
+        let open2 = self.open2_erode.push(s1).and_then(|v| self.open2_dilate.push(v));
+        let close2 = self
+            .close2_dilate
+            .push(s1)
+            .and_then(|v| self.close2_erode.push(v));
+        let (Some(o2), Some(c2)) = (open2, close2) else {
+            return None;
+        };
+        let baseline = 0.5 * (o2 + c2);
+
+        // Align the raw input with the baseline estimate.
+        if self.input_delay.len() > self.total_delay {
+            let delayed = self.input_delay.pop_front().expect("non-empty");
+            Some(delayed - baseline)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{dilate, erode, MorphologicalFilter};
+
+    fn test_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / 360.0;
+                0.4 * (2.0 * std::f64::consts::PI * 0.25 * t).sin()
+                    + if i % 300 < 8 { 1.0 } else { 0.0 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sliding_extremum_matches_naive_window() {
+        let signal = test_signal(500);
+        for (kind, pick) in [
+            (ExtremumKind::Min, f64::min as fn(f64, f64) -> f64),
+            (ExtremumKind::Max, f64::max as fn(f64, f64) -> f64),
+        ] {
+            let mut tracker = SlidingExtremum::new(kind, 31);
+            for (i, &s) in signal.iter().enumerate() {
+                let got = tracker.push(s);
+                let lo = i.saturating_sub(30);
+                let expected = signal[lo..=i]
+                    .iter()
+                    .copied()
+                    .reduce(pick)
+                    .expect("non-empty window");
+                assert_eq!(got, expected, "mismatch at sample {i} for {kind:?}");
+            }
+            assert_eq!(tracker.len(), signal.len() as u64);
+            assert!(!tracker.is_empty());
+        }
+    }
+
+    #[test]
+    fn streaming_erosion_and_dilation_match_batch_in_the_interior() {
+        let signal = test_signal(800);
+        let size = 25;
+        let batch_eroded = erode(&signal, size);
+        let batch_dilated = dilate(&signal, size);
+
+        let mut erosion = StreamingErosion::new(size);
+        let mut dilation = StreamingDilation::new(size);
+        let mut eroded = Vec::new();
+        let mut dilated = Vec::new();
+        for &s in &signal {
+            if let Some(v) = erosion.push(s) {
+                eroded.push(v);
+            }
+            if let Some(v) = dilation.push(s) {
+                dilated.push(v);
+            }
+        }
+        // Output k corresponds to input index k (the first `delay` pushes
+        // produce nothing); the batch output at index k uses a symmetric
+        // window, so they agree once k >= delay (full left context) and
+        // k + delay < len (full right context).
+        let delay = erosion.delay();
+        for k in delay..(signal.len() - delay) {
+            assert_eq!(eroded[k], batch_eroded[k], "erosion differs at {k}");
+            assert_eq!(dilated[k], batch_dilated[k], "dilation differs at {k}");
+        }
+    }
+
+    #[test]
+    fn streaming_baseline_filter_matches_batch_away_from_borders() {
+        let fs = 360.0;
+        let signal = test_signal(3000);
+        let batch = MorphologicalFilter::for_sampling_rate(fs)
+            .apply(&signal)
+            .expect("long enough");
+
+        let mut streaming = StreamingBaselineFilter::for_sampling_rate(fs);
+        let mut out = Vec::new();
+        for &s in &signal {
+            if let Some(v) = streaming.push(s) {
+                out.push(v);
+            }
+        }
+        assert!(
+            out.len() + streaming.delay() <= signal.len() + 1,
+            "streaming output longer than expected"
+        );
+        // Compare in the interior where both implementations have full
+        // context. The streaming output index k corresponds to input k.
+        let guard = 2 * streaming.delay();
+        let mut compared = 0usize;
+        for k in guard..out.len().saturating_sub(guard) {
+            let diff = (out[k] - batch[k]).abs();
+            assert!(
+                diff < 1e-9,
+                "streaming and batch baseline removal differ at {k}: {} vs {}",
+                out[k],
+                batch[k]
+            );
+            compared += 1;
+        }
+        assert!(compared > 500, "interior comparison region too small");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn zero_window_panics() {
+        SlidingExtremum::new(ExtremumKind::Min, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Beat segmentation: from a continuous record and detected peaks to the
+//! fixed-length windows the classifier consumes.
+//!
+//! This is the glue between the peak detector and the projection stage: the
+//! paper defines each heartbeat as 100 samples before and 100 samples after
+//! its R peak at 360 Hz.
+
+use hbc_ecg::beat::{Beat, BeatClass, BeatWindow};
+use hbc_ecg::record::{Annotation, EcgRecord, Lead};
+
+use crate::{DspError, Result};
+
+/// Extracts beat windows around the given peak positions. Peaks whose window
+/// would extend outside the signal are silently skipped (matching the
+/// behaviour of an embedded ring-buffer implementation, which simply cannot
+/// serve them).
+pub fn windows_at_peaks(signal: &[f64], peaks: &[usize], window: BeatWindow) -> Vec<Beat> {
+    peaks
+        .iter()
+        .filter_map(|&p| {
+            window.extract(signal, p).map(|samples| Beat {
+                samples,
+                class: BeatClass::Unknown,
+                peak_index: window.pre,
+                record_id: 0,
+                record_position: p,
+            })
+        })
+        .collect()
+}
+
+/// Associates detected peaks with ground-truth annotations so that detected
+/// beats can be labelled for evaluation.
+///
+/// Each detected peak is matched to the closest annotation within
+/// `tolerance` samples; unmatched peaks keep the [`BeatClass::Unknown`]
+/// label and unmatched annotations are counted as missed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeakMatching {
+    /// For each detected peak, the index of the matched annotation (if any).
+    pub matched_annotation: Vec<Option<usize>>,
+    /// Number of annotations with no matching detection.
+    pub missed: usize,
+    /// Number of detections with no matching annotation (false positives).
+    pub spurious: usize,
+}
+
+impl PeakMatching {
+    /// Detection sensitivity: matched annotations / total annotations.
+    pub fn sensitivity(&self, total_annotations: usize) -> f64 {
+        if total_annotations == 0 {
+            return 1.0;
+        }
+        (total_annotations - self.missed) as f64 / total_annotations as f64
+    }
+}
+
+/// Matches detected peaks against record annotations.
+pub fn match_peaks(peaks: &[usize], annotations: &[Annotation], tolerance: usize) -> PeakMatching {
+    let mut matched_annotation = vec![None; peaks.len()];
+    let mut annotation_taken = vec![false; annotations.len()];
+    for (pi, &p) in peaks.iter().enumerate() {
+        let mut best: Option<(usize, usize)> = None; // (distance, annotation idx)
+        for (ai, a) in annotations.iter().enumerate() {
+            if annotation_taken[ai] {
+                continue;
+            }
+            let d = p.abs_diff(a.sample);
+            if d <= tolerance && best.map_or(true, |(bd, _)| d < bd) {
+                best = Some((d, ai));
+            }
+        }
+        if let Some((_, ai)) = best {
+            annotation_taken[ai] = true;
+            matched_annotation[pi] = Some(ai);
+        }
+    }
+    let missed = annotation_taken.iter().filter(|t| !**t).count();
+    let spurious = matched_annotation.iter().filter(|m| m.is_none()).count();
+    PeakMatching {
+        matched_annotation,
+        missed,
+        spurious,
+    }
+}
+
+/// Cuts labelled beats from a record lead using detected peak positions and
+/// the record's annotations for ground truth.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] when the requested lead does not
+/// exist in the record.
+pub fn labelled_beats_from_record(
+    record: &EcgRecord,
+    lead: Lead,
+    peaks: &[usize],
+    window: BeatWindow,
+    tolerance: usize,
+) -> Result<Vec<Beat>> {
+    let signal = record
+        .lead(lead)
+        .map_err(|e| DspError::InvalidParameter(e.to_string()))?;
+    let matching = match_peaks(peaks, &record.annotations, tolerance);
+    let mut beats = Vec::new();
+    for (pi, &p) in peaks.iter().enumerate() {
+        let Some(samples) = window.extract(signal, p) else {
+            continue;
+        };
+        let class = matching.matched_annotation[pi]
+            .map(|ai| record.annotations[ai].class)
+            .unwrap_or(BeatClass::Unknown);
+        beats.push(Beat {
+            samples,
+            class,
+            peak_index: window.pre,
+            record_id: record.id,
+            record_position: p,
+        });
+    }
+    Ok(beats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_skip_out_of_range_peaks() {
+        let signal: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let beats = windows_at_peaks(&signal, &[10, 500, 990], BeatWindow::PAPER);
+        assert_eq!(beats.len(), 1);
+        assert_eq!(beats[0].record_position, 500);
+        assert_eq!(beats[0].samples.len(), 200);
+    }
+
+    #[test]
+    fn matching_pairs_each_peak_with_closest_annotation() {
+        let annotations = vec![
+            Annotation::new(100, BeatClass::Normal),
+            Annotation::new(500, BeatClass::PrematureVentricular),
+            Annotation::new(900, BeatClass::Normal),
+        ];
+        let peaks = vec![103, 480, 910, 1200];
+        let m = match_peaks(&peaks, &annotations, 30);
+        assert_eq!(m.matched_annotation[0], Some(0));
+        assert_eq!(m.matched_annotation[1], Some(1));
+        assert_eq!(m.matched_annotation[2], Some(2));
+        assert_eq!(m.matched_annotation[3], None);
+        assert_eq!(m.missed, 0);
+        assert_eq!(m.spurious, 1);
+        assert!((m.sensitivity(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matching_reports_missed_annotations() {
+        let annotations = vec![
+            Annotation::new(100, BeatClass::Normal),
+            Annotation::new(500, BeatClass::Normal),
+        ];
+        let m = match_peaks(&[102], &annotations, 10);
+        assert_eq!(m.missed, 1);
+        assert_eq!(m.spurious, 0);
+        assert!((m.sensitivity(2) - 0.5).abs() < 1e-12);
+        assert!((m.sensitivity(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn annotations_are_not_double_matched() {
+        let annotations = vec![Annotation::new(100, BeatClass::Normal)];
+        let m = match_peaks(&[98, 102], &annotations, 10);
+        let matched = m.matched_annotation.iter().filter(|x| x.is_some()).count();
+        assert_eq!(matched, 1, "one annotation can satisfy only one detection");
+        assert_eq!(m.spurious, 1);
+    }
+
+    #[test]
+    fn labelled_extraction_uses_annotations_for_ground_truth() {
+        let mut signal = vec![0.0; 2000];
+        signal[600] = 1.0;
+        signal[1200] = 1.0;
+        let record = EcgRecord::new(
+            7,
+            360.0,
+            vec![signal],
+            vec![
+                Annotation::new(600, BeatClass::LeftBundleBranchBlock),
+                Annotation::new(1200, BeatClass::Normal),
+            ],
+        )
+        .expect("valid record");
+        let beats = labelled_beats_from_record(
+            &record,
+            Lead(0),
+            &[598, 1203, 1700],
+            BeatWindow::PAPER,
+            15,
+        )
+        .expect("lead exists");
+        assert_eq!(beats.len(), 3);
+        assert_eq!(beats[0].class, BeatClass::LeftBundleBranchBlock);
+        assert_eq!(beats[1].class, BeatClass::Normal);
+        assert_eq!(beats[2].class, BeatClass::Unknown);
+        assert_eq!(beats[0].record_id, 7);
+        assert!(labelled_beats_from_record(&record, Lead(5), &[], BeatWindow::PAPER, 15).is_err());
+    }
+}

@@ -1,0 +1,375 @@
+//! Heartbeat domain types.
+//!
+//! A *beat* is a fixed-length window of ECG samples centred on the R peak,
+//! together with its morphology label. The paper considers three morphologies
+//! from the MIT-BIH Arrhythmia Database — normal sinus rhythm (N), left bundle
+//! branch block (L) and premature ventricular contraction (V) — and the
+//! classifier may additionally emit an *Unknown* (U) decision when the fuzzy
+//! evidence is not conclusive.
+
+use crate::{POST_PEAK_SAMPLES, PRE_PEAK_SAMPLES};
+
+/// Morphology class of a heartbeat.
+///
+/// The ordering of the variants matches the class index used throughout the
+/// classifier crates (`N = 0`, `V = 1`, `L = 2`); [`BeatClass::Unknown`] is a
+/// classifier *output* only and never appears as a ground-truth label.
+///
+/// ```
+/// use hbc_ecg::BeatClass;
+/// assert_eq!(BeatClass::Normal.index(), Some(0));
+/// assert!(BeatClass::PrematureVentricular.is_abnormal());
+/// assert!(!BeatClass::Normal.is_abnormal());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BeatClass {
+    /// Normal sinus-rhythm beat (MIT-BIH annotation code `N`).
+    Normal,
+    /// Premature ventricular contraction (MIT-BIH annotation code `V`).
+    PrematureVentricular,
+    /// Left bundle branch block beat (MIT-BIH annotation code `L`).
+    LeftBundleBranchBlock,
+    /// Classifier could not decide with enough confidence; treated as
+    /// pathological by the defuzzification rule of the paper.
+    Unknown,
+}
+
+/// Number of ground-truth classes handled by the classifier (N, V, L).
+pub const NUM_CLASSES: usize = 3;
+
+impl BeatClass {
+    /// All ground-truth classes in index order.
+    pub const LABELLED: [BeatClass; NUM_CLASSES] = [
+        BeatClass::Normal,
+        BeatClass::PrematureVentricular,
+        BeatClass::LeftBundleBranchBlock,
+    ];
+
+    /// Index of the class in the classifier output layer, or `None` for
+    /// [`BeatClass::Unknown`].
+    pub fn index(self) -> Option<usize> {
+        match self {
+            BeatClass::Normal => Some(0),
+            BeatClass::PrematureVentricular => Some(1),
+            BeatClass::LeftBundleBranchBlock => Some(2),
+            BeatClass::Unknown => None,
+        }
+    }
+
+    /// Builds a class from its output-layer index.
+    ///
+    /// Returns `None` when `idx >= NUM_CLASSES`.
+    pub fn from_index(idx: usize) -> Option<BeatClass> {
+        BeatClass::LABELLED.get(idx).copied()
+    }
+
+    /// Whether the beat is considered pathological by the early-classification
+    /// policy of the paper (V, L and U activate the detailed delineation; only
+    /// N is discarded).
+    pub fn is_abnormal(self) -> bool {
+        !matches!(self, BeatClass::Normal)
+    }
+
+    /// Single-character mnemonic used by the paper and by the MIT-BIH
+    /// annotation convention.
+    pub fn symbol(self) -> char {
+        match self {
+            BeatClass::Normal => 'N',
+            BeatClass::PrematureVentricular => 'V',
+            BeatClass::LeftBundleBranchBlock => 'L',
+            BeatClass::Unknown => 'U',
+        }
+    }
+
+    /// Parses the MIT-BIH annotation symbol for the three supported classes.
+    ///
+    /// Any other symbol (paced beats, fusion beats, non-beat annotations, …)
+    /// returns `None` and is skipped by the dataset builder, mirroring the
+    /// paper which restricts its evaluation to N, V and L.
+    pub fn from_symbol(symbol: char) -> Option<BeatClass> {
+        match symbol {
+            'N' => Some(BeatClass::Normal),
+            'V' => Some(BeatClass::PrematureVentricular),
+            'L' => Some(BeatClass::LeftBundleBranchBlock),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BeatClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// Binary outcome of the early-classification stage: is the beat normal (and
+/// thus discarded) or pathological (and thus forwarded to the detailed
+/// delineation / transmitted in full)?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryLabel {
+    /// Normal beat — discarded by the WBSN early stage.
+    Normal,
+    /// Pathological (or undecidable) beat — triggers the detailed analysis.
+    Pathological,
+}
+
+impl From<BeatClass> for BinaryLabel {
+    fn from(c: BeatClass) -> Self {
+        if c.is_abnormal() {
+            BinaryLabel::Pathological
+        } else {
+            BinaryLabel::Normal
+        }
+    }
+}
+
+impl std::fmt::Display for BinaryLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinaryLabel::Normal => write!(f, "normal"),
+            BinaryLabel::Pathological => write!(f, "pathological"),
+        }
+    }
+}
+
+/// A labelled heartbeat: the windowed samples around the R peak plus its
+/// ground-truth morphology.
+///
+/// Samples are stored as `f64` in millivolts at the acquisition sampling rate
+/// (360 Hz for MIT-BIH and for the synthetic generator). The embedded crates
+/// quantise these windows to integers before classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Beat {
+    /// Windowed samples (`PRE_PEAK_SAMPLES` before + `POST_PEAK_SAMPLES`
+    /// after the R peak at 360 Hz).
+    pub samples: Vec<f64>,
+    /// Ground-truth morphology.
+    pub class: BeatClass,
+    /// Index of the R peak inside `samples` (normally `PRE_PEAK_SAMPLES`).
+    pub peak_index: usize,
+    /// Record identifier the beat was extracted from (0 for synthetic beats
+    /// that are not attached to a record).
+    pub record_id: u32,
+    /// Sample index of the R peak inside the source record, when known.
+    pub record_position: usize,
+}
+
+impl Beat {
+    /// Creates a beat from a full window of samples, assuming the peak sits at
+    /// the canonical position `PRE_PEAK_SAMPLES`.
+    pub fn new(samples: Vec<f64>, class: BeatClass) -> Self {
+        let peak_index = PRE_PEAK_SAMPLES.min(samples.len().saturating_sub(1));
+        Beat {
+            samples,
+            class,
+            peak_index,
+            record_id: 0,
+            record_position: 0,
+        }
+    }
+
+    /// Length of the sample window.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Binary normal/pathological ground truth derived from the class label.
+    pub fn binary_label(&self) -> BinaryLabel {
+        self.class.into()
+    }
+
+    /// Returns a downsampled copy of the beat keeping one sample out of
+    /// `factor` (the paper uses `factor = 4`, i.e. 90 Hz, for the WBSN
+    /// version).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn downsample(&self, factor: usize) -> Beat {
+        assert!(factor > 0, "downsampling factor must be non-zero");
+        let samples: Vec<f64> = self.samples.iter().step_by(factor).copied().collect();
+        Beat {
+            peak_index: self.peak_index / factor,
+            samples,
+            class: self.class,
+            record_id: self.record_id,
+            record_position: self.record_position,
+        }
+    }
+
+    /// Amplitude range (max − min) of the window, useful for quantisation.
+    pub fn amplitude_range(&self) -> f64 {
+        let (min, max) = self
+            .samples
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &s| {
+                (lo.min(s), hi.max(s))
+            });
+        if min.is_finite() && max.is_finite() {
+            max - min
+        } else {
+            0.0
+        }
+    }
+
+    /// Quantises the beat window to signed integers using the given full-scale
+    /// range in millivolts mapped onto `[-2^(bits-1), 2^(bits-1) - 1]`.
+    ///
+    /// This mimics the ADC front-end of the WBSN: the IcyHeart platform
+    /// acquires samples through a multi-channel ADC and the embedded
+    /// classifier operates on integer samples only.
+    pub fn quantize(&self, full_scale_mv: f64, bits: u32) -> Vec<i32> {
+        let half = (1i64 << (bits - 1)) as f64;
+        self.samples
+            .iter()
+            .map(|&s| {
+                let x = (s / full_scale_mv * half).round();
+                x.clamp(-half, half - 1.0) as i32
+            })
+            .collect()
+    }
+}
+
+/// Geometry of the beat window used to cut beats out of a continuous record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeatWindow {
+    /// Samples kept before the R peak.
+    pub pre: usize,
+    /// Samples kept after the R peak.
+    pub post: usize,
+}
+
+impl BeatWindow {
+    /// The window used by the paper at 360 Hz: 100 samples before and 100
+    /// after the R peak.
+    pub const PAPER: BeatWindow = BeatWindow {
+        pre: PRE_PEAK_SAMPLES,
+        post: POST_PEAK_SAMPLES,
+    };
+
+    /// Creates a window with the given number of samples before/after the
+    /// peak.
+    pub fn new(pre: usize, post: usize) -> Self {
+        BeatWindow { pre, post }
+    }
+
+    /// Total number of samples in the window.
+    pub fn len(&self) -> usize {
+        self.pre + self.post
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extracts the window around `peak` from `signal`, returning `None` when
+    /// the window would fall outside the signal.
+    pub fn extract(&self, signal: &[f64], peak: usize) -> Option<Vec<f64>> {
+        if peak < self.pre || peak + self.post > signal.len() {
+            return None;
+        }
+        Some(signal[peak - self.pre..peak + self.post].to_vec())
+    }
+}
+
+impl Default for BeatWindow {
+    fn default() -> Self {
+        BeatWindow::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_roundtrip() {
+        for (i, c) in BeatClass::LABELLED.iter().enumerate() {
+            assert_eq!(c.index(), Some(i));
+            assert_eq!(BeatClass::from_index(i), Some(*c));
+        }
+        assert_eq!(BeatClass::Unknown.index(), None);
+        assert_eq!(BeatClass::from_index(3), None);
+    }
+
+    #[test]
+    fn symbols_roundtrip() {
+        for c in BeatClass::LABELLED {
+            assert_eq!(BeatClass::from_symbol(c.symbol()), Some(c));
+        }
+        assert_eq!(BeatClass::from_symbol('Q'), None);
+        assert_eq!(BeatClass::Unknown.symbol(), 'U');
+    }
+
+    #[test]
+    fn abnormality_matches_paper_definition() {
+        assert!(!BeatClass::Normal.is_abnormal());
+        assert!(BeatClass::PrematureVentricular.is_abnormal());
+        assert!(BeatClass::LeftBundleBranchBlock.is_abnormal());
+        assert!(BeatClass::Unknown.is_abnormal());
+        assert_eq!(BinaryLabel::from(BeatClass::Normal), BinaryLabel::Normal);
+        assert_eq!(
+            BinaryLabel::from(BeatClass::Unknown),
+            BinaryLabel::Pathological
+        );
+    }
+
+    #[test]
+    fn beat_downsampling_keeps_every_fourth_sample() {
+        let samples: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let beat = Beat::new(samples, BeatClass::Normal);
+        let ds = beat.downsample(4);
+        assert_eq!(ds.len(), 50);
+        assert_eq!(ds.samples[0], 0.0);
+        assert_eq!(ds.samples[1], 4.0);
+        assert_eq!(ds.peak_index, beat.peak_index / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "downsampling factor")]
+    fn downsample_by_zero_panics() {
+        Beat::new(vec![0.0; 10], BeatClass::Normal).downsample(0);
+    }
+
+    #[test]
+    fn quantize_respects_bit_width() {
+        let beat = Beat::new(vec![-5.0, -1.0, 0.0, 1.0, 5.0], BeatClass::Normal);
+        let q = beat.quantize(2.0, 12);
+        assert_eq!(q.len(), 5);
+        assert!(q.iter().all(|&v| (-2048..=2047).contains(&v)));
+        assert_eq!(q[2], 0);
+        assert_eq!(q[0], -2048); // clipped
+        assert_eq!(q[4], 2047); // clipped
+    }
+
+    #[test]
+    fn window_extraction_bounds() {
+        let signal: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let w = BeatWindow::PAPER;
+        assert!(w.extract(&signal, 50).is_none());
+        assert!(w.extract(&signal, 450).is_none());
+        let ok = w.extract(&signal, 250).expect("window in range");
+        assert_eq!(ok.len(), 200);
+        assert_eq!(ok[0], 150.0);
+        assert_eq!(ok[199], 349.0);
+    }
+
+    #[test]
+    fn amplitude_range_of_flat_and_empty_windows() {
+        assert_eq!(Beat::new(vec![], BeatClass::Normal).amplitude_range(), 0.0);
+        assert_eq!(
+            Beat::new(vec![1.5; 7], BeatClass::Normal).amplitude_range(),
+            0.0
+        );
+        assert_eq!(
+            Beat::new(vec![-1.0, 3.0], BeatClass::Normal).amplitude_range(),
+            4.0
+        );
+    }
+}

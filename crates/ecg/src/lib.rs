@@ -1,0 +1,128 @@
+//! # hbc-ecg — ECG data substrate
+//!
+//! This crate provides everything the RP-based heartbeat classification
+//! framework needs to obtain labelled heartbeats:
+//!
+//! * Core domain types: [`BeatClass`], [`Beat`], [`Annotation`], [`EcgRecord`].
+//! * A reader for the MIT-BIH Arrhythmia Database *format 212* signal files and
+//!   the binary annotation format ([`mitbih`]), usable when the real PhysioBank
+//!   data is available on disk.
+//! * A **synthetic ECG generator** ([`synthetic`]) producing normal (N), left
+//!   bundle branch block (L) and premature ventricular contraction (V)
+//!   morphologies with realistic noise, used as the documented substitution for
+//!   the MIT-BIH recordings when the database is not available (see
+//!   `DESIGN.md`).
+//! * Dataset construction matching Table I of the paper ([`dataset`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use hbc_ecg::{synthetic::SyntheticEcg, BeatClass};
+//!
+//! let mut gen = SyntheticEcg::with_seed(42);
+//! let beat = gen.beat(BeatClass::Normal);
+//! assert_eq!(beat.samples.len(), 200);
+//! assert_eq!(beat.class, BeatClass::Normal);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod beat;
+pub mod dataset;
+pub mod mitbih;
+pub mod noise;
+pub mod record;
+pub mod synthetic;
+
+pub use beat::{Beat, BeatClass, BeatWindow, BinaryLabel};
+pub use dataset::{Dataset, DatasetSpec, Split};
+pub use record::{Annotation, EcgRecord, Lead};
+
+/// Sampling frequency of the MIT-BIH Arrhythmia Database recordings, in Hz.
+pub const MITBIH_FS: f64 = 360.0;
+
+/// Number of samples taken before the R peak when windowing a beat at 360 Hz.
+pub const PRE_PEAK_SAMPLES: usize = 100;
+
+/// Number of samples taken after the R peak when windowing a beat at 360 Hz.
+pub const POST_PEAK_SAMPLES: usize = 100;
+
+/// Total beat window length at the native 360 Hz sampling rate.
+pub const BEAT_WINDOW_LEN: usize = PRE_PEAK_SAMPLES + POST_PEAK_SAMPLES;
+
+/// Errors produced by this crate.
+#[derive(Debug)]
+pub enum EcgError {
+    /// An I/O error occurred while reading a record or annotation file.
+    Io(std::io::Error),
+    /// The file content did not match the expected MIT-BIH format.
+    Format(String),
+    /// A request referenced data that is out of range (e.g. a beat window
+    /// extending past the end of a record).
+    OutOfRange(String),
+    /// A dataset specification could not be satisfied.
+    Dataset(String),
+}
+
+impl std::fmt::Display for EcgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EcgError::Io(e) => write!(f, "i/o error: {e}"),
+            EcgError::Format(m) => write!(f, "invalid record format: {m}"),
+            EcgError::OutOfRange(m) => write!(f, "out of range: {m}"),
+            EcgError::Dataset(m) => write!(f, "dataset error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EcgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EcgError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EcgError {
+    fn from(e: std::io::Error) -> Self {
+        EcgError::Io(e)
+    }
+}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, EcgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = EcgError::Format("bad header".into());
+        assert!(e.to_string().contains("bad header"));
+        let e = EcgError::Dataset("not enough beats".into());
+        assert!(e.to_string().contains("not enough beats"));
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(BEAT_WINDOW_LEN, PRE_PEAK_SAMPLES + POST_PEAK_SAMPLES);
+        assert!(MITBIH_FS > 0.0);
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EcgError>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: EcgError = io.into();
+        assert!(matches!(e, EcgError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,390 @@
+//! MIT-BIH Arrhythmia Database file formats.
+//!
+//! The paper evaluates on the MIT-BIH Arrhythmia Database distributed by
+//! PhysioBank. This module implements readers (and, to support round-trip
+//! testing and offline fixture generation, writers) for the two formats a
+//! record consists of:
+//!
+//! * **format 212 signal files** (`*.dat`) — two interleaved 12-bit channels
+//!   packed into 3 bytes per sample pair;
+//! * **annotation files** (`*.atr`) — the compact MIT annotation byte-pair
+//!   encoding carrying, per beat, a time increment and an annotation code.
+//!
+//! When the real database is present on disk these readers feed the exact
+//! recordings into the pipeline; otherwise the synthetic generator
+//! ([`crate::synthetic`]) is used instead (see `DESIGN.md` for the
+//! substitution rationale).
+
+use std::io::Read;
+use std::path::Path;
+
+use crate::beat::BeatClass;
+use crate::record::{Annotation, EcgRecord};
+use crate::{EcgError, Result, MITBIH_FS};
+
+/// Default analogue-to-digital gain of the MIT-BIH recordings (ADC units per
+/// millivolt).
+pub const DEFAULT_ADC_GAIN: f64 = 200.0;
+
+/// Default ADC zero offset of the MIT-BIH recordings.
+pub const DEFAULT_ADC_ZERO: i32 = 1024;
+
+/// MIT annotation codes for the beat types used in the paper.
+///
+/// Codes follow the PhysioBank `ecgcodes.h` convention: `NORMAL = 1`,
+/// `LBBB = 3`, `PVC = 5`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MitAnnotationCode {
+    /// Normal beat (`N`, code 1).
+    Normal,
+    /// Left bundle branch block beat (`L`, code 3).
+    Lbbb,
+    /// Premature ventricular contraction (`V`, code 5).
+    Pvc,
+    /// Any other code (fusion, paced, artifacts, rhythm changes, …).
+    Other(u8),
+}
+
+impl MitAnnotationCode {
+    /// Numeric code as stored in the annotation file.
+    pub fn code(self) -> u8 {
+        match self {
+            MitAnnotationCode::Normal => 1,
+            MitAnnotationCode::Lbbb => 3,
+            MitAnnotationCode::Pvc => 5,
+            MitAnnotationCode::Other(c) => c,
+        }
+    }
+
+    /// Builds the enum from a raw numeric code.
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            1 => MitAnnotationCode::Normal,
+            3 => MitAnnotationCode::Lbbb,
+            5 => MitAnnotationCode::Pvc,
+            c => MitAnnotationCode::Other(c),
+        }
+    }
+
+    /// Maps onto the classifier's [`BeatClass`], or `None` for codes outside
+    /// the paper's three classes.
+    pub fn beat_class(self) -> Option<BeatClass> {
+        match self {
+            MitAnnotationCode::Normal => Some(BeatClass::Normal),
+            MitAnnotationCode::Lbbb => Some(BeatClass::LeftBundleBranchBlock),
+            MitAnnotationCode::Pvc => Some(BeatClass::PrematureVentricular),
+            MitAnnotationCode::Other(_) => None,
+        }
+    }
+}
+
+/// Decodes a format-212 byte stream into two channels of raw ADC samples.
+///
+/// Format 212 packs two 12-bit samples into three bytes:
+/// byte 0 = low 8 bits of sample A, byte 1 = high 4 bits of sample B (upper
+/// nibble) and high 4 bits of sample A (lower nibble), byte 2 = low 8 bits of
+/// sample B. Samples are two's-complement 12-bit values.
+///
+/// # Errors
+///
+/// Returns [`EcgError::Format`] if the byte stream length is not a multiple of
+/// three.
+pub fn decode_format_212(bytes: &[u8]) -> Result<(Vec<i32>, Vec<i32>)> {
+    if bytes.len() % 3 != 0 {
+        return Err(EcgError::Format(format!(
+            "format 212 stream length {} is not a multiple of 3",
+            bytes.len()
+        )));
+    }
+    let pairs = bytes.len() / 3;
+    let mut ch0 = Vec::with_capacity(pairs);
+    let mut ch1 = Vec::with_capacity(pairs);
+    for chunk in bytes.chunks_exact(3) {
+        let a = (chunk[0] as u16) | (((chunk[1] & 0x0F) as u16) << 8);
+        let b = (chunk[2] as u16) | (((chunk[1] & 0xF0) as u16) << 4);
+        ch0.push(sign_extend_12(a));
+        ch1.push(sign_extend_12(b));
+    }
+    Ok((ch0, ch1))
+}
+
+/// Encodes two channels of 12-bit samples into a format-212 byte stream.
+///
+/// Used to build test fixtures and to verify the decoder by round-trip.
+///
+/// # Panics
+///
+/// Panics if the channels have different lengths or a sample does not fit in
+/// 12 bits.
+pub fn encode_format_212(ch0: &[i32], ch1: &[i32]) -> Vec<u8> {
+    assert_eq!(ch0.len(), ch1.len(), "format 212 requires equal-length channels");
+    let mut out = Vec::with_capacity(ch0.len() * 3);
+    for (&a, &b) in ch0.iter().zip(ch1) {
+        assert!((-2048..=2047).contains(&a), "sample {a} does not fit in 12 bits");
+        assert!((-2048..=2047).contains(&b), "sample {b} does not fit in 12 bits");
+        let ua = (a & 0x0FFF) as u16;
+        let ub = (b & 0x0FFF) as u16;
+        out.push((ua & 0xFF) as u8);
+        out.push((((ub >> 8) as u8) << 4) | ((ua >> 8) as u8));
+        out.push((ub & 0xFF) as u8);
+    }
+    out
+}
+
+fn sign_extend_12(v: u16) -> i32 {
+    let v = v & 0x0FFF;
+    if v & 0x0800 != 0 {
+        (v as i32) - 4096
+    } else {
+        v as i32
+    }
+}
+
+/// Decodes an MIT annotation byte stream into `(sample, code)` pairs.
+///
+/// The MIT annotation format stores a sequence of little-endian 16-bit words;
+/// the upper 6 bits are the annotation code and the lower 10 bits a time
+/// increment relative to the previous annotation. Code 0 with increment 0
+/// terminates the stream. `SKIP` (59) extends the time increment with a
+/// 4-byte value. Auxiliary codes (`NUM`=60, `SUB`=61, `CHN`=62, `AUX`=63) are
+/// parsed and skipped.
+///
+/// # Errors
+///
+/// Returns [`EcgError::Format`] on a truncated stream.
+pub fn decode_annotations(bytes: &[u8]) -> Result<Vec<(usize, MitAnnotationCode)>> {
+    let mut out = Vec::new();
+    let mut time: i64 = 0;
+    let mut i = 0usize;
+    while i + 1 < bytes.len() {
+        let word = u16::from_le_bytes([bytes[i], bytes[i + 1]]);
+        i += 2;
+        let code = (word >> 10) as u8;
+        let delta = (word & 0x03FF) as i64;
+        match code {
+            0 if delta == 0 => break, // end of file marker
+            59 => {
+                // SKIP: the next four bytes hold a long time increment
+                // (PhysioBank stores the high word first).
+                if i + 3 >= bytes.len() {
+                    return Err(EcgError::Format("truncated SKIP annotation".into()));
+                }
+                let high = u16::from_le_bytes([bytes[i], bytes[i + 1]]) as i64;
+                let low = u16::from_le_bytes([bytes[i + 2], bytes[i + 3]]) as i64;
+                time += (high << 16) | low;
+                i += 4;
+            }
+            60..=62 => { /* NUM / SUB / CHN: modifier only, no time advance */ }
+            63 => {
+                // AUX: delta holds the byte count of an auxiliary string,
+                // padded to an even length.
+                let n = (delta as usize) + (delta as usize & 1);
+                if i + n > bytes.len() {
+                    return Err(EcgError::Format("truncated AUX annotation".into()));
+                }
+                i += n;
+            }
+            _ => {
+                time += delta;
+                out.push((time.max(0) as usize, MitAnnotationCode::from_code(code)));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Encodes `(sample, code)` pairs into the MIT annotation byte format.
+///
+/// Only plain beat annotations are produced (no AUX/SKIP unless an interval
+/// exceeds the 10-bit range, in which case a SKIP record is emitted).
+///
+/// # Panics
+///
+/// Panics if the samples are not strictly increasing.
+pub fn encode_annotations(annotations: &[(usize, MitAnnotationCode)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(annotations.len() * 2 + 2);
+    let mut prev: usize = 0;
+    for &(sample, code) in annotations {
+        assert!(sample >= prev, "annotation samples must be non-decreasing");
+        let mut delta = sample - prev;
+        if delta > 0x03FF {
+            // Emit SKIP with the full increment, then the annotation with a
+            // zero delta.
+            let d = delta as u32;
+            out.extend_from_slice(&((59u16 << 10).to_le_bytes()));
+            out.extend_from_slice(&(((d >> 16) as u16).to_le_bytes()));
+            out.extend_from_slice(&((d as u16 & 0xFFFF).to_le_bytes()));
+            delta = 0;
+        }
+        let word: u16 = ((code.code() as u16) << 10) | (delta as u16 & 0x03FF);
+        out.extend_from_slice(&word.to_le_bytes());
+        prev = sample;
+    }
+    out.extend_from_slice(&0u16.to_le_bytes()); // end marker
+    out
+}
+
+/// Reads an MIT-BIH record from a format-212 signal file and an annotation
+/// file.
+///
+/// `adc_gain` converts raw ADC units into millivolts and `adc_zero` is the
+/// baseline offset (use [`DEFAULT_ADC_GAIN`] / [`DEFAULT_ADC_ZERO`] for the
+/// Arrhythmia Database).
+///
+/// # Errors
+///
+/// Returns [`EcgError::Io`] if a file cannot be read and [`EcgError::Format`]
+/// if its content is malformed.
+pub fn read_record(
+    id: u32,
+    dat_path: &Path,
+    atr_path: &Path,
+    adc_gain: f64,
+    adc_zero: i32,
+) -> Result<EcgRecord> {
+    let mut dat = Vec::new();
+    std::fs::File::open(dat_path)?.read_to_end(&mut dat)?;
+    let mut atr = Vec::new();
+    std::fs::File::open(atr_path)?.read_to_end(&mut atr)?;
+    record_from_bytes(id, &dat, &atr, adc_gain, adc_zero)
+}
+
+/// Builds an [`EcgRecord`] from in-memory format-212 and annotation byte
+/// streams. This is the pure core of [`read_record`], exposed for testing and
+/// for callers that keep the database in memory.
+///
+/// # Errors
+///
+/// Returns [`EcgError::Format`] if either stream is malformed.
+pub fn record_from_bytes(
+    id: u32,
+    dat: &[u8],
+    atr: &[u8],
+    adc_gain: f64,
+    adc_zero: i32,
+) -> Result<EcgRecord> {
+    let (ch0, ch1) = decode_format_212(dat)?;
+    let to_mv = |v: &i32| (*v - adc_zero) as f64 / adc_gain;
+    let leads = vec![ch0.iter().map(to_mv).collect(), ch1.iter().map(to_mv).collect()];
+    let annotations = decode_annotations(atr)?
+        .into_iter()
+        .filter_map(|(sample, code)| code.beat_class().map(|c| Annotation::new(sample, c)))
+        .filter(|a| a.sample < ch0.len())
+        .collect();
+    EcgRecord::new(id, MITBIH_FS, leads, annotations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_212_roundtrip() {
+        let ch0: Vec<i32> = vec![0, 1, -1, 2047, -2048, 512, -100, 99];
+        let ch1: Vec<i32> = vec![-5, 7, 1023, -1024, 0, 33, -2048, 2047];
+        let bytes = encode_format_212(&ch0, &ch1);
+        assert_eq!(bytes.len(), ch0.len() * 3);
+        let (d0, d1) = decode_format_212(&bytes).expect("decode");
+        assert_eq!(d0, ch0);
+        assert_eq!(d1, ch1);
+    }
+
+    #[test]
+    fn format_212_rejects_bad_length() {
+        assert!(decode_format_212(&[0, 1]).is_err());
+        assert!(decode_format_212(&[0, 1, 2, 3]).is_err());
+        assert!(decode_format_212(&[]).expect("empty is fine").0.is_empty());
+    }
+
+    #[test]
+    fn sign_extension_is_correct() {
+        assert_eq!(sign_extend_12(0x000), 0);
+        assert_eq!(sign_extend_12(0x7FF), 2047);
+        assert_eq!(sign_extend_12(0x800), -2048);
+        assert_eq!(sign_extend_12(0xFFF), -1);
+    }
+
+    #[test]
+    fn annotation_roundtrip_small_deltas() {
+        let anns = vec![
+            (10usize, MitAnnotationCode::Normal),
+            (370, MitAnnotationCode::Pvc),
+            (800, MitAnnotationCode::Lbbb),
+            (805, MitAnnotationCode::Other(8)),
+        ];
+        let bytes = encode_annotations(&anns);
+        let decoded = decode_annotations(&bytes).expect("decode");
+        assert_eq!(decoded.len(), 4);
+        for ((s, c), (ds, dc)) in anns.iter().zip(&decoded) {
+            assert_eq!(s, ds);
+            assert_eq!(c.code(), dc.code());
+        }
+    }
+
+    #[test]
+    fn annotation_roundtrip_with_skip_records() {
+        // A gap larger than 1023 samples forces a SKIP record.
+        let anns = vec![
+            (100usize, MitAnnotationCode::Normal),
+            (100_000, MitAnnotationCode::Pvc),
+            (100_360, MitAnnotationCode::Normal),
+        ];
+        let bytes = encode_annotations(&anns);
+        let decoded = decode_annotations(&bytes).expect("decode");
+        let samples: Vec<usize> = decoded.iter().map(|(s, _)| *s).collect();
+        assert_eq!(samples, vec![100, 100_000, 100_360]);
+    }
+
+    #[test]
+    fn annotation_codes_map_to_classes() {
+        assert_eq!(
+            MitAnnotationCode::Normal.beat_class(),
+            Some(BeatClass::Normal)
+        );
+        assert_eq!(
+            MitAnnotationCode::Pvc.beat_class(),
+            Some(BeatClass::PrematureVentricular)
+        );
+        assert_eq!(
+            MitAnnotationCode::Lbbb.beat_class(),
+            Some(BeatClass::LeftBundleBranchBlock)
+        );
+        assert_eq!(MitAnnotationCode::Other(12).beat_class(), None);
+        assert_eq!(MitAnnotationCode::from_code(5), MitAnnotationCode::Pvc);
+        assert_eq!(MitAnnotationCode::from_code(42), MitAnnotationCode::Other(42));
+    }
+
+    #[test]
+    fn record_from_bytes_converts_to_millivolts() {
+        // Two channels, 400 samples of a constant at ADC zero + 200 (i.e. 1 mV).
+        let n = 1200;
+        let ch: Vec<i32> = vec![DEFAULT_ADC_ZERO + 200; n]
+            .iter()
+            .map(|&v| v - 1024)
+            .map(|v| v + 1024 - 1024)
+            .collect();
+        // Keep raw samples within 12-bit range: use 200 (≈1 mV above zero offset
+        // after subtracting adc_zero in the conversion, stored as 200+1024>2047?
+        // 1224 > 2047 is false, fine).
+        let raw: Vec<i32> = vec![1224; n];
+        let _ = ch;
+        let dat = encode_format_212(&raw, &raw);
+        let atr = encode_annotations(&[(300, MitAnnotationCode::Normal), (700, MitAnnotationCode::Other(14))]);
+        let rec = record_from_bytes(100, &dat, &atr, DEFAULT_ADC_GAIN, DEFAULT_ADC_ZERO)
+            .expect("record");
+        assert_eq!(rec.num_leads(), 2);
+        assert_eq!(rec.len(), n);
+        assert!((rec.leads[0][0] - 1.0).abs() < 1e-9, "1224 raw = 1 mV");
+        // The non-beat annotation (code 14) is filtered out.
+        assert_eq!(rec.annotations.len(), 1);
+        assert_eq!(rec.annotations[0].sample, 300);
+    }
+
+    #[test]
+    fn truncated_aux_annotation_is_an_error() {
+        // AUX code 63 with a claimed 10-byte payload but nothing following.
+        let word: u16 = (63u16 << 10) | 10;
+        let bytes = word.to_le_bytes().to_vec();
+        assert!(decode_annotations(&bytes).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! Continuous ECG records and beat annotations.
+//!
+//! An [`EcgRecord`] is a multi-lead, uniformly sampled recording together with
+//! a list of beat [`Annotation`]s (R-peak position + morphology label), exactly
+//! like a record of the MIT-BIH Arrhythmia Database. Records are either read
+//! from disk ([`crate::mitbih`]) or produced by the synthetic generator
+//! ([`crate::synthetic`]).
+
+use crate::beat::{Beat, BeatClass, BeatWindow};
+use crate::{EcgError, Result};
+
+/// Identifier of an ECG lead within a record.
+///
+/// The MIT-BIH records carry two leads (usually MLII and V1); the delineation
+/// scenario of the paper (Figure 6) uses three leads. The synthetic generator
+/// can produce an arbitrary number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lead(pub usize);
+
+impl std::fmt::Display for Lead {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lead {}", self.0)
+    }
+}
+
+/// A beat annotation: the sample index of the R peak and the morphology
+/// assigned by a cardiologist (or by the synthetic generator).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Annotation {
+    /// Sample index of the annotated R peak.
+    pub sample: usize,
+    /// Morphology label.
+    pub class: BeatClass,
+}
+
+impl Annotation {
+    /// Creates a new annotation.
+    pub fn new(sample: usize, class: BeatClass) -> Self {
+        Annotation { sample, class }
+    }
+}
+
+/// A multi-lead ECG recording with beat annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcgRecord {
+    /// Numeric identifier (e.g. `100`, `208` for MIT-BIH records).
+    pub id: u32,
+    /// Sampling frequency in Hz.
+    pub fs: f64,
+    /// One signal per lead, all of identical length, in millivolts.
+    pub leads: Vec<Vec<f64>>,
+    /// Beat annotations sorted by sample index.
+    pub annotations: Vec<Annotation>,
+}
+
+impl EcgRecord {
+    /// Creates a record from its parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcgError::Format`] when no lead is present or the leads have
+    /// mismatched lengths, and [`EcgError::OutOfRange`] when an annotation
+    /// points outside the signal.
+    pub fn new(
+        id: u32,
+        fs: f64,
+        leads: Vec<Vec<f64>>,
+        mut annotations: Vec<Annotation>,
+    ) -> Result<Self> {
+        if leads.is_empty() {
+            return Err(EcgError::Format("record must contain at least one lead".into()));
+        }
+        let len = leads[0].len();
+        if leads.iter().any(|l| l.len() != len) {
+            return Err(EcgError::Format(format!(
+                "all leads must have the same length (first lead has {len} samples)"
+            )));
+        }
+        if let Some(a) = annotations.iter().find(|a| a.sample >= len) {
+            return Err(EcgError::OutOfRange(format!(
+                "annotation at sample {} is outside the {}-sample record",
+                a.sample, len
+            )));
+        }
+        annotations.sort_by_key(|a| a.sample);
+        Ok(EcgRecord {
+            id,
+            fs,
+            leads,
+            annotations,
+        })
+    }
+
+    /// Number of samples per lead.
+    pub fn len(&self) -> usize {
+        self.leads.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the record holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of leads.
+    pub fn num_leads(&self) -> usize {
+        self.leads.len()
+    }
+
+    /// Recording duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.len() as f64 / self.fs
+    }
+
+    /// Returns the samples of one lead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcgError::OutOfRange`] when the lead does not exist.
+    pub fn lead(&self, lead: Lead) -> Result<&[f64]> {
+        self.leads
+            .get(lead.0)
+            .map(Vec::as_slice)
+            .ok_or_else(|| EcgError::OutOfRange(format!("record {} has no {lead}", self.id)))
+    }
+
+    /// Extracts every annotated beat of the three supported morphologies from
+    /// the given lead using `window`, skipping beats whose window would fall
+    /// outside the record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcgError::OutOfRange`] when the lead does not exist.
+    pub fn extract_beats(&self, lead: Lead, window: BeatWindow) -> Result<Vec<Beat>> {
+        let signal = self.lead(lead)?;
+        let mut beats = Vec::with_capacity(self.annotations.len());
+        for ann in &self.annotations {
+            if ann.class == BeatClass::Unknown {
+                continue;
+            }
+            if let Some(samples) = window.extract(signal, ann.sample) {
+                beats.push(Beat {
+                    samples,
+                    class: ann.class,
+                    peak_index: window.pre,
+                    record_id: self.id,
+                    record_position: ann.sample,
+                });
+            }
+        }
+        Ok(beats)
+    }
+
+    /// Counts annotations per class, in class-index order (N, V, L).
+    pub fn class_counts(&self) -> [usize; crate::beat::NUM_CLASSES] {
+        let mut counts = [0usize; crate::beat::NUM_CLASSES];
+        for a in &self.annotations {
+            if let Some(i) = a.class.index() {
+                counts[i] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Average RR interval (distance between consecutive annotated peaks) in
+    /// seconds, or `None` when fewer than two annotations exist.
+    pub fn mean_rr_s(&self) -> Option<f64> {
+        if self.annotations.len() < 2 {
+            return None;
+        }
+        let total: usize = self
+            .annotations
+            .windows(2)
+            .map(|w| w[1].sample - w[0].sample)
+            .sum();
+        Some(total as f64 / (self.annotations.len() - 1) as f64 / self.fs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_with(leads: Vec<Vec<f64>>, anns: Vec<Annotation>) -> Result<EcgRecord> {
+        EcgRecord::new(100, 360.0, leads, anns)
+    }
+
+    #[test]
+    fn rejects_empty_and_ragged_leads() {
+        assert!(matches!(
+            record_with(vec![], vec![]),
+            Err(EcgError::Format(_))
+        ));
+        assert!(matches!(
+            record_with(vec![vec![0.0; 10], vec![0.0; 9]], vec![]),
+            Err(EcgError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_annotation() {
+        let r = record_with(
+            vec![vec![0.0; 100]],
+            vec![Annotation::new(100, BeatClass::Normal)],
+        );
+        assert!(matches!(r, Err(EcgError::OutOfRange(_))));
+    }
+
+    #[test]
+    fn annotations_are_sorted() {
+        let r = record_with(
+            vec![vec![0.0; 1000]],
+            vec![
+                Annotation::new(700, BeatClass::Normal),
+                Annotation::new(300, BeatClass::PrematureVentricular),
+            ],
+        )
+        .expect("valid record");
+        assert_eq!(r.annotations[0].sample, 300);
+        assert_eq!(r.annotations[1].sample, 700);
+    }
+
+    #[test]
+    fn beat_extraction_skips_edge_beats() {
+        let signal: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let r = record_with(
+            vec![signal],
+            vec![
+                Annotation::new(50, BeatClass::Normal), // too close to start
+                Annotation::new(500, BeatClass::Normal),
+                Annotation::new(950, BeatClass::LeftBundleBranchBlock), // too close to end
+            ],
+        )
+        .expect("valid record");
+        let beats = r.extract_beats(Lead(0), BeatWindow::PAPER).expect("lead exists");
+        assert_eq!(beats.len(), 1);
+        assert_eq!(beats[0].record_position, 500);
+        assert_eq!(beats[0].samples.len(), 200);
+        assert_eq!(beats[0].samples[0], 400.0);
+    }
+
+    #[test]
+    fn missing_lead_is_an_error() {
+        let r = record_with(vec![vec![0.0; 10]], vec![]).expect("valid record");
+        assert!(r.lead(Lead(1)).is_err());
+        assert!(r.extract_beats(Lead(3), BeatWindow::PAPER).is_err());
+    }
+
+    #[test]
+    fn class_counts_and_rr() {
+        let r = record_with(
+            vec![vec![0.0; 2000]],
+            vec![
+                Annotation::new(300, BeatClass::Normal),
+                Annotation::new(660, BeatClass::PrematureVentricular),
+                Annotation::new(1020, BeatClass::Normal),
+                Annotation::new(1380, BeatClass::LeftBundleBranchBlock),
+            ],
+        )
+        .expect("valid record");
+        assert_eq!(r.class_counts(), [2, 1, 1]);
+        let rr = r.mean_rr_s().expect("at least two annotations");
+        assert!((rr - 1.0).abs() < 1e-9, "360 samples at 360 Hz is 1 s, got {rr}");
+        assert!((r.duration_s() - 2000.0 / 360.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_rr_requires_two_annotations() {
+        let r = record_with(vec![vec![0.0; 10]], vec![Annotation::new(2, BeatClass::Normal)])
+            .expect("valid record");
+        assert_eq!(r.mean_rr_s(), None);
+    }
+}

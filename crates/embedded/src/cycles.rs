@@ -1,0 +1,358 @@
+//! Per-stage cycle accounting reproducing the structure of Table III.
+//!
+//! The run-time evaluation of the paper (Section IV-D) compares four
+//! configurations on the IcyHeart SoC at 6 MHz:
+//!
+//! 1. the RP classifier alone,
+//! 2. sub-system (1): single-lead filtering + peak detection + RP classifier,
+//! 3. sub-system (2): always-on three-lead MMD delineation,
+//! 4. sub-system (3): the proposed system, where delineation runs only for
+//!    the beats the classifier forwards.
+//!
+//! This module estimates the operation mix of each stage from the actual
+//! kernel parameters (structuring-element lengths, wavelet scales, projection
+//! density, coefficient count) and converts it to cycles through the platform
+//! cost table. Absolute duty cycles depend on the modelled core, but the
+//! *relative* ordering and the gating benefit — the quantities the paper's
+//! conclusions rest on — derive directly from the kernels implemented in this
+//! repository.
+
+use hbc_dsp::MorphologicalFilter;
+use hbc_rp::PackedProjection;
+
+use crate::int_classifier::IntegerNfc;
+use crate::platform::{IcyHeartPlatform, OperationCounts};
+
+/// Operation mix of the morphological filtering stage, per input sample of
+/// one lead.
+pub fn filtering_ops_per_sample(filter: &MorphologicalFilter) -> OperationCounts {
+    let compares = filter.comparisons_per_sample() as u64;
+    OperationCounts {
+        compares,
+        // Each comparison reads one sample; results are written once per pass
+        // (8 passes: erosion+dilation for 2 openings and 2 closings).
+        loads: compares,
+        stores: 8,
+        adds: 2, // baseline averaging and subtraction
+        branches: compares / 4,
+        ..Default::default()
+    }
+}
+
+/// Operation mix of the à-trous wavelet decomposition + peak search, per
+/// input sample of one lead.
+pub fn peak_detection_ops_per_sample(scales: usize) -> OperationCounts {
+    let scales = scales as u64;
+    OperationCounts {
+        // Low-pass (4 taps) and high-pass (2 taps) per scale.
+        adds: 6 * scales,
+        muls: scales, // the 3·x terms of the low-pass filter
+        compares: 4 * scales, // extremum tracking and thresholding
+        loads: 8 * scales,
+        stores: 2 * scales,
+        branches: 2 * scales,
+    }
+}
+
+/// Operation mix of one random projection (per beat): one addition or
+/// subtraction per non-zero matrix entry, plus the unpacking loads.
+pub fn projection_ops_per_beat(projection: &PackedProjection) -> OperationCounts {
+    let entries = (projection.rows() * projection.cols()) as u64;
+    // Expected non-zero fraction of an Achlioptas matrix is 1/3.
+    let nonzero = entries / 3;
+    OperationCounts {
+        adds: nonzero,
+        loads: entries / 4 + projection.cols() as u64, // packed bytes + samples
+        stores: projection.rows() as u64,
+        compares: entries, // the 2-bit decode tests
+        branches: entries / 4,
+        ..Default::default()
+    }
+}
+
+/// Operation mix of one integer NFC evaluation (per beat).
+pub fn nfc_ops_per_beat(classifier: &IntegerNfc) -> OperationCounts {
+    let k = classifier.num_coefficients() as u64;
+    let classes = hbc_ecg::beat::NUM_CLASSES as u64;
+    OperationCounts {
+        // Membership evaluation: distance + segment selection + interpolation.
+        adds: k * classes * 3,
+        muls: classifier.multiplications_per_beat() as u64,
+        compares: k * classes * 4 + 8, // segment tests + defuzzification
+        loads: k * classes * 2,
+        stores: classes * (k + 1),
+        branches: k * classes,
+    }
+}
+
+/// Operation mix of the MMD delineation of one beat on one lead
+/// (`window` samples analysed at `scales` morphological scales).
+pub fn delineation_ops_per_beat_per_lead(window: usize, scales: &[usize]) -> OperationCounts {
+    let window = window as u64;
+    let scale_sum: u64 = scales.iter().map(|&s| s as u64).sum();
+    OperationCounts {
+        // MMD: a max over `s` samples and a min over `s` samples per output
+        // sample per scale.
+        compares: 2 * window * scale_sum / scales.len().max(1) as u64 * scales.len() as u64
+            / scales.len().max(1) as u64
+            + 2 * window * scale_sum / scales.len().max(1) as u64,
+        adds: 3 * window * scales.len() as u64,
+        loads: 2 * window * scales.len() as u64 + window,
+        stores: window * scales.len() as u64,
+        branches: window * scales.len() as u64,
+        muls: 0,
+    }
+}
+
+/// Parameters describing the workload the duty-cycle model is evaluated on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Sampling frequency of the acquisition front-end in Hz.
+    pub fs: f64,
+    /// Average heart rate in beats per second (the MIT-BIH average is ≈1.2).
+    pub beats_per_second: f64,
+    /// Number of leads processed by the delineation stage.
+    pub delineation_leads: usize,
+    /// Beat-window length (in samples at `fs`) analysed by the delineator.
+    pub delineation_window: usize,
+    /// Fraction of beats the classifier forwards to the delineation stage
+    /// (abnormal beats plus misclassified normals).
+    pub forwarded_fraction: f64,
+}
+
+impl Workload {
+    /// The paper's evaluation workload: 360 Hz acquisition, three delineation
+    /// leads, 200-sample windows, and the test-set beat rate.
+    pub fn paper(forwarded_fraction: f64) -> Self {
+        Workload {
+            fs: 360.0,
+            beats_per_second: 1.2,
+            delineation_leads: 3,
+            delineation_window: 200,
+            forwarded_fraction,
+        }
+    }
+}
+
+/// Duty cycles of the four configurations of Table III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycleReport {
+    /// RP classifier alone (projection + NFC, per beat).
+    pub rp_classifier: f64,
+    /// Sub-system (1): filtering + peak detection + RP classifier.
+    pub subsystem1: f64,
+    /// Sub-system (2): always-on three-lead delineation (including its own
+    /// three-lead filtering).
+    pub subsystem2: f64,
+    /// Sub-system (3): the proposed gated system.
+    pub subsystem3: f64,
+}
+
+impl DutyCycleReport {
+    /// Relative run-time reduction of the proposed system over the always-on
+    /// delineator: `1 − duty₃ / duty₂` (the paper reports 63 %).
+    pub fn runtime_reduction(&self) -> f64 {
+        if self.subsystem2 <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.subsystem3 / self.subsystem2
+    }
+}
+
+/// Cycle/duty-cycle model for the embedded application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleModel {
+    /// Platform executing the firmware.
+    pub platform: IcyHeartPlatform,
+}
+
+impl CycleModel {
+    /// Creates a model for the given platform.
+    pub fn new(platform: IcyHeartPlatform) -> Self {
+        CycleModel { platform }
+    }
+
+    /// Cycles per second of the single-lead conditioning front-end
+    /// (morphological filtering + wavelet peak detection).
+    pub fn conditioning_cycles_per_second(&self, fs: f64) -> f64 {
+        let filter = MorphologicalFilter::for_sampling_rate(fs);
+        let per_sample = self
+            .platform
+            .cycles(&filtering_ops_per_sample(&filter))
+            + self
+                .platform
+                .cycles(&peak_detection_ops_per_sample(hbc_dsp::wavelet::DEFAULT_SCALES));
+        per_sample as f64 * fs
+    }
+
+    /// Cycles per second of the RP classifier alone.
+    pub fn classifier_cycles_per_second(
+        &self,
+        projection: &PackedProjection,
+        classifier: &IntegerNfc,
+        beats_per_second: f64,
+    ) -> f64 {
+        let per_beat = self.platform.cycles(&projection_ops_per_beat(projection))
+            + self.platform.cycles(&nfc_ops_per_beat(classifier));
+        per_beat as f64 * beats_per_second
+    }
+
+    /// Cycles per second of the always-on multi-lead delineation (its own
+    /// filtering of every lead plus per-beat MMD analysis).
+    pub fn delineation_cycles_per_second(&self, workload: &Workload) -> f64 {
+        let filter = MorphologicalFilter::for_sampling_rate(workload.fs);
+        let filtering = self.platform.cycles(&filtering_ops_per_sample(&filter)) as f64
+            * workload.fs
+            * workload.delineation_leads as f64;
+        let scales = [
+            (0.06 * workload.fs) as usize,
+            (0.10 * workload.fs) as usize,
+            (0.14 * workload.fs) as usize,
+        ];
+        let per_beat_per_lead = self.platform.cycles(&delineation_ops_per_beat_per_lead(
+            workload.delineation_window,
+            &scales,
+        ));
+        let delineation = per_beat_per_lead as f64
+            * workload.delineation_leads as f64
+            * workload.beats_per_second;
+        filtering + delineation
+    }
+
+    /// Builds the full Table III style duty-cycle report for a fitted
+    /// embedded classifier and a workload.
+    pub fn duty_cycles(
+        &self,
+        projection: &PackedProjection,
+        classifier: &IntegerNfc,
+        workload: &Workload,
+    ) -> DutyCycleReport {
+        let clock = self.platform.clock_hz;
+        let rp = self.classifier_cycles_per_second(
+            projection,
+            classifier,
+            workload.beats_per_second,
+        ) / clock;
+        let conditioning = self.conditioning_cycles_per_second(workload.fs) / clock;
+        let subsystem1 = rp + conditioning;
+        let subsystem2 = self.delineation_cycles_per_second(workload) / clock;
+        let subsystem3 = subsystem1 + workload.forwarded_fraction * subsystem2;
+        DutyCycleReport {
+            rp_classifier: rp,
+            subsystem1,
+            subsystem2,
+            subsystem3,
+        }
+    }
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        CycleModel::new(IcyHeartPlatform::paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::int_classifier::MembershipKind;
+    use crate::linear_mf::IntMembership;
+    use hbc_rp::AchlioptasMatrix;
+
+    fn toy_classifier(k: usize) -> IntegerNfc {
+        let rows = (0..k)
+            .map(|_| {
+                [
+                    IntMembership::new(MembershipKind::Linearized, 0, 100),
+                    IntMembership::new(MembershipKind::Linearized, 500, 100),
+                    IntMembership::new(MembershipKind::Linearized, -500, 100),
+                ]
+            })
+            .collect();
+        IntegerNfc::new(rows).expect("non-empty")
+    }
+
+    fn toy_projection(k: usize, d: usize) -> PackedProjection {
+        PackedProjection::from_matrix(&AchlioptasMatrix::generate(k, d, 5))
+    }
+
+    #[test]
+    fn classifier_alone_is_a_tiny_fraction_of_the_duty_cycle() {
+        // Paper: the RP classifier uses less than 1 % of the duty cycle.
+        let model = CycleModel::default();
+        let workload = Workload::paper(0.25);
+        let report = model.duty_cycles(&toy_projection(8, 50), &toy_classifier(8), &workload);
+        assert!(
+            report.rp_classifier < 0.01,
+            "RP classifier duty cycle {} should be below 1 %",
+            report.rp_classifier
+        );
+    }
+
+    #[test]
+    fn conditioning_dominates_subsystem1() {
+        // Paper: most of sub-system (1) is filtering + peak detection, not
+        // the classifier itself.
+        let model = CycleModel::default();
+        let workload = Workload::paper(0.25);
+        let report = model.duty_cycles(&toy_projection(8, 50), &toy_classifier(8), &workload);
+        assert!(report.subsystem1 > 10.0 * report.rp_classifier);
+        assert!(
+            report.subsystem1 > 0.03 && report.subsystem1 < 0.35,
+            "sub-system (1) duty cycle {} outside the plausible band",
+            report.subsystem1
+        );
+    }
+
+    #[test]
+    fn always_on_delineation_costs_far_more_than_the_gated_system() {
+        let model = CycleModel::default();
+        let workload = Workload::paper(0.23); // the paper's forwarded fraction
+        let report = model.duty_cycles(&toy_projection(8, 50), &toy_classifier(8), &workload);
+        assert!(report.subsystem2 > report.subsystem1);
+        assert!(report.subsystem3 < report.subsystem2);
+        let reduction = report.runtime_reduction();
+        assert!(
+            reduction > 0.4 && reduction < 0.8,
+            "run-time reduction {reduction} should be in the band around the paper's 63 %"
+        );
+    }
+
+    #[test]
+    fn forwarding_everything_removes_the_gating_benefit() {
+        let model = CycleModel::default();
+        let all = model.duty_cycles(
+            &toy_projection(8, 50),
+            &toy_classifier(8),
+            &Workload::paper(1.0),
+        );
+        let none = model.duty_cycles(
+            &toy_projection(8, 50),
+            &toy_classifier(8),
+            &Workload::paper(0.0),
+        );
+        assert!(all.subsystem3 > all.subsystem2, "gating overhead when everything is forwarded");
+        assert!(none.subsystem3 < 0.5 * all.subsystem3);
+        assert!(none.runtime_reduction() > all.runtime_reduction());
+    }
+
+    #[test]
+    fn more_coefficients_cost_more_classifier_cycles() {
+        let model = CycleModel::default();
+        let c8 = model.classifier_cycles_per_second(&toy_projection(8, 50), &toy_classifier(8), 1.2);
+        let c32 =
+            model.classifier_cycles_per_second(&toy_projection(32, 50), &toy_classifier(32), 1.2);
+        assert!(c32 > 3.0 * c8);
+    }
+
+    #[test]
+    fn duty_report_reduction_handles_degenerate_input() {
+        let r = DutyCycleReport {
+            rp_classifier: 0.0,
+            subsystem1: 0.0,
+            subsystem2: 0.0,
+            subsystem3: 0.0,
+        };
+        assert_eq!(r.runtime_reduction(), 0.0);
+    }
+}

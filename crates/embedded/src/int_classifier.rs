@@ -1,0 +1,383 @@
+//! Integer-only neuro-fuzzy classifier (the WBSN execution path).
+//!
+//! This is the classifier that actually runs on the node after the
+//! optimisation phase: membership grades come from the integer membership
+//! functions of [`crate::linear_mf`], the fuzzification layer multiplies them
+//! with the overflow-safe shift-normalisation scheme of Section III-B, and the
+//! defuzzification layer applies the `(M1 − M2) ≥ α·S` rule without any
+//! division, with an α_test that can be retuned after deployment
+//! independently of the α_train chosen during training.
+
+use hbc_ecg::beat::{BeatClass, NUM_CLASSES};
+
+use crate::linear_mf::IntMembership;
+use crate::{EmbeddedError, Result};
+
+/// Which integer membership family the classifier uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MembershipKind {
+    /// The paper's 4-segment linearisation of the Gaussian.
+    Linearized,
+    /// The simpler triangular approximation (Figure 4 / Figure 5 comparison).
+    Triangular,
+}
+
+impl std::fmt::Display for MembershipKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MembershipKind::Linearized => write!(f, "linearized"),
+            MembershipKind::Triangular => write!(f, "triangular"),
+        }
+    }
+}
+
+/// Defuzzification coefficient expressed as a Q16 fraction so the decision
+/// rule needs no division: `alpha_q16 = round(α · 2¹⁶)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AlphaQ16(pub u32);
+
+impl AlphaQ16 {
+    /// Converts a floating-point α in `[0, 1]` to the Q16 representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddedError::Range`] when α is outside `[0, 1]`.
+    pub fn from_f64(alpha: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&alpha) {
+            return Err(EmbeddedError::Range(format!(
+                "alpha must be in [0, 1], got {alpha}"
+            )));
+        }
+        Ok(AlphaQ16((alpha * 65536.0).round() as u32))
+    }
+
+    /// Converts back to floating point (for reporting only).
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / 65536.0
+    }
+}
+
+/// Decision produced by the integer classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntDecision {
+    /// Assigned class (possibly Unknown).
+    pub class: BeatClass,
+    /// Raw fuzzy values after shift-normalised fuzzification (16-bit range).
+    pub fuzzy: [u32; NUM_CLASSES],
+}
+
+impl IntDecision {
+    /// Whether the decision routes the beat to the detailed-analysis path.
+    pub fn is_abnormal(&self) -> bool {
+        self.class.is_abnormal()
+    }
+}
+
+/// The integer-only neuro-fuzzy classifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegerNfc {
+    mfs: Vec<[IntMembership; NUM_CLASSES]>,
+}
+
+impl IntegerNfc {
+    /// Builds a classifier from integer membership functions
+    /// (`mfs[coefficient][class]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddedError::Dimension`] when `mfs` is empty.
+    pub fn new(mfs: Vec<[IntMembership; NUM_CLASSES]>) -> Result<Self> {
+        if mfs.is_empty() {
+            return Err(EmbeddedError::Dimension(
+                "the classifier needs at least one coefficient".into(),
+            ));
+        }
+        Ok(IntegerNfc { mfs })
+    }
+
+    /// Number of projected coefficients the classifier expects.
+    pub fn num_coefficients(&self) -> usize {
+        self.mfs.len()
+    }
+
+    /// Membership functions of one coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coefficient >= num_coefficients()`.
+    pub fn membership(&self, coefficient: usize) -> &[IntMembership; NUM_CLASSES] {
+        &self.mfs[coefficient]
+    }
+
+    /// Which membership family the classifier uses (taken from its first
+    /// membership function; construction keeps the family homogeneous).
+    pub fn kind(&self) -> MembershipKind {
+        self.mfs[0][0].kind()
+    }
+
+    /// Fuzzification with the overflow-safe scheme of the paper.
+    ///
+    /// The membership grades of the first coefficient initialise three 32-bit
+    /// accumulators (one per class). For every further coefficient the
+    /// accumulators are multiplied by the 16-bit grades, left-shifted by the
+    /// largest amount that keeps all three within 32 bits, and the rightmost
+    /// 16 bits are discarded — thereby retaining the maximum precision the
+    /// 32-bit representation allows while keeping only the *ratios* between
+    /// classes, which is all the defuzzification rule needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddedError::Dimension`] when the input length does not
+    /// match the classifier.
+    pub fn fuzzify(&self, coefficients: &[i32]) -> Result<[u32; NUM_CLASSES]> {
+        if coefficients.len() != self.mfs.len() {
+            return Err(EmbeddedError::Dimension(format!(
+                "expected {} coefficients, got {}",
+                self.mfs.len(),
+                coefficients.len()
+            )));
+        }
+        // First coefficient initialises the accumulators.
+        let mut f = [0u32; NUM_CLASSES];
+        for (l, acc) in f.iter_mut().enumerate() {
+            *acc = self.mfs[0][l].grade(coefficients[0]) as u32;
+        }
+        // Subsequent coefficients: multiply, renormalise, truncate.
+        for (k, &u) in coefficients.iter().enumerate().skip(1) {
+            for (l, acc) in f.iter_mut().enumerate() {
+                // acc <= 0xFFFF after the previous truncation, grade <= 0xFFFF,
+                // so the product fits in u32.
+                *acc *= self.mfs[k][l].grade(u) as u32;
+            }
+            let max = f.iter().copied().max().unwrap_or(0);
+            if max == 0 {
+                // Every class collapsed to zero; nothing left to normalise.
+                return Ok(f);
+            }
+            let shift = max.leading_zeros();
+            for acc in &mut f {
+                *acc = (*acc << shift) >> 16;
+            }
+        }
+        Ok(f)
+    }
+
+    /// Division-free defuzzification: the beat is assigned to the class with
+    /// the largest fuzzy value when `(M1 − M2)·2¹⁶ ≥ alpha_q16 · S` (all in
+    /// 64-bit integer arithmetic), and to Unknown otherwise.
+    pub fn defuzzify(&self, fuzzy: &[u32; NUM_CLASSES], alpha: AlphaQ16) -> BeatClass {
+        let mut best = 0usize;
+        for l in 1..NUM_CLASSES {
+            if fuzzy[l] > fuzzy[best] {
+                best = l;
+            }
+        }
+        let mut second = if best == 0 { 1 } else { 0 };
+        for l in 0..NUM_CLASSES {
+            if l != best && fuzzy[l] > fuzzy[second] {
+                second = l;
+            }
+        }
+        let sum: u64 = fuzzy.iter().map(|&v| v as u64).sum();
+        if sum == 0 {
+            // No class retained any evidence: the beat is undecidable.
+            return BeatClass::Unknown;
+        }
+        let margin = (fuzzy[best] - fuzzy[second]) as u64;
+        if margin << 16 >= alpha.0 as u64 * sum {
+            BeatClass::from_index(best).expect("index within NUM_CLASSES")
+        } else {
+            BeatClass::Unknown
+        }
+    }
+
+    /// Full classification of one integer coefficient vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddedError::Dimension`] when the input length does not
+    /// match the classifier.
+    pub fn classify(&self, coefficients: &[i32], alpha: AlphaQ16) -> Result<IntDecision> {
+        let fuzzy = self.fuzzify(coefficients)?;
+        Ok(IntDecision {
+            class: self.defuzzify(&fuzzy, alpha),
+            fuzzy,
+        })
+    }
+
+    /// Number of 16×16→32 multiplications one classification performs (used
+    /// by the cycle model).
+    pub fn multiplications_per_beat(&self) -> usize {
+        // One grade evaluation per (coefficient, class) costs one
+        // multiplication in the linear-segment interpolation, plus the
+        // fuzzification product itself.
+        self.mfs.len() * NUM_CLASSES * 2
+    }
+
+    /// Size in bytes of the membership parameter table stored in RAM/flash
+    /// (centre and half-width per membership function, 4 + 2 bytes each).
+    pub fn parameter_table_bytes(&self) -> usize {
+        self.mfs.len() * NUM_CLASSES * 6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_mf::MF_FULL_SCALE;
+
+    fn toy_classifier(kind: MembershipKind, k: usize) -> IntegerNfc {
+        // Class N centred at 0, V at +1000, L at −1000 on every coefficient.
+        let rows = (0..k)
+            .map(|_| {
+                [
+                    IntMembership::new(kind, 0, 200),
+                    IntMembership::new(kind, 1000, 200),
+                    IntMembership::new(kind, -1000, 200),
+                ]
+            })
+            .collect();
+        IntegerNfc::new(rows).expect("non-empty")
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        assert!(IntegerNfc::new(vec![]).is_err());
+        let c = toy_classifier(MembershipKind::Linearized, 8);
+        assert_eq!(c.num_coefficients(), 8);
+        assert_eq!(c.kind(), MembershipKind::Linearized);
+        assert_eq!(c.membership(0)[1].center(), 1000);
+        assert!(c.multiplications_per_beat() > 0);
+        assert_eq!(c.parameter_table_bytes(), 8 * 3 * 6);
+    }
+
+    #[test]
+    fn alpha_q16_conversion() {
+        assert_eq!(AlphaQ16::from_f64(0.0).expect("valid").0, 0);
+        assert_eq!(AlphaQ16::from_f64(1.0).expect("valid").0, 65536);
+        let a = AlphaQ16::from_f64(0.25).expect("valid");
+        assert_eq!(a.0, 16384);
+        assert!((a.to_f64() - 0.25).abs() < 1e-9);
+        assert!(AlphaQ16::from_f64(1.5).is_err());
+        assert!(AlphaQ16::from_f64(-0.1).is_err());
+    }
+
+    #[test]
+    fn clear_inputs_are_classified_correctly() {
+        for kind in [MembershipKind::Linearized, MembershipKind::Triangular] {
+            let c = toy_classifier(kind, 8);
+            let alpha = AlphaQ16::from_f64(0.1).expect("valid");
+            let n = c.classify(&[0; 8], alpha).expect("classify");
+            assert_eq!(n.class, BeatClass::Normal, "kind {kind}");
+            let v = c.classify(&[1000; 8], alpha).expect("classify");
+            assert_eq!(v.class, BeatClass::PrematureVentricular);
+            assert!(v.is_abnormal());
+            let l = c.classify(&[-1000; 8], alpha).expect("classify");
+            assert_eq!(l.class, BeatClass::LeftBundleBranchBlock);
+        }
+    }
+
+    #[test]
+    fn ambiguous_inputs_become_unknown() {
+        let c = toy_classifier(MembershipKind::Linearized, 8);
+        let alpha = AlphaQ16::from_f64(0.2).expect("valid");
+        // Exactly between N and V.
+        let d = c.classify(&[500; 8], alpha).expect("classify");
+        assert_eq!(d.class, BeatClass::Unknown);
+    }
+
+    #[test]
+    fn far_inputs_with_triangular_mfs_lose_all_evidence() {
+        let c = toy_classifier(MembershipKind::Triangular, 8);
+        // Far from every centre: triangular grades are all zero, which the
+        // defuzzifier must treat as Unknown rather than panic.
+        let d = c
+            .classify(&[100_000; 8], AlphaQ16::from_f64(0.0).expect("valid"))
+            .expect("classify");
+        assert_eq!(d.class, BeatClass::Unknown);
+        assert_eq!(d.fuzzy, [0, 0, 0]);
+    }
+
+    #[test]
+    fn linearized_mfs_keep_evidence_where_triangular_collapses() {
+        // Between 2S and 4S from the best centre the linearised MF still
+        // returns 1 while the triangular one returns 0 — the paper's argument
+        // for the 4-segment shape.
+        let lin = toy_classifier(MembershipKind::Linearized, 4);
+        let tri = toy_classifier(MembershipKind::Triangular, 4);
+        let x = [1000 + 3 * 200; 4]; // 3S away from the V centre
+        let alpha = AlphaQ16::from_f64(0.0).expect("valid");
+        let dl = lin.classify(&x, alpha).expect("classify");
+        let dt = tri.classify(&x, alpha).expect("classify");
+        assert_eq!(dl.class, BeatClass::PrematureVentricular);
+        assert_eq!(dt.class, BeatClass::Unknown);
+    }
+
+    #[test]
+    fn fuzzification_never_overflows_with_many_coefficients() {
+        let c = toy_classifier(MembershipKind::Linearized, 32);
+        let f = c.fuzzify(&[3; 32]).expect("dims ok");
+        assert!(f.iter().all(|&v| v <= u32::MAX));
+        // The winning class keeps a 16-bit-scale value after normalisation.
+        assert!(f[0] > 0);
+        assert!(f[0] <= MF_FULL_SCALE);
+    }
+
+    #[test]
+    fn higher_alpha_only_moves_decisions_to_unknown() {
+        let c = toy_classifier(MembershipKind::Linearized, 8);
+        for x in [-1200, -400, 0, 300, 700, 1000] {
+            let lo = c
+                .classify(&[x; 8], AlphaQ16::from_f64(0.05).expect("valid"))
+                .expect("classify");
+            let hi = c
+                .classify(&[x; 8], AlphaQ16::from_f64(0.9).expect("valid"))
+                .expect("classify");
+            if hi.class != BeatClass::Unknown {
+                assert_eq!(hi.class, lo.class);
+            }
+            if lo.class == BeatClass::Unknown {
+                assert_eq!(hi.class, BeatClass::Unknown);
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let c = toy_classifier(MembershipKind::Linearized, 8);
+        assert!(matches!(
+            c.classify(&[0; 7], AlphaQ16::from_f64(0.1).expect("valid")),
+            Err(EmbeddedError::Dimension(_))
+        ));
+    }
+
+    #[test]
+    fn integer_decisions_track_the_float_classifier() {
+        // Build a float classifier, quantise it, and check the two agree on
+        // confidently classified inputs.
+        use crate::fixed::Quantizer;
+        use hbc_nfc::{GaussianMf, NeuroFuzzyClassifier};
+        let mfs: Vec<[GaussianMf; NUM_CLASSES]> = (0..8)
+            .map(|_| {
+                [
+                    GaussianMf::new(0.0, 0.5),
+                    GaussianMf::new(3.0, 0.5),
+                    GaussianMf::new(-3.0, 0.5),
+                ]
+            })
+            .collect();
+        let float_nfc = NeuroFuzzyClassifier::new(mfs).expect("valid");
+        let int_nfc = Quantizer::new()
+            .quantize_classifier(&float_nfc)
+            .expect("quantise");
+        let gain = crate::fixed::AdcModel::default_frontend().codes_per_mv();
+        let alpha = 0.1;
+        let alpha_q = AlphaQ16::from_f64(alpha).expect("valid");
+        for value in [-3.0f64, 0.0, 3.0] {
+            let float_dec = float_nfc.classify(&[value; 8], alpha).expect("float");
+            let int_input = [(value * gain).round() as i32; 8];
+            let int_dec = int_nfc.classify(&int_input, alpha_q).expect("int");
+            assert_eq!(float_dec.class, int_dec.class, "disagreement at {value}");
+        }
+    }
+}

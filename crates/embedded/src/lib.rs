@@ -1,0 +1,81 @@
+//! # hbc-embedded — resource-constrained classifier and WBSN platform model
+//!
+//! Section III-B of the paper: the projection and the classifier trained in
+//! floating point on a PC cannot run "as they are" on a WBSN. This crate
+//! implements the optimisation phase that converts them to the embedded form
+//! and the platform model used to evaluate them:
+//!
+//! * [`fixed`] — quantisation of beat windows (ADC model) and of the trained
+//!   membership parameters into integer coefficient units;
+//! * [`linear_mf`] — the 4-segment linearised membership function on
+//!   `[0, 2¹⁶−1]` and the simpler triangular variant of Figure 4;
+//! * [`int_classifier`] — the integer-only NFC: shift-normalised product
+//!   fuzzification in 32 bits and a division-free defuzzification rule with
+//!   an independently tunable α_test;
+//! * [`platform`] — the IcyHeart SoC model (6 MHz clock, 96 KB RAM) and its
+//!   cycle, memory and energy accounting;
+//! * [`cycles`] / [`memory`] — per-stage duty-cycle and code/data-size models
+//!   reproducing the structure of Table III;
+//! * [`energy`] — the computation + wireless energy model of Section IV-E;
+//! * [`firmware`] — the complete embedded application of Figure 6: filtering,
+//!   peak detection and RP classification on one lead, triggering three-lead
+//!   delineation only for beats flagged pathological.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codegen;
+pub mod cycles;
+pub mod energy;
+pub mod firmware;
+pub mod fixed;
+pub mod int_classifier;
+pub mod linear_mf;
+pub mod memory;
+pub mod platform;
+
+pub use energy::{EnergyModel, EnergyReport, TransmissionPolicy};
+pub use firmware::{FirmwareReport, WbsnFirmware};
+pub use fixed::{AdcModel, Quantizer};
+pub use int_classifier::{IntegerNfc, MembershipKind};
+pub use linear_mf::{IntMembership, LinearizedMf, TriangularMf, MF_FULL_SCALE};
+pub use platform::{IcyHeartPlatform, StageCycles};
+
+/// Errors produced by the embedded crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmbeddedError {
+    /// A dimension mismatch between the projection, the classifier and the
+    /// input window.
+    Dimension(String),
+    /// A configuration value is out of the representable range.
+    Range(String),
+    /// The firmware image does not fit the platform resources.
+    Resources(String),
+}
+
+impl std::fmt::Display for EmbeddedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbeddedError::Dimension(m) => write!(f, "dimension mismatch: {m}"),
+            EmbeddedError::Range(m) => write!(f, "value out of range: {m}"),
+            EmbeddedError::Resources(m) => write!(f, "platform resources exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbeddedError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, EmbeddedError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_category() {
+        assert!(EmbeddedError::Dimension("a".into()).to_string().contains("dimension"));
+        assert!(EmbeddedError::Range("b".into()).to_string().contains("range"));
+        assert!(EmbeddedError::Resources("c".into()).to_string().contains("resources"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Integer membership functions: the 4-segment linearisation and the
+//! triangular approximation of Figure 4.
+//!
+//! Gaussian membership functions need an exponential, which the WBSN cannot
+//! afford. The paper approximates them on the integer range `[0, 2¹⁶−1]`
+//! with four segments built around `S = 2.35σ` (the full width at half
+//! maximum of the Gaussian):
+//!
+//! ```text
+//! MF_lin(x) = 0              if |c − x| ≥ 4S
+//!           = 1              if 4S > |c − x| ≥ 2S
+//!           = lin.approx 1   if 2S > |c − x| ≥ S
+//!           = lin.approx 2   if S  > |c − x|
+//! ```
+//!
+//! The two linear segments interpolate the Gaussian at `|c − x| ∈ {0, S, 2S}`
+//! so the approximation hugs the true curve where it matters, while staying
+//! strictly positive out to `4S` — which keeps the product fuzzification from
+//! collapsing to zero (the property the paper calls out as desirable).
+//! The simpler triangular membership function, which Figure 5 shows scaling
+//! poorly at high recognition rates, is provided for the same comparison.
+
+/// Full-scale value of an integer membership grade (`2¹⁶ − 1`).
+pub const MF_FULL_SCALE: u32 = u16::MAX as u32;
+
+/// Gaussian value at `|c − x| = S = 2.35σ`, scaled to the integer range:
+/// `round(65535 · exp(−2.35²/2)) = 4143`.
+pub const MF_VALUE_AT_S: u32 = 4143;
+
+/// Gaussian value at `|c − x| = 2S = 4.7σ`, scaled to the integer range:
+/// `round(65535 · exp(−4.7²/2)) = 1`.
+pub const MF_VALUE_AT_2S: u32 = 1;
+
+/// The 4-segment linearised membership function of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinearizedMf {
+    /// Centre in integer coefficient units.
+    pub center: i32,
+    /// Half width `S = 2.35σ` in integer coefficient units (always ≥ 1).
+    pub s: i32,
+}
+
+impl LinearizedMf {
+    /// Creates a linearised membership function; `s` is clamped to at least 1.
+    pub fn new(center: i32, s: i32) -> Self {
+        LinearizedMf {
+            center,
+            s: s.max(1),
+        }
+    }
+
+    /// Evaluates the membership grade at `x`, in `[0, 65535]`.
+    ///
+    /// Only integer additions, comparisons, one multiplication and one
+    /// division by the constant `S` are used (the division can be turned into
+    /// a reciprocal multiplication at firmware-generation time; it is kept
+    /// explicit here for clarity and counted as a multiplication by the cycle
+    /// model).
+    pub fn grade(&self, x: i32) -> u16 {
+        let d = (x as i64 - self.center as i64).unsigned_abs();
+        let s = self.s as u64;
+        if d >= 4 * s {
+            0
+        } else if d >= 2 * s {
+            MF_VALUE_AT_2S as u16
+        } else if d >= s {
+            // Segment from (S, MF_VALUE_AT_S) to (2S, MF_VALUE_AT_2S).
+            let drop = (MF_VALUE_AT_S - MF_VALUE_AT_2S) as u64;
+            let value = MF_VALUE_AT_S as u64 - drop * (d - s) / s;
+            value as u16
+        } else {
+            // Segment from (0, FULL_SCALE) to (S, MF_VALUE_AT_S).
+            let drop = (MF_FULL_SCALE - MF_VALUE_AT_S) as u64;
+            let value = MF_FULL_SCALE as u64 - drop * d / s;
+            value as u16
+        }
+    }
+}
+
+/// The triangular membership function used as the simpler comparison point in
+/// Figures 4 and 5: full scale at the centre, linearly decaying to zero at
+/// `|c − x| = 2S = 4.7σ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TriangularMf {
+    /// Centre in integer coefficient units.
+    pub center: i32,
+    /// Half width `S = 2.35σ` in integer coefficient units (always ≥ 1); the
+    /// triangle reaches zero at `2S`.
+    pub s: i32,
+}
+
+impl TriangularMf {
+    /// Creates a triangular membership function; `s` is clamped to at least 1.
+    pub fn new(center: i32, s: i32) -> Self {
+        TriangularMf {
+            center,
+            s: s.max(1),
+        }
+    }
+
+    /// Evaluates the membership grade at `x`, in `[0, 65535]`.
+    pub fn grade(&self, x: i32) -> u16 {
+        let d = (x as i64 - self.center as i64).unsigned_abs();
+        let reach = 2 * self.s as u64;
+        if d >= reach {
+            0
+        } else {
+            (MF_FULL_SCALE as u64 * (reach - d) / reach) as u16
+        }
+    }
+}
+
+/// A membership function of either family, dispatched without boxing so the
+/// integer classifier stays allocation-free per beat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntMembership {
+    /// The paper's 4-segment linearisation.
+    Linearized(LinearizedMf),
+    /// The triangular comparison point.
+    Triangular(TriangularMf),
+}
+
+impl IntMembership {
+    /// Creates a membership of the requested family.
+    pub fn new(kind: crate::int_classifier::MembershipKind, center: i32, s: i32) -> Self {
+        match kind {
+            crate::int_classifier::MembershipKind::Linearized => {
+                IntMembership::Linearized(LinearizedMf::new(center, s))
+            }
+            crate::int_classifier::MembershipKind::Triangular => {
+                IntMembership::Triangular(TriangularMf::new(center, s))
+            }
+        }
+    }
+
+    /// Membership grade at `x`.
+    pub fn grade(&self, x: i32) -> u16 {
+        match self {
+            IntMembership::Linearized(mf) => mf.grade(x),
+            IntMembership::Triangular(mf) => mf.grade(x),
+        }
+    }
+
+    /// Centre of the membership function.
+    pub fn center(&self) -> i32 {
+        match self {
+            IntMembership::Linearized(mf) => mf.center,
+            IntMembership::Triangular(mf) => mf.center,
+        }
+    }
+
+    /// Half width `S` of the membership function.
+    pub fn half_width(&self) -> i32 {
+        match self {
+            IntMembership::Linearized(mf) => mf.s,
+            IntMembership::Triangular(mf) => mf.s,
+        }
+    }
+
+    /// Which family this membership belongs to.
+    pub fn kind(&self) -> crate::int_classifier::MembershipKind {
+        match self {
+            IntMembership::Linearized(_) => crate::int_classifier::MembershipKind::Linearized,
+            IntMembership::Triangular(_) => crate::int_classifier::MembershipKind::Triangular,
+        }
+    }
+}
+
+impl Default for IntMembership {
+    fn default() -> Self {
+        IntMembership::Linearized(LinearizedMf::new(0, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_the_gaussian_interpolation_points() {
+        let at_s = (MF_FULL_SCALE as f64 * (-0.5f64 * 2.35 * 2.35).exp()).round() as u32;
+        let at_2s = (MF_FULL_SCALE as f64 * (-0.5f64 * 4.7 * 4.7).exp()).round() as u32;
+        assert_eq!(MF_VALUE_AT_S, at_s);
+        assert_eq!(MF_VALUE_AT_2S, at_2s);
+    }
+
+    #[test]
+    fn linearized_segments_follow_the_paper_definition() {
+        let mf = LinearizedMf::new(1000, 100);
+        assert_eq!(mf.grade(1000), MF_FULL_SCALE as u16);
+        assert_eq!(mf.grade(1000 + 100), MF_VALUE_AT_S as u16);
+        assert_eq!(mf.grade(1000 - 100), MF_VALUE_AT_S as u16);
+        assert_eq!(mf.grade(1000 + 200), MF_VALUE_AT_2S as u16);
+        assert_eq!(mf.grade(1000 + 350), 1, "flat segment between 2S and 4S");
+        assert_eq!(mf.grade(1000 + 400), 0, "zero beyond 4S");
+        assert_eq!(mf.grade(1000 - 400), 0);
+        // Strictly positive over (−4S, 4S): the property the paper highlights.
+        for d in -399..400 {
+            assert!(mf.grade(1000 + d) >= 1);
+        }
+    }
+
+    #[test]
+    fn linearized_is_monotone_away_from_the_center() {
+        let mf = LinearizedMf::new(0, 57);
+        let mut prev = mf.grade(0);
+        for d in 1..(4 * 57 + 5) {
+            let g = mf.grade(d);
+            assert!(g <= prev, "grade must not increase with distance: {g} > {prev} at {d}");
+            assert_eq!(g, mf.grade(-d), "symmetry around the centre");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn linearized_tracks_the_gaussian_closely_inside_2s() {
+        // Maximum relative deviation from the true Gaussian inside |d| < 2S
+        // stays below 12 % of full scale (the linear interpolation error).
+        let sigma = 40.0f64;
+        let s = (2.35 * sigma).round() as i32;
+        let mf = LinearizedMf::new(0, s);
+        let mut worst = 0.0f64;
+        for d in -(2 * s)..(2 * s) {
+            let gauss = (MF_FULL_SCALE as f64) * (-0.5 * (d as f64 / sigma).powi(2)).exp();
+            let diff = (mf.grade(d) as f64 - gauss).abs() / MF_FULL_SCALE as f64;
+            worst = worst.max(diff);
+        }
+        assert!(worst < 0.12, "worst-case deviation {worst} too large");
+    }
+
+    #[test]
+    fn triangular_reaches_zero_at_twice_the_half_width() {
+        let mf = TriangularMf::new(500, 80);
+        assert_eq!(mf.grade(500), (MF_FULL_SCALE - MF_FULL_SCALE % 1) as u16);
+        assert_eq!(mf.grade(500 + 160), 0);
+        assert_eq!(mf.grade(500 - 160), 0);
+        assert!(mf.grade(500 + 80) > 30000 && mf.grade(500 + 80) < 35000);
+        // Triangular dies off much faster than the linearised MF in the tail.
+        let lin = LinearizedMf::new(500, 80);
+        assert!(lin.grade(500 + 250) > mf.grade(500 + 250));
+    }
+
+    #[test]
+    fn degenerate_width_is_clamped() {
+        let mf = LinearizedMf::new(0, 0);
+        assert_eq!(mf.s, 1);
+        let mf = TriangularMf::new(0, -5);
+        assert_eq!(mf.s, 1);
+        assert_eq!(mf.grade(0), (MF_FULL_SCALE) as u16);
+    }
+
+    #[test]
+    fn dispatch_enum_matches_the_concrete_types() {
+        use crate::int_classifier::MembershipKind;
+        let lin = IntMembership::new(MembershipKind::Linearized, 10, 20);
+        let tri = IntMembership::new(MembershipKind::Triangular, 10, 20);
+        assert_eq!(lin.grade(15), LinearizedMf::new(10, 20).grade(15));
+        assert_eq!(tri.grade(15), TriangularMf::new(10, 20).grade(15));
+        assert_eq!(lin.center(), 10);
+        assert_eq!(tri.half_width(), 20);
+        assert_eq!(lin.kind(), MembershipKind::Linearized);
+        assert_eq!(tri.kind(), MembershipKind::Triangular);
+    }
+
+    #[test]
+    fn extreme_inputs_do_not_overflow() {
+        let mf = LinearizedMf::new(i32::MAX - 10, 1000);
+        assert_eq!(mf.grade(i32::MIN), 0);
+        let mf = TriangularMf::new(i32::MIN + 10, 1000);
+        assert_eq!(mf.grade(i32::MAX), 0);
+    }
+}

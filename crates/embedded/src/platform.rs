@@ -1,0 +1,261 @@
+//! Model of the IcyHeart WBSN platform.
+//!
+//! The paper evaluates the embedded application on the IcyHeart
+//! System-on-Chip: a single die integrating a low-power microprocessor
+//! (icyflex family) clocked at 6 MHz with 96 KB of embedded RAM, a
+//! multi-channel ADC and a wireless transmitter.
+//!
+//! Since the physical SoC is not available, this module provides the
+//! *platform model* used throughout the repository (see the substitution
+//! table in `DESIGN.md`): a cycle-cost table for the integer operations the
+//! embedded kernels execute, the memory budget, and per-stage cycle
+//! accounting. Per-operation costs are representative of a small in-order
+//! integer core (single-cycle ALU, multi-cycle multiply, no divide unit), and
+//! the resulting *relative* stage costs are what Table III and Section IV-E
+//! depend on.
+
+/// Operation mix executed by a processing stage over some amount of input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OperationCounts {
+    /// Additions / subtractions.
+    pub adds: u64,
+    /// Integer multiplications.
+    pub muls: u64,
+    /// Comparisons (including min/max selections).
+    pub compares: u64,
+    /// Memory loads.
+    pub loads: u64,
+    /// Memory stores.
+    pub stores: u64,
+    /// Branches / loop overhead.
+    pub branches: u64,
+}
+
+impl OperationCounts {
+    /// Sums two operation mixes.
+    pub fn merged(&self, other: &OperationCounts) -> OperationCounts {
+        OperationCounts {
+            adds: self.adds + other.adds,
+            muls: self.muls + other.muls,
+            compares: self.compares + other.compares,
+            loads: self.loads + other.loads,
+            stores: self.stores + other.stores,
+            branches: self.branches + other.branches,
+        }
+    }
+
+    /// Scales every count by an integer factor.
+    pub fn scaled(&self, factor: u64) -> OperationCounts {
+        OperationCounts {
+            adds: self.adds * factor,
+            muls: self.muls * factor,
+            compares: self.compares * factor,
+            loads: self.loads * factor,
+            stores: self.stores * factor,
+            branches: self.branches * factor,
+        }
+    }
+
+    /// Total number of operations.
+    pub fn total(&self) -> u64 {
+        self.adds + self.muls + self.compares + self.loads + self.stores + self.branches
+    }
+}
+
+/// Cycle cost of each operation class on the modelled core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleCosts {
+    /// Cycles per addition/subtraction.
+    pub add: u64,
+    /// Cycles per integer multiplication.
+    pub mul: u64,
+    /// Cycles per comparison.
+    pub compare: u64,
+    /// Cycles per load.
+    pub load: u64,
+    /// Cycles per store.
+    pub store: u64,
+    /// Cycles per branch.
+    pub branch: u64,
+}
+
+impl Default for CycleCosts {
+    fn default() -> Self {
+        // Small in-order integer core: single-cycle ALU and memory (embedded
+        // SRAM), 3-cycle multiplier, 2-cycle taken branch.
+        CycleCosts {
+            add: 1,
+            mul: 3,
+            compare: 1,
+            load: 1,
+            store: 1,
+            branch: 2,
+        }
+    }
+}
+
+impl CycleCosts {
+    /// Cycles needed to execute an operation mix.
+    pub fn cycles(&self, ops: &OperationCounts) -> u64 {
+        ops.adds * self.add
+            + ops.muls * self.mul
+            + ops.compares * self.compare
+            + ops.loads * self.load
+            + ops.stores * self.store
+            + ops.branches * self.branch
+    }
+}
+
+/// Cycle count attributed to one processing stage over a known time span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageCycles {
+    /// Cycles spent in the stage.
+    pub cycles: u64,
+    /// Wall-clock span the cycles refer to, in seconds.
+    pub span_s: f64,
+}
+
+impl StageCycles {
+    /// Creates a stage accounting entry.
+    pub fn new(cycles: u64, span_s: f64) -> Self {
+        StageCycles { cycles, span_s }
+    }
+
+    /// Duty cycle on a platform with the given clock: the fraction of CPU
+    /// time the stage consumes.
+    pub fn duty_cycle(&self, clock_hz: f64) -> f64 {
+        if self.span_s <= 0.0 || clock_hz <= 0.0 {
+            return 0.0;
+        }
+        (self.cycles as f64 / self.span_s) / clock_hz
+    }
+}
+
+/// The IcyHeart platform model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IcyHeartPlatform {
+    /// CPU clock frequency in Hz (6 MHz in the paper).
+    pub clock_hz: f64,
+    /// Embedded RAM size in bytes (96 KB in the paper).
+    pub ram_bytes: usize,
+    /// Cycle cost table of the core.
+    pub costs: CycleCosts,
+    /// Active-mode CPU energy per cycle, in nanojoules. Representative of a
+    /// 90 nm low-power core (~0.1 nJ/cycle); only *relative* energy figures
+    /// are reported, so the absolute value is not critical.
+    pub cpu_energy_nj_per_cycle: f64,
+    /// Radio energy per transmitted bit, in nanojoules (~200 nJ/bit for a
+    /// low-power 2.4 GHz transmitter including protocol overhead).
+    pub radio_energy_nj_per_bit: f64,
+}
+
+impl IcyHeartPlatform {
+    /// The paper's platform: 6 MHz clock, 96 KB RAM.
+    pub fn paper() -> Self {
+        IcyHeartPlatform {
+            clock_hz: 6.0e6,
+            ram_bytes: 96 * 1024,
+            costs: CycleCosts::default(),
+            cpu_energy_nj_per_cycle: 0.1,
+            radio_energy_nj_per_bit: 200.0,
+        }
+    }
+
+    /// Cycles needed for an operation mix on this platform.
+    pub fn cycles(&self, ops: &OperationCounts) -> u64 {
+        self.costs.cycles(ops)
+    }
+
+    /// Duty cycle of a stage running `cycles` cycles every `span_s` seconds.
+    pub fn duty_cycle(&self, cycles: u64, span_s: f64) -> f64 {
+        StageCycles::new(cycles, span_s).duty_cycle(self.clock_hz)
+    }
+
+    /// Energy (in millijoules) of running `cycles` CPU cycles.
+    pub fn cpu_energy_mj(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.cpu_energy_nj_per_cycle * 1e-6
+    }
+
+    /// Energy (in millijoules) of transmitting `bits` over the radio.
+    pub fn radio_energy_mj(&self, bits: u64) -> f64 {
+        bits as f64 * self.radio_energy_nj_per_bit * 1e-6
+    }
+
+    /// Whether an image of `bytes` bytes fits the platform RAM.
+    pub fn fits_in_ram(&self, bytes: usize) -> bool {
+        bytes <= self.ram_bytes
+    }
+}
+
+impl Default for IcyHeartPlatform {
+    fn default() -> Self {
+        IcyHeartPlatform::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platform_constants() {
+        let p = IcyHeartPlatform::paper();
+        assert_eq!(p.clock_hz, 6.0e6);
+        assert_eq!(p.ram_bytes, 98_304);
+        assert!(p.fits_in_ram(96 * 1024));
+        assert!(!p.fits_in_ram(96 * 1024 + 1));
+    }
+
+    #[test]
+    fn operation_counts_merge_and_scale() {
+        let a = OperationCounts {
+            adds: 10,
+            muls: 2,
+            compares: 5,
+            loads: 8,
+            stores: 3,
+            branches: 1,
+        };
+        let b = a.scaled(3);
+        assert_eq!(b.adds, 30);
+        assert_eq!(b.total(), a.total() * 3);
+        let c = a.merged(&b);
+        assert_eq!(c.adds, 40);
+        assert_eq!(c.total(), a.total() * 4);
+    }
+
+    #[test]
+    fn cycle_costs_weigh_multiplications_more() {
+        let costs = CycleCosts::default();
+        let adds_only = OperationCounts {
+            adds: 100,
+            ..Default::default()
+        };
+        let muls_only = OperationCounts {
+            muls: 100,
+            ..Default::default()
+        };
+        assert!(costs.cycles(&muls_only) > costs.cycles(&adds_only));
+        assert_eq!(costs.cycles(&adds_only), 100);
+        assert_eq!(costs.cycles(&muls_only), 300);
+    }
+
+    #[test]
+    fn duty_cycle_computation() {
+        let p = IcyHeartPlatform::paper();
+        // 600 000 cycles every second on a 6 MHz clock is a 10 % duty cycle.
+        assert!((p.duty_cycle(600_000, 1.0) - 0.1).abs() < 1e-12);
+        // Degenerate spans yield zero rather than infinity.
+        assert_eq!(p.duty_cycle(1000, 0.0), 0.0);
+        let s = StageCycles::new(1000, 1.0);
+        assert_eq!(s.duty_cycle(0.0), 0.0);
+    }
+
+    #[test]
+    fn energy_helpers_scale_linearly() {
+        let p = IcyHeartPlatform::paper();
+        assert!((p.cpu_energy_mj(10_000_000) - 1.0).abs() < 1e-9);
+        assert!((p.radio_energy_mj(5_000) - 1.0).abs() < 1e-9);
+        assert_eq!(p.cpu_energy_mj(0), 0.0);
+    }
+}

@@ -1,0 +1,396 @@
+//! The three-layer neuro-fuzzy classifier (floating-point, PC-side version).
+//!
+//! This is the reference implementation used during training and for the
+//! `NDR-PC` rows of the paper's tables. The embedded, integer-only version
+//! (linearised membership functions, shift-normalised products, division-free
+//! defuzzification) lives in `hbc-embedded` and is derived from a trained
+//! instance of this type.
+
+use hbc_ecg::beat::{BeatClass, NUM_CLASSES};
+
+use crate::membership::GaussianMf;
+use crate::{NfcError, Result};
+
+/// Output of the defuzzification layer for one beat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Class assigned by the defuzzification rule (possibly
+    /// [`BeatClass::Unknown`]).
+    pub class: BeatClass,
+    /// Normalised fuzzy values per class (they sum to 1), in class-index
+    /// order (N, V, L).
+    pub fuzzy: [f64; NUM_CLASSES],
+    /// The defuzzification margin `(M1 − M2) / S` actually observed; the beat
+    /// is assigned to the arg-max class when this is at least `α`.
+    pub margin: f64,
+}
+
+impl Decision {
+    /// Whether the decision routes the beat to the detailed-analysis path
+    /// (V, L or Unknown).
+    pub fn is_abnormal(&self) -> bool {
+        self.class.is_abnormal()
+    }
+}
+
+/// The neuro-fuzzy classifier: one Gaussian membership function per
+/// (coefficient, class) pair plus the product/arg-max decision layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeuroFuzzyClassifier {
+    /// Membership functions indexed as `mfs[coefficient][class]`.
+    mfs: Vec<[GaussianMf; NUM_CLASSES]>,
+}
+
+impl NeuroFuzzyClassifier {
+    /// Builds a classifier from explicit membership functions
+    /// (`mfs[coefficient][class]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfcError::Dimension`] when `mfs` is empty.
+    pub fn new(mfs: Vec<[GaussianMf; NUM_CLASSES]>) -> Result<Self> {
+        if mfs.is_empty() {
+            return Err(NfcError::Dimension(
+                "the classifier needs at least one coefficient".into(),
+            ));
+        }
+        Ok(NeuroFuzzyClassifier { mfs })
+    }
+
+    /// Builds a classifier whose membership functions are all the standard
+    /// Gaussian (centre 0, spread 1); a starting point before training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfcError::Dimension`] when `num_coefficients == 0`.
+    pub fn uniform(num_coefficients: usize) -> Result<Self> {
+        Self::new(vec![[GaussianMf::default(); NUM_CLASSES]; num_coefficients])
+    }
+
+    /// Number of projected coefficients the classifier expects.
+    pub fn num_coefficients(&self) -> usize {
+        self.mfs.len()
+    }
+
+    /// Membership functions of one coefficient, indexed by class.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coefficient >= num_coefficients()`.
+    pub fn membership(&self, coefficient: usize) -> &[GaussianMf; NUM_CLASSES] {
+        &self.mfs[coefficient]
+    }
+
+    /// All membership functions (`[coefficient][class]`).
+    pub fn memberships(&self) -> &[[GaussianMf; NUM_CLASSES]] {
+        &self.mfs
+    }
+
+    /// Replaces the membership function of one (coefficient, class) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coefficient >= num_coefficients()` or
+    /// `class >= NUM_CLASSES`.
+    pub fn set_membership(&mut self, coefficient: usize, class: usize, mf: GaussianMf) {
+        self.mfs[coefficient][class] = mf;
+    }
+
+    /// Log-domain fuzzy values `ln f_l = Σ_k ln µ_{k,l}(u_k)` for one
+    /// coefficient vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfcError::Dimension`] when the input length does not match
+    /// [`Self::num_coefficients`].
+    pub fn log_fuzzy_values(&self, coefficients: &[f64]) -> Result<[f64; NUM_CLASSES]> {
+        if coefficients.len() != self.mfs.len() {
+            return Err(NfcError::Dimension(format!(
+                "expected {} coefficients, got {}",
+                self.mfs.len(),
+                coefficients.len()
+            )));
+        }
+        let mut log_f = [0.0; NUM_CLASSES];
+        for (mfs, &u) in self.mfs.iter().zip(coefficients) {
+            for (l, mf) in mfs.iter().enumerate() {
+                log_f[l] += mf.log_grade(u);
+            }
+        }
+        Ok(log_f)
+    }
+
+    /// Normalised fuzzy values (they sum to 1). The defuzzification rule of
+    /// the paper only depends on ratios of fuzzy values, so normalising keeps
+    /// the rule intact while avoiding the underflow a literal product of many
+    /// membership grades would suffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfcError::Dimension`] when the input length does not match
+    /// the classifier.
+    pub fn fuzzy_values(&self, coefficients: &[f64]) -> Result<[f64; NUM_CLASSES]> {
+        let log_f = self.log_fuzzy_values(coefficients)?;
+        Ok(normalize_log(&log_f))
+    }
+
+    /// Runs the full classifier on one coefficient vector with
+    /// defuzzification threshold `alpha`.
+    ///
+    /// The beat is assigned to the class with the largest fuzzy value when
+    /// `(M1 − M2) ≥ alpha · S` (with `S` the sum of the fuzzy values), and to
+    /// [`BeatClass::Unknown`] otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfcError::Dimension`] when the input length does not match
+    /// the classifier and [`NfcError::Config`] when `alpha` is outside
+    /// `[0, 1]`.
+    pub fn classify(&self, coefficients: &[f64], alpha: f64) -> Result<Decision> {
+        if !(0.0..=1.0).contains(&alpha) {
+            return Err(NfcError::Config(format!(
+                "defuzzification coefficient alpha must be in [0, 1], got {alpha}"
+            )));
+        }
+        let fuzzy = self.fuzzy_values(coefficients)?;
+        let (best, second) = top_two(&fuzzy);
+        let sum: f64 = fuzzy.iter().sum(); // == 1 after normalisation
+        let margin = (fuzzy[best] - fuzzy[second]) / sum;
+        let class = if margin >= alpha {
+            BeatClass::from_index(best).expect("index within NUM_CLASSES")
+        } else {
+            BeatClass::Unknown
+        };
+        Ok(Decision {
+            class,
+            fuzzy,
+            margin,
+        })
+    }
+
+    /// Flattens the trainable parameters into a vector
+    /// `[c_{0,N}, σ_{0,N}, c_{0,V}, σ_{0,V}, …]`, the layout used by the SCG
+    /// optimiser.
+    pub fn to_parameters(&self) -> Vec<f64> {
+        let mut params = Vec::with_capacity(self.mfs.len() * NUM_CLASSES * 2);
+        for mfs in &self.mfs {
+            for mf in mfs {
+                params.push(mf.center);
+                params.push(mf.sigma.ln());
+            }
+        }
+        params
+    }
+
+    /// Rebuilds a classifier from a parameter vector produced by
+    /// [`Self::to_parameters`] (spreads are stored as `ln σ` so the optimiser
+    /// can move freely while σ stays positive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfcError::Dimension`] when the vector length is not a
+    /// multiple of `2 · NUM_CLASSES` or is empty.
+    pub fn from_parameters(params: &[f64]) -> Result<Self> {
+        let stride = 2 * NUM_CLASSES;
+        if params.is_empty() || params.len() % stride != 0 {
+            return Err(NfcError::Dimension(format!(
+                "parameter vector length {} is not a positive multiple of {stride}",
+                params.len()
+            )));
+        }
+        let mfs = params
+            .chunks_exact(stride)
+            .map(|chunk| {
+                let mut row = [GaussianMf::default(); NUM_CLASSES];
+                for (l, pair) in chunk.chunks_exact(2).enumerate() {
+                    row[l] = GaussianMf::new(pair[0], pair[1].exp());
+                }
+                row
+            })
+            .collect();
+        Ok(NeuroFuzzyClassifier { mfs })
+    }
+}
+
+/// Converts log-domain values into normalised linear values summing to 1.
+pub(crate) fn normalize_log(log_f: &[f64; NUM_CLASSES]) -> [f64; NUM_CLASSES] {
+    let max = log_f.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut out = [0.0; NUM_CLASSES];
+    let mut sum = 0.0;
+    for (o, &lf) in out.iter_mut().zip(log_f) {
+        *o = (lf - max).exp();
+        sum += *o;
+    }
+    for o in &mut out {
+        *o /= sum;
+    }
+    out
+}
+
+/// Indices of the largest and second-largest values.
+pub(crate) fn top_two(values: &[f64; NUM_CLASSES]) -> (usize, usize) {
+    let mut best = 0usize;
+    for i in 1..NUM_CLASSES {
+        if values[i] > values[best] {
+            best = i;
+        }
+    }
+    let mut second = usize::MAX;
+    for i in 0..NUM_CLASSES {
+        if i == best {
+            continue;
+        }
+        if second == usize::MAX || values[i] > values[second] {
+            second = i;
+        }
+    }
+    (best, second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built classifier where class N peaks at 0, V at +10, L at −10
+    /// on every coefficient.
+    fn toy_classifier(k: usize) -> NeuroFuzzyClassifier {
+        let mfs = (0..k)
+            .map(|_| {
+                [
+                    GaussianMf::new(0.0, 2.0),
+                    GaussianMf::new(10.0, 2.0),
+                    GaussianMf::new(-10.0, 2.0),
+                ]
+            })
+            .collect();
+        NeuroFuzzyClassifier::new(mfs).expect("non-empty")
+    }
+
+    #[test]
+    fn construction_validates_dimensions() {
+        assert!(NeuroFuzzyClassifier::new(vec![]).is_err());
+        assert!(NeuroFuzzyClassifier::uniform(0).is_err());
+        let c = NeuroFuzzyClassifier::uniform(8).expect("valid");
+        assert_eq!(c.num_coefficients(), 8);
+    }
+
+    #[test]
+    fn clear_inputs_are_classified_confidently() {
+        let c = toy_classifier(8);
+        let n = c.classify(&[0.0; 8], 0.1).expect("classify");
+        assert_eq!(n.class, BeatClass::Normal);
+        assert!(n.margin > 0.9);
+        let v = c.classify(&[10.0; 8], 0.1).expect("classify");
+        assert_eq!(v.class, BeatClass::PrematureVentricular);
+        assert!(v.is_abnormal());
+        let l = c.classify(&[-10.0; 8], 0.1).expect("classify");
+        assert_eq!(l.class, BeatClass::LeftBundleBranchBlock);
+    }
+
+    #[test]
+    fn ambiguous_inputs_become_unknown() {
+        let c = toy_classifier(8);
+        // Exactly between N and V: the two largest fuzzy values tie, margin 0.
+        let d = c.classify(&[5.0; 8], 0.05).expect("classify");
+        assert_eq!(d.class, BeatClass::Unknown);
+        assert!(d.is_abnormal(), "unknown beats are routed to detailed analysis");
+        assert!(d.margin < 0.05);
+    }
+
+    #[test]
+    fn alpha_zero_never_produces_unknown() {
+        let c = toy_classifier(4);
+        for x in [-12.0, -3.0, 0.0, 4.9, 20.0] {
+            let d = c.classify(&[x; 4], 0.0).expect("classify");
+            assert_ne!(d.class, BeatClass::Unknown);
+        }
+    }
+
+    #[test]
+    fn higher_alpha_can_only_move_decisions_to_unknown() {
+        let c = toy_classifier(4);
+        for x in [-7.0, -2.0, 1.0, 4.0, 8.0] {
+            let lo = c.classify(&[x; 4], 0.1).expect("classify");
+            let hi = c.classify(&[x; 4], 0.9).expect("classify");
+            if lo.class == BeatClass::Unknown {
+                assert_eq!(hi.class, BeatClass::Unknown);
+            }
+            if hi.class != BeatClass::Unknown {
+                assert_eq!(hi.class, lo.class);
+            }
+        }
+    }
+
+    #[test]
+    fn fuzzy_values_are_a_probability_vector() {
+        let c = toy_classifier(8);
+        let f = c.fuzzy_values(&[1.0; 8]).expect("dims");
+        let sum: f64 = f.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(f.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn no_underflow_with_many_coefficients_far_from_centers() {
+        // 32 coefficients far from every centre would underflow a literal
+        // product of grades; the log-domain path must stay finite.
+        let c = toy_classifier(32);
+        let d = c.classify(&[100.0; 32], 0.1).expect("classify");
+        assert!(d.fuzzy.iter().all(|v| v.is_finite()));
+        assert!((d.fuzzy.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(d.class, BeatClass::PrematureVentricular);
+    }
+
+    #[test]
+    fn dimension_and_alpha_errors() {
+        let c = toy_classifier(8);
+        assert!(matches!(
+            c.classify(&[0.0; 7], 0.1),
+            Err(NfcError::Dimension(_))
+        ));
+        assert!(matches!(
+            c.classify(&[0.0; 8], 1.5),
+            Err(NfcError::Config(_))
+        ));
+        assert!(matches!(
+            c.classify(&[0.0; 8], -0.1),
+            Err(NfcError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn parameter_roundtrip_preserves_the_classifier() {
+        let c = toy_classifier(8);
+        let params = c.to_parameters();
+        assert_eq!(params.len(), 8 * NUM_CLASSES * 2);
+        let rebuilt = NeuroFuzzyClassifier::from_parameters(&params).expect("roundtrip");
+        for k in 0..8 {
+            for l in 0..NUM_CLASSES {
+                let a = c.membership(k)[l];
+                let b = rebuilt.membership(k)[l];
+                assert!((a.center - b.center).abs() < 1e-12);
+                assert!((a.sigma - b.sigma).abs() < 1e-12);
+            }
+        }
+        assert!(NeuroFuzzyClassifier::from_parameters(&[1.0; 5]).is_err());
+        assert!(NeuroFuzzyClassifier::from_parameters(&[]).is_err());
+    }
+
+    #[test]
+    fn top_two_handles_ties_and_ordering() {
+        assert_eq!(top_two(&[0.5, 0.3, 0.2]), (0, 1));
+        assert_eq!(top_two(&[0.1, 0.7, 0.2]), (1, 2));
+        let (b, s) = top_two(&[0.4, 0.4, 0.2]);
+        assert_ne!(b, s);
+        assert!(b < 2 && s < 2);
+    }
+
+    #[test]
+    fn normalize_log_is_shift_invariant() {
+        let a = normalize_log(&[-1.0, -2.0, -3.0]);
+        let b = normalize_log(&[-1001.0, -1002.0, -1003.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

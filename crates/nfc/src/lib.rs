@@ -1,0 +1,85 @@
+//! # hbc-nfc — neuro-fuzzy heartbeat classifier
+//!
+//! The classification core of the paper: a three-layer neuro-fuzzy classifier
+//! (NFC) operating on randomly-projected heartbeat coefficients.
+//!
+//! * **Membership layer** ([`membership`]) — per coefficient `k` and class
+//!   `l ∈ {N, V, L}`, a Gaussian membership function
+//!   `µ_{k,l}(u_k) = exp(−(u_k − c_{k,l})² / (2σ_{k,l}²))`.
+//! * **Fuzzification layer** — the membership grades of all coefficients are
+//!   multiplied per class: `f_l = Π_k µ_{k,l}`.
+//! * **Defuzzification layer** — with `M1` and `M2` the largest and
+//!   second-largest fuzzy values and `S` their sum over classes, the beat is
+//!   assigned to the arg-max class when `(M1 − M2) ≥ α·S`, and to the
+//!   *Unknown* class otherwise. `V`, `L` and `U` count as pathological.
+//!
+//! Training ([`training`], [`scg`]) follows the paper: the membership
+//! parameters are fitted on *training set 1* with Møller's scaled conjugate
+//! gradient; the projection matrix is optimised by a genetic algorithm whose
+//! fitness is the classifier score on *training set 2* ([`two_step`]).
+//! Figures of merit (NDR, ARR and their pareto fronts) live in [`metrics`].
+//!
+//! ```
+//! use hbc_ecg::{dataset::DatasetSpec, Dataset};
+//! use hbc_nfc::pipeline_fit_quick;
+//!
+//! // Train a small classifier end-to-end on a tiny synthetic dataset.
+//! let dataset = Dataset::synthetic(DatasetSpec::tiny(), 1);
+//! let fitted = pipeline_fit_quick(&dataset, 8, 42);
+//! assert_eq!(fitted.classifier.num_coefficients(), 8);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod classifier;
+pub mod membership;
+pub mod metrics;
+pub mod scg;
+pub mod training;
+pub mod two_step;
+
+pub use classifier::{Decision, NeuroFuzzyClassifier};
+pub use membership::GaussianMf;
+pub use metrics::{BinaryConfusion, EvaluationReport, ParetoPoint};
+pub use scg::{ScgConfig, ScgOutcome};
+pub use training::{NfcTrainer, TrainingConfig};
+pub use two_step::{pipeline_fit_quick, FittedPipeline, TwoStepConfig, TwoStepTrainer};
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NfcError {
+    /// Input dimensionality does not match the classifier.
+    Dimension(String),
+    /// Training data is unusable (empty split, missing class, …).
+    Training(String),
+    /// A configuration parameter is out of range.
+    Config(String),
+}
+
+impl std::fmt::Display for NfcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NfcError::Dimension(m) => write!(f, "dimension mismatch: {m}"),
+            NfcError::Training(m) => write!(f, "training error: {m}"),
+            NfcError::Config(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NfcError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, NfcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_category() {
+        assert!(NfcError::Dimension("x".into()).to_string().contains("dimension"));
+        assert!(NfcError::Training("y".into()).to_string().contains("training"));
+        assert!(NfcError::Config("z".into()).to_string().contains("configuration"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Gaussian membership functions.
+//!
+//! The membership layer of the NFC assigns, for every projected coefficient
+//! and every class, a membership grade in `[0, 1]` describing how well the
+//! coefficient value fits that class. During training the membership
+//! functions are Gaussians parameterised by a centre `c` and a spread `σ`;
+//! the embedded version replaces them with the piecewise-linear approximation
+//! implemented in `hbc-embedded`.
+
+/// A Gaussian membership function `µ(x) = exp(−(x − c)² / (2σ²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianMf {
+    /// Centre of the Gaussian (the most typical coefficient value for the
+    /// class).
+    pub center: f64,
+    /// Spread (standard deviation) of the Gaussian. Always positive.
+    pub sigma: f64,
+}
+
+impl GaussianMf {
+    /// Smallest spread the implementation accepts; narrower functions are
+    /// clamped to keep gradients and the embedded quantisation finite.
+    pub const MIN_SIGMA: f64 = 1e-6;
+
+    /// Creates a membership function, clamping `sigma` to at least
+    /// [`GaussianMf::MIN_SIGMA`].
+    pub fn new(center: f64, sigma: f64) -> Self {
+        GaussianMf {
+            center,
+            sigma: sigma.abs().max(Self::MIN_SIGMA),
+        }
+    }
+
+    /// Membership grade at `x`, in `(0, 1]`.
+    pub fn grade(&self, x: f64) -> f64 {
+        self.log_grade(x).exp()
+    }
+
+    /// Natural logarithm of the membership grade (used by the fuzzification
+    /// layer to avoid underflow when many grades are multiplied).
+    pub fn log_grade(&self, x: f64) -> f64 {
+        let d = (x - self.center) / self.sigma;
+        -0.5 * d * d
+    }
+
+    /// Derivative of [`Self::log_grade`] with respect to the centre.
+    pub fn dlog_dcenter(&self, x: f64) -> f64 {
+        (x - self.center) / (self.sigma * self.sigma)
+    }
+
+    /// Derivative of [`Self::log_grade`] with respect to the spread.
+    pub fn dlog_dsigma(&self, x: f64) -> f64 {
+        let d = x - self.center;
+        d * d / (self.sigma * self.sigma * self.sigma)
+    }
+
+    /// The half-width used by the embedded linearisation of the paper:
+    /// `S = 2.35σ` (the full width at half maximum of the Gaussian).
+    pub fn linearization_half_width(&self) -> f64 {
+        2.35 * self.sigma
+    }
+}
+
+impl Default for GaussianMf {
+    fn default() -> Self {
+        GaussianMf::new(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grade_is_one_at_center_and_decays() {
+        let mf = GaussianMf::new(2.0, 0.5);
+        assert!((mf.grade(2.0) - 1.0).abs() < 1e-12);
+        assert!(mf.grade(2.5) < 1.0);
+        assert!(mf.grade(2.5) > mf.grade(3.0));
+        assert!((mf.grade(2.5) - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grade_is_symmetric_around_center() {
+        let mf = GaussianMf::new(-1.0, 2.0);
+        for d in [0.1, 0.7, 3.0] {
+            assert!((mf.grade(-1.0 + d) - mf.grade(-1.0 - d)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sigma_is_clamped_positive() {
+        let mf = GaussianMf::new(0.0, 0.0);
+        assert!(mf.sigma >= GaussianMf::MIN_SIGMA);
+        let mf = GaussianMf::new(0.0, -2.0);
+        assert_eq!(mf.sigma, 2.0);
+    }
+
+    #[test]
+    fn log_grade_matches_grade() {
+        let mf = GaussianMf::new(1.5, 0.8);
+        for x in [-2.0, 0.0, 1.5, 4.0] {
+            assert!((mf.log_grade(x).exp() - mf.grade(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn analytic_gradients_match_finite_differences() {
+        let mf = GaussianMf::new(0.7, 1.3);
+        let x = 2.1;
+        let h = 1e-6;
+        let num_dc = (GaussianMf::new(0.7 + h, 1.3).log_grade(x)
+            - GaussianMf::new(0.7 - h, 1.3).log_grade(x))
+            / (2.0 * h);
+        let num_ds = (GaussianMf::new(0.7, 1.3 + h).log_grade(x)
+            - GaussianMf::new(0.7, 1.3 - h).log_grade(x))
+            / (2.0 * h);
+        assert!((mf.dlog_dcenter(x) - num_dc).abs() < 1e-5);
+        assert!((mf.dlog_dsigma(x) - num_ds).abs() < 1e-5);
+    }
+
+    #[test]
+    fn linearization_half_width_is_fwhm() {
+        let mf = GaussianMf::new(0.0, 2.0);
+        assert!((mf.linearization_half_width() - 4.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,354 @@
+//! Figures of merit for the early heartbeat classifier.
+//!
+//! The paper measures the binary (normal vs pathological) behaviour of the
+//! classifier with two quantities defined in Section IV-A:
+//!
+//! * **Normal Discard Rate (NDR)** — fraction of truly normal beats the
+//!   classifier labels `N` (and therefore discards without detailed
+//!   analysis);
+//! * **Abnormal Recognition Rate (ARR)** — fraction of truly abnormal beats
+//!   (V or L) the classifier routes to the detailed analysis (labelled `V`,
+//!   `L` or `U`).
+//!
+//! The defuzzification coefficient α trades the two off: the paper fixes
+//! α_train so that ARR ≥ 97 % on training set 2 and then sweeps α_test to draw
+//! the NDR/ARR pareto fronts of Figure 5. The helpers in this module compute
+//! both figures, calibrate α for a target ARR and extract pareto fronts.
+
+use hbc_ecg::beat::{BeatClass, BinaryLabel, NUM_CLASSES};
+
+/// Binary confusion counts for the normal / pathological decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BinaryConfusion {
+    /// Normal beats labelled normal (discarded correctly).
+    pub normal_discarded: usize,
+    /// Normal beats labelled pathological (unnecessary detailed analysis).
+    pub normal_forwarded: usize,
+    /// Abnormal beats labelled pathological (recognised correctly).
+    pub abnormal_recognized: usize,
+    /// Abnormal beats labelled normal (missed pathologies).
+    pub abnormal_missed: usize,
+}
+
+impl BinaryConfusion {
+    /// Records one decision.
+    pub fn record(&mut self, truth: BinaryLabel, predicted: BinaryLabel) {
+        match (truth, predicted) {
+            (BinaryLabel::Normal, BinaryLabel::Normal) => self.normal_discarded += 1,
+            (BinaryLabel::Normal, BinaryLabel::Pathological) => self.normal_forwarded += 1,
+            (BinaryLabel::Pathological, BinaryLabel::Pathological) => {
+                self.abnormal_recognized += 1
+            }
+            (BinaryLabel::Pathological, BinaryLabel::Normal) => self.abnormal_missed += 1,
+        }
+    }
+
+    /// Number of truly normal beats seen.
+    pub fn normals(&self) -> usize {
+        self.normal_discarded + self.normal_forwarded
+    }
+
+    /// Number of truly abnormal beats seen.
+    pub fn abnormals(&self) -> usize {
+        self.abnormal_recognized + self.abnormal_missed
+    }
+
+    /// Normal Discard Rate in `[0, 1]` (1.0 when no normal beat was seen).
+    pub fn ndr(&self) -> f64 {
+        if self.normals() == 0 {
+            return 1.0;
+        }
+        self.normal_discarded as f64 / self.normals() as f64
+    }
+
+    /// Abnormal Recognition Rate in `[0, 1]` (1.0 when no abnormal beat was
+    /// seen).
+    pub fn arr(&self) -> f64 {
+        if self.abnormals() == 0 {
+            return 1.0;
+        }
+        self.abnormal_recognized as f64 / self.abnormals() as f64
+    }
+
+    /// Fraction of all beats routed to the detailed analysis — the quantity
+    /// that drives the duty-cycle and energy models.
+    pub fn forwarded_fraction(&self) -> f64 {
+        let total = self.normals() + self.abnormals();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.normal_forwarded + self.abnormal_recognized) as f64 / total as f64
+    }
+
+    /// Merges another confusion into this one.
+    pub fn merge(&mut self, other: &BinaryConfusion) {
+        self.normal_discarded += other.normal_discarded;
+        self.normal_forwarded += other.normal_forwarded;
+        self.abnormal_recognized += other.abnormal_recognized;
+        self.abnormal_missed += other.abnormal_missed;
+    }
+}
+
+/// Full evaluation report: binary figures plus the 4-way (N/V/L/U) confusion
+/// matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvaluationReport {
+    /// Binary normal/pathological confusion.
+    pub binary: BinaryConfusion,
+    /// `matrix[truth][prediction]` where predictions include Unknown as index
+    /// `NUM_CLASSES`.
+    pub matrix: [[usize; NUM_CLASSES + 1]; NUM_CLASSES],
+}
+
+impl Default for EvaluationReport {
+    fn default() -> Self {
+        EvaluationReport {
+            binary: BinaryConfusion::default(),
+            matrix: [[0; NUM_CLASSES + 1]; NUM_CLASSES],
+        }
+    }
+}
+
+impl EvaluationReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one classified beat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truth` is [`BeatClass::Unknown`], which is never a ground
+    /// truth label.
+    pub fn record(&mut self, truth: BeatClass, predicted: BeatClass) {
+        let t = truth
+            .index()
+            .expect("ground truth is never the Unknown class");
+        let p = predicted.index().unwrap_or(NUM_CLASSES);
+        self.matrix[t][p] += 1;
+        self.binary.record(truth.into(), predicted.into());
+    }
+
+    /// Normal Discard Rate.
+    pub fn ndr(&self) -> f64 {
+        self.binary.ndr()
+    }
+
+    /// Abnormal Recognition Rate.
+    pub fn arr(&self) -> f64 {
+        self.binary.arr()
+    }
+
+    /// Number of beats recorded.
+    pub fn total(&self) -> usize {
+        self.matrix.iter().flatten().sum()
+    }
+
+    /// Multi-class accuracy counting Unknown as always wrong.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..NUM_CLASSES).map(|i| self.matrix[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Formats the confusion matrix (rows: truth N/V/L, columns: predicted
+    /// N/V/L/U).
+    pub fn matrix_report(&self) -> String {
+        let mut s = String::from("truth\\pred      N        V        L        U\n");
+        for (t, row) in self.matrix.iter().enumerate() {
+            let label = BeatClass::from_index(t).expect("row index is a class");
+            s.push_str(&format!(
+                "{label}        {:>8} {:>8} {:>8} {:>8}\n",
+                row[0], row[1], row[2], row[3]
+            ));
+        }
+        s
+    }
+}
+
+/// One point of an NDR/ARR trade-off curve (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Defuzzification coefficient that produced this point.
+    pub alpha: f64,
+    /// Normal Discard Rate at this α.
+    pub ndr: f64,
+    /// Abnormal Recognition Rate at this α.
+    pub arr: f64,
+}
+
+/// Extracts the pareto-optimal subset of `points` (maximising both NDR and
+/// ARR): a point survives when no other point is at least as good on both
+/// axes and strictly better on one.
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut front: Vec<ParetoPoint> = points
+        .iter()
+        .copied()
+        .filter(|p| {
+            !points.iter().any(|q| {
+                (q.ndr >= p.ndr && q.arr >= p.arr) && (q.ndr > p.ndr || q.arr > p.arr)
+            })
+        })
+        .collect();
+    front.sort_by(|a, b| a.arr.partial_cmp(&b.arr).unwrap_or(std::cmp::Ordering::Equal));
+    front.dedup_by(|a, b| a.ndr == b.ndr && a.arr == b.arr);
+    front
+}
+
+/// Given per-beat decisions as `(truth, margin)` pairs — where `margin` is the
+/// defuzzification margin `(M1 − M2)/S` of a beat whose arg-max class is
+/// `argmax` — this helper would need the full decision; instead the calibration
+/// below works directly on a closure.
+///
+/// Calibrates the defuzzification coefficient α so that the ARR measured by
+/// `evaluate(α)` is at least `target_arr`, returning the smallest such α found
+/// together with its report. Because raising α can only move decisions towards
+/// *Unknown* (which counts as pathological), ARR is non-decreasing in α and a
+/// binary search applies.
+///
+/// Returns `None` when even α = 1 cannot reach the target (which cannot happen
+/// in practice since α = 1 routes every beat to Unknown, giving ARR = 1).
+pub fn calibrate_alpha<F>(target_arr: f64, tolerance: f64, mut evaluate: F) -> Option<(f64, EvaluationReport)>
+where
+    F: FnMut(f64) -> EvaluationReport,
+{
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    let hi_report = evaluate(hi);
+    if hi_report.arr() < target_arr {
+        return None;
+    }
+    let lo_report = evaluate(lo);
+    if lo_report.arr() >= target_arr {
+        return Some((lo, lo_report));
+    }
+    let mut best = (hi, hi_report);
+    while hi - lo > tolerance {
+        let mid = 0.5 * (lo + hi);
+        let report = evaluate(mid);
+        if report.arr() >= target_arr {
+            best = (mid, report);
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_confusion_rates() {
+        let mut c = BinaryConfusion::default();
+        // 8 normals: 7 discarded, 1 forwarded. 4 abnormals: 3 recognised, 1 missed.
+        for _ in 0..7 {
+            c.record(BinaryLabel::Normal, BinaryLabel::Normal);
+        }
+        c.record(BinaryLabel::Normal, BinaryLabel::Pathological);
+        for _ in 0..3 {
+            c.record(BinaryLabel::Pathological, BinaryLabel::Pathological);
+        }
+        c.record(BinaryLabel::Pathological, BinaryLabel::Normal);
+        assert!((c.ndr() - 7.0 / 8.0).abs() < 1e-12);
+        assert!((c.arr() - 3.0 / 4.0).abs() < 1e-12);
+        assert!((c.forwarded_fraction() - 4.0 / 12.0).abs() < 1e-12);
+        assert_eq!(c.normals(), 8);
+        assert_eq!(c.abnormals(), 4);
+
+        let mut merged = BinaryConfusion::default();
+        merged.merge(&c);
+        merged.merge(&c);
+        assert_eq!(merged.normals(), 16);
+        assert!((merged.ndr() - c.ndr()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_confusion_defaults_are_benign() {
+        let c = BinaryConfusion::default();
+        assert_eq!(c.ndr(), 1.0);
+        assert_eq!(c.arr(), 1.0);
+        assert_eq!(c.forwarded_fraction(), 0.0);
+    }
+
+    #[test]
+    fn report_tracks_the_four_way_matrix() {
+        let mut r = EvaluationReport::new();
+        r.record(BeatClass::Normal, BeatClass::Normal);
+        r.record(BeatClass::Normal, BeatClass::Unknown);
+        r.record(BeatClass::PrematureVentricular, BeatClass::PrematureVentricular);
+        r.record(BeatClass::LeftBundleBranchBlock, BeatClass::Unknown);
+        r.record(BeatClass::LeftBundleBranchBlock, BeatClass::Normal);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.matrix[0][3], 1);
+        assert_eq!(r.matrix[2][0], 1);
+        assert!((r.ndr() - 0.5).abs() < 1e-12);
+        assert!((r.arr() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.accuracy() - 2.0 / 5.0).abs() < 1e-12);
+        let text = r.matrix_report();
+        assert!(text.contains('N') && text.contains('U'));
+    }
+
+    #[test]
+    #[should_panic(expected = "ground truth")]
+    fn unknown_ground_truth_panics() {
+        EvaluationReport::new().record(BeatClass::Unknown, BeatClass::Normal);
+    }
+
+    #[test]
+    fn pareto_front_removes_dominated_points() {
+        let points = vec![
+            ParetoPoint { alpha: 0.0, ndr: 0.95, arr: 0.90 },
+            ParetoPoint { alpha: 0.1, ndr: 0.93, arr: 0.95 },
+            ParetoPoint { alpha: 0.2, ndr: 0.90, arr: 0.97 },
+            ParetoPoint { alpha: 0.3, ndr: 0.89, arr: 0.96 }, // dominated by 0.2
+            ParetoPoint { alpha: 0.4, ndr: 0.80, arr: 0.97 }, // dominated by 0.2
+        ];
+        let front = pareto_front(&points);
+        assert_eq!(front.len(), 3);
+        assert!(front.iter().all(|p| p.alpha < 0.25));
+        // Sorted by ARR.
+        for w in front.windows(2) {
+            assert!(w[0].arr <= w[1].arr);
+        }
+    }
+
+    #[test]
+    fn calibration_finds_the_smallest_alpha_reaching_the_target() {
+        // Synthetic behaviour: ARR rises linearly with alpha, NDR falls.
+        let evaluate = |alpha: f64| {
+            let mut r = EvaluationReport::new();
+            let arr = 0.90 + 0.10 * alpha;
+            let ndr = 0.99 - 0.20 * alpha;
+            // Encode the rates with 1000 abnormal and 1000 normal beats.
+            let abn_ok = (arr * 1000.0).round() as usize;
+            let nrm_ok = (ndr * 1000.0).round() as usize;
+            for _ in 0..abn_ok {
+                r.record(BeatClass::PrematureVentricular, BeatClass::PrematureVentricular);
+            }
+            for _ in abn_ok..1000 {
+                r.record(BeatClass::PrematureVentricular, BeatClass::Normal);
+            }
+            for _ in 0..nrm_ok {
+                r.record(BeatClass::Normal, BeatClass::Normal);
+            }
+            for _ in nrm_ok..1000 {
+                r.record(BeatClass::Normal, BeatClass::Unknown);
+            }
+            r
+        };
+        let (alpha, report) = calibrate_alpha(0.97, 1e-4, evaluate).expect("reachable");
+        assert!(report.arr() >= 0.97);
+        // ARR = 0.90 + 0.10*alpha >= 0.97 -> alpha >= 0.7.
+        assert!((alpha - 0.7).abs() < 0.01, "alpha {alpha}");
+        // A target of 0 is satisfied at alpha 0.
+        let (a0, _) = calibrate_alpha(0.0, 1e-4, evaluate).expect("trivial");
+        assert_eq!(a0, 0.0);
+    }
+}

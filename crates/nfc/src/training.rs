@@ -1,0 +1,450 @@
+//! Training of the neuro-fuzzy classifier on projected heartbeats.
+//!
+//! The training phase (Section III-A of the paper) runs off-line on a PC in
+//! floating point:
+//!
+//! 1. the membership functions are initialised from the class-conditional
+//!    statistics of the projected coefficients over *training set 1*
+//!    (centre = class mean, spread = class standard deviation);
+//! 2. the parameters are refined by minimising the cross-entropy between the
+//!    normalised fuzzy values and the one-hot beat labels with the scaled
+//!    conjugate gradient ([`crate::scg`]).
+//!
+//! The resulting [`NeuroFuzzyClassifier`] is then handed to the embedded
+//! optimisation phase (`hbc-embedded`) and/or evaluated directly for the
+//! `*-PC` rows of the paper's tables.
+
+use hbc_ecg::beat::NUM_CLASSES;
+
+use crate::classifier::{normalize_log, NeuroFuzzyClassifier};
+use crate::membership::GaussianMf;
+use crate::scg::{self, ScgConfig, ScgOutcome};
+use crate::{NfcError, Result};
+
+/// A labelled training example: the projected coefficients of one beat and
+/// its ground-truth class index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingExample {
+    /// Projected coefficients (`u = P·v`).
+    pub coefficients: Vec<f64>,
+    /// Ground-truth class index (`0 = N`, `1 = V`, `2 = L`).
+    pub class: usize,
+}
+
+impl TrainingExample {
+    /// Creates an example.
+    pub fn new(coefficients: Vec<f64>, class: usize) -> Self {
+        TrainingExample {
+            coefficients,
+            class,
+        }
+    }
+}
+
+/// Configuration of the NFC training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingConfig {
+    /// SCG settings.
+    pub scg: ScgConfig,
+    /// Floor applied to the initial spreads, as a fraction of the overall
+    /// coefficient standard deviation (avoids degenerate zero-width
+    /// memberships when a class has very few examples).
+    pub min_sigma_fraction: f64,
+    /// L2 pull of the centres towards their initial values (a light
+    /// regulariser that keeps the refined classifier close to its generative
+    /// initialisation; 0 disables it).
+    pub center_regularization: f64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            scg: ScgConfig::default(),
+            min_sigma_fraction: 0.05,
+            center_regularization: 1e-4,
+        }
+    }
+}
+
+impl TrainingConfig {
+    /// Faster settings for unit tests and quick sweeps.
+    pub fn quick() -> Self {
+        TrainingConfig {
+            scg: ScgConfig::quick(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainingOutcome {
+    /// The trained classifier.
+    pub classifier: NeuroFuzzyClassifier,
+    /// Cross-entropy loss before SCG refinement (statistics-only
+    /// initialisation).
+    pub initial_loss: f64,
+    /// Cross-entropy loss after refinement.
+    pub final_loss: f64,
+    /// The raw SCG outcome (history, convergence flag).
+    pub scg: ScgOutcome,
+}
+
+/// Trainer for the neuro-fuzzy classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NfcTrainer {
+    /// Training configuration.
+    pub config: TrainingConfig,
+}
+
+impl NfcTrainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainingConfig) -> Self {
+        NfcTrainer { config }
+    }
+
+    /// Initialises membership functions from class-conditional statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfcError::Training`] when `examples` is empty, a class has no
+    /// examples, an example has a different dimensionality than the others, or
+    /// a class index is out of range.
+    pub fn initialize(&self, examples: &[TrainingExample]) -> Result<NeuroFuzzyClassifier> {
+        let k = validate_examples(examples)?;
+
+        // Per-class, per-coefficient mean and variance.
+        let mut count = [0usize; NUM_CLASSES];
+        let mut mean = vec![[0.0f64; NUM_CLASSES]; k];
+        let mut m2 = vec![[0.0f64; NUM_CLASSES]; k];
+        for ex in examples {
+            let l = ex.class;
+            count[l] += 1;
+            for (i, &u) in ex.coefficients.iter().enumerate() {
+                // Welford's online update keeps the pass single and stable.
+                let delta = u - mean[i][l];
+                mean[i][l] += delta / count[l] as f64;
+                m2[i][l] += delta * (u - mean[i][l]);
+            }
+        }
+
+        // Global spread of each coefficient, used as a floor for σ.
+        let mut global_mean = vec![0.0f64; k];
+        let mut global_m2 = vec![0.0f64; k];
+        for (n, ex) in examples.iter().enumerate() {
+            for (i, &u) in ex.coefficients.iter().enumerate() {
+                let delta = u - global_mean[i];
+                global_mean[i] += delta / (n + 1) as f64;
+                global_m2[i] += delta * (u - global_mean[i]);
+            }
+        }
+
+        let mfs = (0..k)
+            .map(|i| {
+                let global_sigma = (global_m2[i] / examples.len() as f64).sqrt();
+                let floor = (self.config.min_sigma_fraction * global_sigma).max(GaussianMf::MIN_SIGMA);
+                let mut row = [GaussianMf::default(); NUM_CLASSES];
+                for l in 0..NUM_CLASSES {
+                    let var = if count[l] > 1 {
+                        m2[i][l] / (count[l] - 1) as f64
+                    } else {
+                        global_sigma * global_sigma
+                    };
+                    row[l] = GaussianMf::new(mean[i][l], var.sqrt().max(floor));
+                }
+                row
+            })
+            .collect();
+        NeuroFuzzyClassifier::new(mfs)
+    }
+
+    /// Full training: statistics initialisation followed by SCG refinement of
+    /// the cross-entropy loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfcError::Training`] for unusable training data (see
+    /// [`Self::initialize`]).
+    pub fn train(&self, examples: &[TrainingExample]) -> Result<TrainingOutcome> {
+        let initial = self.initialize(examples)?;
+        let initial_params = initial.to_parameters();
+        let anchor = initial_params.clone();
+        let reg = self.config.center_regularization;
+        let (initial_loss, _) = loss_and_gradient(&initial_params, examples, &anchor, reg);
+
+        let objective = |params: &[f64]| loss_and_gradient(params, examples, &anchor, reg);
+        let scg_outcome = scg::minimize(&initial_params, &self.config.scg, objective);
+
+        // Keep whichever parameter set is better (SCG never worsens the loss,
+        // but guard against numerical corner cases anyway).
+        let refined = NeuroFuzzyClassifier::from_parameters(&scg_outcome.parameters)?;
+        let (final_loss, _) =
+            loss_and_gradient(&scg_outcome.parameters, examples, &anchor, reg);
+        let (classifier, final_loss) = if final_loss.is_finite() && final_loss <= initial_loss {
+            (refined, final_loss)
+        } else {
+            (initial, initial_loss)
+        };
+
+        Ok(TrainingOutcome {
+            classifier,
+            initial_loss,
+            final_loss,
+            scg: scg_outcome,
+        })
+    }
+}
+
+/// Checks examples for consistency and returns the coefficient count.
+fn validate_examples(examples: &[TrainingExample]) -> Result<usize> {
+    if examples.is_empty() {
+        return Err(NfcError::Training("no training examples provided".into()));
+    }
+    let k = examples[0].coefficients.len();
+    if k == 0 {
+        return Err(NfcError::Training(
+            "training examples have zero coefficients".into(),
+        ));
+    }
+    let mut seen = [false; NUM_CLASSES];
+    for ex in examples {
+        if ex.coefficients.len() != k {
+            return Err(NfcError::Training(format!(
+                "inconsistent dimensionality: expected {k}, found {}",
+                ex.coefficients.len()
+            )));
+        }
+        if ex.class >= NUM_CLASSES {
+            return Err(NfcError::Training(format!(
+                "class index {} out of range (NUM_CLASSES = {NUM_CLASSES})",
+                ex.class
+            )));
+        }
+        seen[ex.class] = true;
+    }
+    if seen.iter().any(|s| !s) {
+        return Err(NfcError::Training(
+            "every class (N, V, L) needs at least one training example".into(),
+        ));
+    }
+    Ok(k)
+}
+
+/// Mean cross-entropy loss of the classifier described by `params` over
+/// `examples`, plus its gradient with respect to the parameters
+/// (`[c, ln σ]` pairs, see [`NeuroFuzzyClassifier::to_parameters`]).
+fn loss_and_gradient(
+    params: &[f64],
+    examples: &[TrainingExample],
+    anchor: &[f64],
+    center_regularization: f64,
+) -> (f64, Vec<f64>) {
+    let stride = 2 * NUM_CLASSES;
+    let k = params.len() / stride;
+    let n = examples.len() as f64;
+    let mut loss = 0.0;
+    let mut grad = vec![0.0; params.len()];
+
+    // Unpack parameters into centres and sigmas for fast access.
+    let mut centers = vec![[0.0; NUM_CLASSES]; k];
+    let mut sigmas = vec![[0.0; NUM_CLASSES]; k];
+    for i in 0..k {
+        for l in 0..NUM_CLASSES {
+            centers[i][l] = params[i * stride + 2 * l];
+            sigmas[i][l] = params[i * stride + 2 * l + 1].exp().max(GaussianMf::MIN_SIGMA);
+        }
+    }
+
+    for ex in examples {
+        // Forward pass in the log domain.
+        let mut log_f = [0.0f64; NUM_CLASSES];
+        for (i, &u) in ex.coefficients.iter().enumerate() {
+            for l in 0..NUM_CLASSES {
+                let d = (u - centers[i][l]) / sigmas[i][l];
+                log_f[l] += -0.5 * d * d;
+            }
+        }
+        let probs = normalize_log(&log_f);
+        let p_true = probs[ex.class].max(1e-300);
+        loss += -p_true.ln() / n;
+
+        // Backward pass: dL/d(log f_l) = (probs_l - target_l) / n.
+        for (i, &u) in ex.coefficients.iter().enumerate() {
+            for l in 0..NUM_CLASSES {
+                let target = if l == ex.class { 1.0 } else { 0.0 };
+                let dl_dlogf = (probs[l] - target) / n;
+                let c = centers[i][l];
+                let s = sigmas[i][l];
+                let diff = u - c;
+                // d(log f_l)/dc = (u - c)/σ², d(log f_l)/d(ln σ) = (u-c)²/σ².
+                grad[i * stride + 2 * l] += dl_dlogf * diff / (s * s);
+                grad[i * stride + 2 * l + 1] += dl_dlogf * diff * diff / (s * s);
+            }
+        }
+    }
+
+    // Centre regularisation: pull centres (even parameter slots) towards the
+    // anchor (the statistics initialisation).
+    if center_regularization > 0.0 {
+        for i in 0..k {
+            for l in 0..NUM_CLASSES {
+                let idx = i * stride + 2 * l;
+                let d = params[idx] - anchor[idx];
+                loss += 0.5 * center_regularization * d * d;
+                grad[idx] += center_regularization * d;
+            }
+        }
+    }
+
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds a toy, linearly separable training set: class l clusters around
+    /// centre (l as f64 * 5.0) on every coefficient.
+    fn toy_examples(k: usize, per_class: usize, seed: u64) -> Vec<TrainingExample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for class in 0..NUM_CLASSES {
+            for _ in 0..per_class {
+                let coeffs = (0..k)
+                    .map(|_| class as f64 * 5.0 + rng.gen::<f64>() - 0.5)
+                    .collect();
+                out.push(TrainingExample::new(coeffs, class));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn validation_rejects_bad_data() {
+        let trainer = NfcTrainer::default();
+        assert!(trainer.initialize(&[]).is_err());
+        // Missing class 2.
+        let missing = vec![
+            TrainingExample::new(vec![0.0; 4], 0),
+            TrainingExample::new(vec![1.0; 4], 1),
+        ];
+        assert!(trainer.initialize(&missing).is_err());
+        // Ragged dimensionality.
+        let ragged = vec![
+            TrainingExample::new(vec![0.0; 4], 0),
+            TrainingExample::new(vec![1.0; 3], 1),
+            TrainingExample::new(vec![2.0; 4], 2),
+        ];
+        assert!(trainer.initialize(&ragged).is_err());
+        // Class out of range.
+        let bad_class = vec![
+            TrainingExample::new(vec![0.0; 4], 0),
+            TrainingExample::new(vec![1.0; 4], 1),
+            TrainingExample::new(vec![2.0; 4], 7),
+        ];
+        assert!(trainer.initialize(&bad_class).is_err());
+        // Zero coefficients.
+        let empty_coeffs = vec![TrainingExample::new(vec![], 0)];
+        assert!(trainer.initialize(&empty_coeffs).is_err());
+    }
+
+    #[test]
+    fn initialization_matches_class_statistics() {
+        let examples = vec![
+            TrainingExample::new(vec![0.0], 0),
+            TrainingExample::new(vec![2.0], 0),
+            TrainingExample::new(vec![10.0], 1),
+            TrainingExample::new(vec![12.0], 1),
+            TrainingExample::new(vec![-10.0], 2),
+            TrainingExample::new(vec![-12.0], 2),
+        ];
+        let init = NfcTrainer::default().initialize(&examples).expect("init");
+        let mfs = init.membership(0);
+        assert!((mfs[0].center - 1.0).abs() < 1e-9);
+        assert!((mfs[1].center - 11.0).abs() < 1e-9);
+        assert!((mfs[2].center - (-11.0)).abs() < 1e-9);
+        // Sample std of {0, 2} is sqrt(2).
+        assert!((mfs[0].sigma - 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_reduces_the_loss_and_classifies_the_toy_set() {
+        let examples = toy_examples(6, 30, 3);
+        let trainer = NfcTrainer::new(TrainingConfig::quick());
+        let outcome = trainer.train(&examples).expect("train");
+        assert!(outcome.final_loss <= outcome.initial_loss + 1e-12);
+        assert!(outcome.final_loss < 0.1, "loss {} too high", outcome.final_loss);
+        // The trained classifier must get essentially every toy example right.
+        let mut correct = 0;
+        for ex in &examples {
+            let d = outcome
+                .classifier
+                .classify(&ex.coefficients, 0.0)
+                .expect("classify");
+            if d.class.index() == Some(ex.class) {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 / examples.len() as f64 > 0.98,
+            "only {correct}/{} correct",
+            examples.len()
+        );
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let examples = toy_examples(3, 5, 11);
+        let trainer = NfcTrainer::default();
+        let init = trainer.initialize(&examples).expect("init");
+        let params = init.to_parameters();
+        let anchor = params.clone();
+        let (_, grad) = loss_and_gradient(&params, &examples, &anchor, 1e-4);
+        let h = 1e-6;
+        for idx in [0usize, 1, 4, 7, params.len() - 1] {
+            let mut plus = params.clone();
+            plus[idx] += h;
+            let mut minus = params.clone();
+            minus[idx] -= h;
+            let (fp, _) = loss_and_gradient(&plus, &examples, &anchor, 1e-4);
+            let (fm, _) = loss_and_gradient(&minus, &examples, &anchor, 1e-4);
+            let numeric = (fp - fm) / (2.0 * h);
+            assert!(
+                (grad[idx] - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "gradient mismatch at {idx}: analytic {} vs numeric {numeric}",
+                grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let examples = toy_examples(4, 10, 5);
+        let trainer = NfcTrainer::new(TrainingConfig::quick());
+        let a = trainer.train(&examples).expect("train");
+        let b = trainer.train(&examples).expect("train");
+        assert_eq!(a.classifier, b.classifier);
+        assert_eq!(a.final_loss, b.final_loss);
+    }
+
+    #[test]
+    fn single_example_per_class_still_trains() {
+        let examples = vec![
+            TrainingExample::new(vec![0.0, 0.0], 0),
+            TrainingExample::new(vec![5.0, 5.0], 1),
+            TrainingExample::new(vec![-5.0, -5.0], 2),
+        ];
+        let outcome = NfcTrainer::new(TrainingConfig::quick())
+            .train(&examples)
+            .expect("train");
+        for ex in &examples {
+            let d = outcome
+                .classifier
+                .classify(&ex.coefficients, 0.0)
+                .expect("classify");
+            assert_eq!(d.class.index(), Some(ex.class));
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! The two-step training methodology of the paper.
+//!
+//! Step 1 — for a candidate projection matrix `P`, project *training set 1*
+//! and fit the membership functions with the scaled conjugate gradient
+//! ([`crate::training`]).
+//!
+//! Step 2 — score the candidate: calibrate the defuzzification coefficient
+//! α_train so the Abnormal Recognition Rate on *training set 2* reaches the
+//! target (97 % in the paper) and record the Normal Discard Rate obtained
+//! there. That NDR is the fitness driving the genetic search over projection
+//! matrices (population 20, 30 generations in the paper).
+//!
+//! The output is a [`FittedPipeline`]: the optimised projection, the trained
+//! classifier and the calibrated α, ready to be evaluated on the test set or
+//! converted to the embedded integer form by `hbc-embedded`.
+
+use hbc_ecg::beat::Beat;
+use hbc_ecg::Dataset;
+use hbc_rp::{AchlioptasMatrix, GeneticConfig, GeneticOptimizer};
+
+use crate::classifier::NeuroFuzzyClassifier;
+use crate::metrics::{calibrate_alpha, EvaluationReport};
+use crate::training::{NfcTrainer, TrainingConfig, TrainingExample};
+use crate::{NfcError, Result};
+
+/// Configuration of the full two-step (GA + SCG) fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoStepConfig {
+    /// Number of projected coefficients `k`.
+    pub coefficients: usize,
+    /// Genetic-algorithm settings (paper: population 20, 30 generations).
+    pub genetic: GeneticConfig,
+    /// Membership-function training settings.
+    pub training: TrainingConfig,
+    /// Minimum Abnormal Recognition Rate imposed when calibrating α_train
+    /// (paper: 0.97 on training set 2).
+    pub target_arr: f64,
+    /// Tolerance of the α calibration binary search.
+    pub alpha_tolerance: f64,
+}
+
+impl TwoStepConfig {
+    /// The paper's configuration for a given coefficient count.
+    pub fn paper(coefficients: usize) -> Self {
+        TwoStepConfig {
+            coefficients,
+            genetic: GeneticConfig::paper(),
+            training: TrainingConfig::default(),
+            target_arr: 0.97,
+            alpha_tolerance: 1e-3,
+        }
+    }
+
+    /// A reduced configuration (small GA, short SCG) for unit tests, doc
+    /// examples and quick sweeps.
+    pub fn quick(coefficients: usize) -> Self {
+        TwoStepConfig {
+            coefficients,
+            genetic: GeneticConfig::quick(),
+            training: TrainingConfig::quick(),
+            target_arr: 0.97,
+            alpha_tolerance: 1e-2,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfcError::Config`] when the coefficient count is zero or the
+    /// ARR target is outside `(0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if self.coefficients == 0 {
+            return Err(NfcError::Config("coefficient count must be non-zero".into()));
+        }
+        if !(self.target_arr > 0.0 && self.target_arr <= 1.0) {
+            return Err(NfcError::Config(format!(
+                "target ARR must be in (0, 1], got {}",
+                self.target_arr
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The trained artefacts the methodology produces.
+#[derive(Debug, Clone)]
+pub struct FittedPipeline {
+    /// The optimised random projection matrix.
+    pub projection: AchlioptasMatrix,
+    /// The trained neuro-fuzzy classifier.
+    pub classifier: NeuroFuzzyClassifier,
+    /// The defuzzification coefficient calibrated on training set 2.
+    pub alpha_train: f64,
+    /// Fitness of the best candidate (NDR on training set 2 at the target
+    /// ARR).
+    pub fitness: f64,
+    /// Best-fitness history across GA generations.
+    pub ga_history: Vec<f64>,
+}
+
+impl FittedPipeline {
+    /// Projects one beat with the fitted projection.
+    pub fn project(&self, beat: &Beat) -> Vec<f64> {
+        self.projection.project(&beat.samples)
+    }
+
+    /// Classifies one beat with the calibrated α_train.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfcError::Dimension`] when the beat window length does not
+    /// match the projection width.
+    pub fn classify(&self, beat: &Beat) -> Result<crate::classifier::Decision> {
+        let coeffs = self
+            .projection
+            .try_project(&beat.samples)
+            .map_err(|e| NfcError::Dimension(e.to_string()))?;
+        self.classifier.classify(&coeffs, self.alpha_train)
+    }
+
+    /// Evaluates the pipeline on a beat set at an arbitrary α (use
+    /// `alpha_train` for the paper's operating point, or sweep α to draw the
+    /// Figure 5 fronts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfcError::Dimension`] when a beat window length does not
+    /// match the projection width.
+    pub fn evaluate(&self, beats: &[Beat], alpha: f64) -> Result<EvaluationReport> {
+        evaluate_projected(&self.classifier, &self.projection, beats, alpha)
+    }
+}
+
+/// Projects labelled beats into classifier training examples.
+fn project_examples(matrix: &AchlioptasMatrix, beats: &[Beat]) -> Result<Vec<TrainingExample>> {
+    beats
+        .iter()
+        .filter_map(|b| b.class.index().map(|c| (b, c)))
+        .map(|(b, class)| {
+            let coeffs = matrix
+                .try_project(&b.samples)
+                .map_err(|e| NfcError::Dimension(e.to_string()))?;
+            Ok(TrainingExample::new(coeffs, class))
+        })
+        .collect()
+}
+
+/// Evaluates a classifier + projection pair over a beat set at a given α.
+///
+/// # Errors
+///
+/// Returns [`NfcError::Dimension`] when a beat window length does not match
+/// the projection width or the classifier input size.
+pub fn evaluate_projected(
+    classifier: &NeuroFuzzyClassifier,
+    matrix: &AchlioptasMatrix,
+    beats: &[Beat],
+    alpha: f64,
+) -> Result<EvaluationReport> {
+    let mut report = EvaluationReport::new();
+    for beat in beats {
+        if beat.class.index().is_none() {
+            continue;
+        }
+        let coeffs = matrix
+            .try_project(&beat.samples)
+            .map_err(|e| NfcError::Dimension(e.to_string()))?;
+        let decision = classifier.classify(&coeffs, alpha)?;
+        report.record(beat.class, decision.class);
+    }
+    Ok(report)
+}
+
+/// Runs step 1 + the α calibration of step 2 for one candidate matrix,
+/// returning the trained classifier, the calibrated α and the fitness (NDR on
+/// training set 2).
+fn fit_candidate(
+    matrix: &AchlioptasMatrix,
+    dataset: &Dataset,
+    config: &TwoStepConfig,
+) -> Result<(NeuroFuzzyClassifier, f64, f64)> {
+    let examples = project_examples(matrix, &dataset.training1)?;
+    let trainer = NfcTrainer::new(config.training);
+    let trained = trainer.train(&examples)?;
+    let classifier = trained.classifier;
+
+    // Pre-project training set 2 once; the α sweep reuses the projections.
+    let projected: Vec<(hbc_ecg::BeatClass, Vec<f64>)> = dataset
+        .training2
+        .iter()
+        .filter(|b| b.class.index().is_some())
+        .map(|b| {
+            matrix
+                .try_project(&b.samples)
+                .map(|c| (b.class, c))
+                .map_err(|e| NfcError::Dimension(e.to_string()))
+        })
+        .collect::<Result<_>>()?;
+
+    let evaluate = |alpha: f64| {
+        let mut report = EvaluationReport::new();
+        for (truth, coeffs) in &projected {
+            let decision = classifier
+                .classify(coeffs, alpha)
+                .expect("projection width matches the classifier");
+            report.record(*truth, decision.class);
+        }
+        report
+    };
+    let Some((alpha, report)) =
+        calibrate_alpha(config.target_arr, config.alpha_tolerance, evaluate)
+    else {
+        // A degenerate candidate can miss the ARR target even at alpha = 1:
+        // when the fuzzy value of the wrong class underflows to zero the
+        // margin saturates at 1 and the beat is confidently misassigned, so
+        // no alpha can recover it. Score such candidates at zero so the
+        // genetic search discards them instead of aborting the whole fit.
+        return Ok((classifier, 1.0, 0.0));
+    };
+    Ok((classifier, alpha, report.ndr()))
+}
+
+/// Driver of the complete two-step methodology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoStepTrainer {
+    config: TwoStepConfig,
+}
+
+impl TwoStepTrainer {
+    /// Creates a trainer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfcError::Config`] when the configuration is invalid.
+    pub fn new(config: TwoStepConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(TwoStepTrainer { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TwoStepConfig {
+        &self.config
+    }
+
+    /// Runs the genetic search over projection matrices and returns the
+    /// best-performing fitted pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NfcError::Training`] when the dataset splits cannot train the
+    /// classifier (e.g. a class is missing from training set 1) and
+    /// [`NfcError::Dimension`] when the beat windows are inconsistent.
+    pub fn fit(&self, dataset: &Dataset) -> Result<FittedPipeline> {
+        if dataset.training1.is_empty() || dataset.training2.is_empty() {
+            return Err(NfcError::Training(
+                "both training splits must be non-empty".into(),
+            ));
+        }
+        let window = dataset.training1[0].samples.len();
+        let optimizer = GeneticOptimizer::new(self.config.coefficients, window, self.config.genetic)
+            .map_err(|e| NfcError::Config(e.to_string()))?;
+
+        // Run the GA; candidates that fail to train score 0 (they are simply
+        // never selected).
+        let config = self.config;
+        let outcome = optimizer.run(|matrix| {
+            fit_candidate(matrix, dataset, &config)
+                .map(|(_, _, ndr)| ndr)
+                .unwrap_or(0.0)
+        });
+
+        // Re-fit the winner to recover its classifier and α.
+        let (classifier, alpha_train, fitness) =
+            fit_candidate(&outcome.best, dataset, &self.config)?;
+        Ok(FittedPipeline {
+            projection: outcome.best,
+            classifier,
+            alpha_train,
+            fitness,
+            ga_history: outcome.history,
+        })
+    }
+
+    /// Fits a single, non-optimised random projection (no genetic search).
+    /// Used by ablation benches to quantify the gain the GA brings, and by
+    /// quick examples.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::fit`].
+    pub fn fit_single(&self, dataset: &Dataset, seed: u64) -> Result<FittedPipeline> {
+        if dataset.training1.is_empty() || dataset.training2.is_empty() {
+            return Err(NfcError::Training(
+                "both training splits must be non-empty".into(),
+            ));
+        }
+        let window = dataset.training1[0].samples.len();
+        let matrix = AchlioptasMatrix::generate(self.config.coefficients, window, seed);
+        let (classifier, alpha_train, fitness) = fit_candidate(&matrix, dataset, &self.config)?;
+        Ok(FittedPipeline {
+            projection: matrix,
+            classifier,
+            alpha_train,
+            fitness,
+            ga_history: vec![fitness],
+        })
+    }
+}
+
+/// Convenience helper: fits a pipeline with [`TwoStepConfig::quick`] and a
+/// single (non-GA-optimised) projection — handy for doc examples and tests
+/// that need a trained pipeline without paying for the genetic search.
+pub fn pipeline_fit_quick(dataset: &Dataset, coefficients: usize, seed: u64) -> FittedPipeline {
+    TwoStepTrainer::new(TwoStepConfig::quick(coefficients))
+        .expect("quick config is valid")
+        .fit_single(dataset, seed)
+        .expect("synthetic datasets always contain all three classes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbc_ecg::dataset::DatasetSpec;
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::synthetic(DatasetSpec::tiny(), 17)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TwoStepConfig::paper(8).validate().is_ok());
+        assert!(TwoStepConfig::quick(0).validate().is_err());
+        let mut c = TwoStepConfig::quick(8);
+        c.target_arr = 0.0;
+        assert!(c.validate().is_err());
+        assert!(TwoStepTrainer::new(c).is_err());
+    }
+
+    #[test]
+    fn single_fit_meets_the_arr_target_on_training2() {
+        let dataset = tiny_dataset();
+        let pipeline = pipeline_fit_quick(&dataset, 8, 3);
+        let report = pipeline
+            .evaluate(&dataset.training2, pipeline.alpha_train)
+            .expect("evaluate");
+        assert!(
+            report.arr() >= 0.97,
+            "ARR {} should meet the calibration target",
+            report.arr()
+        );
+        assert!(pipeline.fitness > 0.5, "NDR fitness {} too low", pipeline.fitness);
+        assert_eq!(pipeline.classifier.num_coefficients(), 8);
+        assert_eq!(pipeline.projection.rows(), 8);
+        assert_eq!(pipeline.projection.cols(), 200);
+    }
+
+    #[test]
+    fn fitted_pipeline_generalizes_to_the_test_split() {
+        let dataset = tiny_dataset();
+        let pipeline = pipeline_fit_quick(&dataset, 8, 3);
+        let report = pipeline
+            .evaluate(&dataset.test, pipeline.alpha_train)
+            .expect("evaluate");
+        assert!(
+            report.arr() > 0.85,
+            "test ARR {} collapsed — classifier did not generalise",
+            report.arr()
+        );
+        assert!(
+            report.ndr() > 0.6,
+            "test NDR {} collapsed — classifier rejects everything",
+            report.ndr()
+        );
+    }
+
+    #[test]
+    fn genetic_fit_does_not_underperform_its_own_population() {
+        let dataset = tiny_dataset();
+        let mut config = TwoStepConfig::quick(8);
+        config.genetic.population = 4;
+        config.genetic.generations = 2;
+        let trainer = TwoStepTrainer::new(config).expect("valid");
+        let fitted = trainer.fit(&dataset).expect("fit");
+        assert!(!fitted.ga_history.is_empty());
+        let first = fitted.ga_history[0];
+        let last = *fitted.ga_history.last().expect("non-empty");
+        assert!(last >= first, "GA best fitness must not regress: {first} -> {last}");
+        assert!(fitted.fitness > 0.0);
+    }
+
+    #[test]
+    fn classify_and_project_agree_with_evaluate() {
+        let dataset = tiny_dataset();
+        let pipeline = pipeline_fit_quick(&dataset, 8, 5);
+        let beat = &dataset.test[0];
+        let coeffs = pipeline.project(beat);
+        assert_eq!(coeffs.len(), 8);
+        let d = pipeline.classify(beat).expect("classify");
+        assert!(d.fuzzy.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn empty_training_split_is_an_error() {
+        let mut dataset = tiny_dataset();
+        dataset.training1.clear();
+        let trainer = TwoStepTrainer::new(TwoStepConfig::quick(8)).expect("valid");
+        assert!(matches!(
+            trainer.fit_single(&dataset, 1),
+            Err(NfcError::Training(_))
+        ));
+        assert!(matches!(trainer.fit(&dataset), Err(NfcError::Training(_))));
+    }
+
+    #[test]
+    fn mismatched_window_is_a_dimension_error() {
+        let dataset = tiny_dataset();
+        let pipeline = pipeline_fit_quick(&dataset, 8, 5);
+        let short = hbc_ecg::Beat::new(vec![0.0; 50], hbc_ecg::BeatClass::Normal);
+        assert!(matches!(
+            pipeline.classify(&short),
+            Err(NfcError::Dimension(_))
+        ));
+    }
+}

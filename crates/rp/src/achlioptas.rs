@@ -1,0 +1,381 @@
+//! Achlioptas (database-friendly) random projection matrices.
+//!
+//! Achlioptas showed that a Johnson–Lindenstrauss embedding can be realised by
+//! a matrix whose entries take only the values {+1, 0, −1} with probabilities
+//! {1/6, 2/3, 1/6}. The paper uses exactly this construction (Section III-A):
+//! each row of the matrix tells which input samples are added or subtracted to
+//! form one projected coefficient, so the projection costs only integer
+//! additions — ideal for the WBSN's integer-only arithmetic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Result, RpError};
+
+/// A single ternary entry of the projection matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProjectionEntry {
+    /// The corresponding sample is ignored (probability 2/3).
+    #[default]
+    Zero,
+    /// The corresponding sample is added (probability 1/6).
+    Plus,
+    /// The corresponding sample is subtracted (probability 1/6).
+    Minus,
+}
+
+impl ProjectionEntry {
+    /// Signed value of the entry (+1, 0 or −1).
+    pub fn value(self) -> i32 {
+        match self {
+            ProjectionEntry::Zero => 0,
+            ProjectionEntry::Plus => 1,
+            ProjectionEntry::Minus => -1,
+        }
+    }
+
+    /// Builds an entry from a signed value.
+    ///
+    /// Any positive value maps to [`ProjectionEntry::Plus`], any negative
+    /// value to [`ProjectionEntry::Minus`] and zero to
+    /// [`ProjectionEntry::Zero`].
+    pub fn from_value(v: i32) -> Self {
+        match v.signum() {
+            1 => ProjectionEntry::Plus,
+            -1 => ProjectionEntry::Minus,
+            _ => ProjectionEntry::Zero,
+        }
+    }
+
+    /// Draws an entry from the Achlioptas distribution (+1 w.p. 1/6, −1 w.p.
+    /// 1/6, 0 w.p. 2/3).
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        match rng.gen_range(0..6u8) {
+            0 => ProjectionEntry::Plus,
+            1 => ProjectionEntry::Minus,
+            _ => ProjectionEntry::Zero,
+        }
+    }
+}
+
+/// A dense `k × d` Achlioptas projection matrix.
+///
+/// `k` is the number of projected coefficients fed to the classifier (8, 16 or
+/// 32 in the paper's experiments) and `d` the number of samples in the beat
+/// window (200 at 360 Hz, 50 after 4× downsampling).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AchlioptasMatrix {
+    entries: Vec<ProjectionEntry>,
+    rows: usize,
+    cols: usize,
+}
+
+impl AchlioptasMatrix {
+    /// Generates a `rows × cols` matrix from the Achlioptas distribution,
+    /// deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn generate(rows: usize, cols: usize, seed: u64) -> Self {
+        assert!(rows > 0 && cols > 0, "projection dimensions must be non-zero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::generate_with(rows, cols, &mut rng)
+    }
+
+    /// Generates a matrix drawing entries from the provided RNG (used by the
+    /// genetic optimiser, which owns the RNG).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn generate_with<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        assert!(rows > 0 && cols > 0, "projection dimensions must be non-zero");
+        let entries = (0..rows * cols)
+            .map(|_| ProjectionEntry::sample(rng))
+            .collect();
+        AchlioptasMatrix { entries, rows, cols }
+    }
+
+    /// Builds a matrix from explicit entries in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpError::Dimension`] when `entries.len() != rows * cols` or a
+    /// dimension is zero.
+    pub fn from_entries(
+        rows: usize,
+        cols: usize,
+        entries: Vec<ProjectionEntry>,
+    ) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(RpError::Dimension("dimensions must be non-zero".into()));
+        }
+        if entries.len() != rows * cols {
+            return Err(RpError::Dimension(format!(
+                "expected {} entries for a {rows}x{cols} matrix, got {}",
+                rows * cols,
+                entries.len()
+            )));
+        }
+        Ok(AchlioptasMatrix { entries, rows, cols })
+    }
+
+    /// Number of projected coefficients (rows, `k`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Input dimensionality (columns, `d`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of range.
+    pub fn entry(&self, row: usize, col: usize) -> ProjectionEntry {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.entries[row * self.cols + col]
+    }
+
+    /// Mutable access to an entry (used by the genetic mutation operator).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of range.
+    pub fn entry_mut(&mut self, row: usize, col: usize) -> &mut ProjectionEntry {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        &mut self.entries[row * self.cols + col]
+    }
+
+    /// Row-major view of all entries.
+    pub fn entries(&self) -> &[ProjectionEntry] {
+        &self.entries
+    }
+
+    /// One row of the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row >= rows()`.
+    pub fn row(&self, row: usize) -> &[ProjectionEntry] {
+        assert!(row < self.rows, "row out of range");
+        &self.entries[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Fraction of non-zero entries (expected ≈ 1/3 for a fresh Achlioptas
+    /// draw).
+    pub fn density(&self) -> f64 {
+        let nz = self
+            .entries
+            .iter()
+            .filter(|e| !matches!(e, ProjectionEntry::Zero))
+            .count();
+        nz as f64 / self.entries.len() as f64
+    }
+
+    /// Projects a floating-point input vector: `u = P·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input.len() != cols()`; use [`Self::try_project`] for a
+    /// fallible variant.
+    pub fn project(&self, input: &[f64]) -> Vec<f64> {
+        self.try_project(input).expect("input length must equal cols()")
+    }
+
+    /// Fallible floating-point projection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpError::Dimension`] when the input length does not match the
+    /// matrix width.
+    pub fn try_project(&self, input: &[f64]) -> Result<Vec<f64>> {
+        if input.len() != self.cols {
+            return Err(RpError::Dimension(format!(
+                "input has {} samples but the projection expects {}",
+                input.len(),
+                self.cols
+            )));
+        }
+        let mut out = vec![0.0; self.rows];
+        for (r, acc) in out.iter_mut().enumerate() {
+            let row = &self.entries[r * self.cols..(r + 1) * self.cols];
+            let mut sum = 0.0;
+            for (e, &x) in row.iter().zip(input) {
+                match e {
+                    ProjectionEntry::Plus => sum += x,
+                    ProjectionEntry::Minus => sum -= x,
+                    ProjectionEntry::Zero => {}
+                }
+            }
+            *acc = sum;
+        }
+        Ok(out)
+    }
+
+    /// Integer projection, as executed on the WBSN (additions and
+    /// subtractions only, 32-bit accumulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpError::Dimension`] when the input length does not match the
+    /// matrix width.
+    pub fn project_i32(&self, input: &[i32]) -> Result<Vec<i32>> {
+        if input.len() != self.cols {
+            return Err(RpError::Dimension(format!(
+                "input has {} samples but the projection expects {}",
+                input.len(),
+                self.cols
+            )));
+        }
+        let mut out = vec![0i32; self.rows];
+        for (r, acc) in out.iter_mut().enumerate() {
+            let row = &self.entries[r * self.cols..(r + 1) * self.cols];
+            let mut sum = 0i64;
+            for (e, &x) in row.iter().zip(input) {
+                match e {
+                    ProjectionEntry::Plus => sum += x as i64,
+                    ProjectionEntry::Minus => sum -= x as i64,
+                    ProjectionEntry::Zero => {}
+                }
+            }
+            *acc = sum.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+        }
+        Ok(out)
+    }
+
+    /// Returns a copy of the matrix restricted to every `factor`-th column,
+    /// matching a downsampled input window (Section III-B: downsampling the
+    /// acquisition also shrinks the stored matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn downsample_columns(&self, factor: usize) -> AchlioptasMatrix {
+        assert!(factor > 0, "downsampling factor must be non-zero");
+        let kept: Vec<usize> = (0..self.cols).step_by(factor).collect();
+        let mut entries = Vec::with_capacity(self.rows * kept.len());
+        for r in 0..self.rows {
+            for &c in &kept {
+                entries.push(self.entry(r, c));
+            }
+        }
+        AchlioptasMatrix {
+            entries,
+            rows: self.rows,
+            cols: kept.len(),
+        }
+    }
+
+    /// Number of additions/subtractions performed per projected beat — the
+    /// work metric used by the platform cycle model.
+    pub fn operations_per_projection(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| !matches!(e, ProjectionEntry::Zero))
+            .count()
+    }
+
+    /// Memory footprint in bytes when stored with one byte per entry.
+    pub fn unpacked_size_bytes(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_value_roundtrip() {
+        for e in [ProjectionEntry::Zero, ProjectionEntry::Plus, ProjectionEntry::Minus] {
+            assert_eq!(ProjectionEntry::from_value(e.value()), e);
+        }
+        assert_eq!(ProjectionEntry::from_value(17), ProjectionEntry::Plus);
+        assert_eq!(ProjectionEntry::from_value(-3), ProjectionEntry::Minus);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_has_expected_density() {
+        let a = AchlioptasMatrix::generate(16, 200, 1);
+        let b = AchlioptasMatrix::generate(16, 200, 1);
+        assert_eq!(a, b);
+        let c = AchlioptasMatrix::generate(16, 200, 2);
+        assert_ne!(a, c);
+        // Density should be close to 1/3.
+        assert!((a.density() - 1.0 / 3.0).abs() < 0.05, "density {}", a.density());
+    }
+
+    #[test]
+    fn projection_matches_manual_computation() {
+        use ProjectionEntry::{Minus, Plus, Zero};
+        let m = AchlioptasMatrix::from_entries(
+            2,
+            3,
+            vec![Plus, Zero, Minus, Minus, Plus, Plus],
+        )
+        .expect("valid entries");
+        let out = m.project(&[1.0, 2.0, 3.0]);
+        assert_eq!(out, vec![1.0 - 3.0, -1.0 + 2.0 + 3.0]);
+        let outi = m.project_i32(&[1, 2, 3]).expect("dims ok");
+        assert_eq!(outi, vec![-2, 4]);
+    }
+
+    #[test]
+    fn integer_and_float_projection_agree() {
+        let m = AchlioptasMatrix::generate(8, 50, 3);
+        let input_i: Vec<i32> = (0..50).map(|i| (i * 13 % 101) - 50).collect();
+        let input_f: Vec<f64> = input_i.iter().map(|&v| v as f64).collect();
+        let pf = m.project(&input_f);
+        let pi = m.project_i32(&input_i).expect("dims ok");
+        for (f, i) in pf.iter().zip(&pi) {
+            assert_eq!(*f, *i as f64);
+        }
+    }
+
+    #[test]
+    fn dimension_errors_are_reported() {
+        let m = AchlioptasMatrix::generate(4, 10, 0);
+        assert!(m.try_project(&[0.0; 9]).is_err());
+        assert!(m.project_i32(&[0; 11]).is_err());
+        assert!(AchlioptasMatrix::from_entries(2, 2, vec![ProjectionEntry::Zero; 3]).is_err());
+        assert!(AchlioptasMatrix::from_entries(0, 2, vec![]).is_err());
+    }
+
+    #[test]
+    fn downsampled_matrix_keeps_every_fourth_column() {
+        let m = AchlioptasMatrix::generate(4, 200, 9);
+        let d = m.downsample_columns(4);
+        assert_eq!(d.rows(), 4);
+        assert_eq!(d.cols(), 50);
+        for r in 0..4 {
+            for c in 0..50 {
+                assert_eq!(d.entry(r, c), m.entry(r, c * 4));
+            }
+        }
+        assert_eq!(d.unpacked_size_bytes(), 200);
+    }
+
+    #[test]
+    fn operations_count_equals_nonzero_entries() {
+        let m = AchlioptasMatrix::generate(8, 50, 11);
+        let ops = m.operations_per_projection();
+        let nz = m
+            .entries()
+            .iter()
+            .filter(|e| !matches!(e, ProjectionEntry::Zero))
+            .count();
+        assert_eq!(ops, nz);
+        assert!(ops > 0 && ops < 8 * 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_generation_panics() {
+        AchlioptasMatrix::generate(0, 10, 0);
+    }
+}

@@ -1,0 +1,369 @@
+//! Genetic optimisation of the projection matrix.
+//!
+//! The Johnson–Lindenstrauss guarantee only bounds the *worst-case* distortion
+//! of a random projection; empirically some projections separate the beat
+//! classes better than others. The paper therefore treats each candidate
+//! matrix as a chromosome and runs a genetic algorithm (GA) — population of
+//! 20 matrices, 30 generations, crossover and mutation — where the fitness of
+//! a matrix is the score of the neuro-fuzzy classifier trained with it and
+//! evaluated on *training set 2*.
+//!
+//! The GA in this module is generic over the fitness function so it can score
+//! candidates with the full NFC training loop (as `hbc-nfc::two_step` does) or
+//! with any cheaper surrogate in tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::achlioptas::{AchlioptasMatrix, ProjectionEntry};
+use crate::{Result, RpError};
+
+/// Configuration of the genetic search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneticConfig {
+    /// Number of candidate matrices kept in the population (paper: 20).
+    pub population: usize,
+    /// Number of generations to run (paper: 30).
+    pub generations: usize,
+    /// Number of top candidates copied unchanged into the next generation.
+    pub elitism: usize,
+    /// Probability that an offspring entry is replaced by a fresh Achlioptas
+    /// draw.
+    pub mutation_rate: f64,
+    /// Probability that two parents are recombined (otherwise the better
+    /// parent is cloned before mutation).
+    pub crossover_rate: f64,
+    /// Tournament size used for parent selection.
+    pub tournament: usize,
+    /// RNG seed (the whole search is deterministic given the seed and a
+    /// deterministic fitness function).
+    pub seed: u64,
+}
+
+impl GeneticConfig {
+    /// The configuration used in the paper's experiments: 20 chromosomes, 30
+    /// generations.
+    pub fn paper() -> Self {
+        GeneticConfig {
+            population: 20,
+            generations: 30,
+            elitism: 2,
+            mutation_rate: 0.01,
+            crossover_rate: 0.9,
+            tournament: 3,
+            seed: 2013,
+        }
+    }
+
+    /// A reduced configuration for fast tests (population 6, 5 generations).
+    pub fn quick() -> Self {
+        GeneticConfig {
+            population: 6,
+            generations: 5,
+            elitism: 1,
+            mutation_rate: 0.02,
+            crossover_rate: 0.9,
+            tournament: 2,
+            seed: 7,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpError::Config`] if the population is smaller than 2, the
+    /// elitism exceeds the population, the tournament is empty, or a
+    /// probability is outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if self.population < 2 {
+            return Err(RpError::Config("population must be at least 2".into()));
+        }
+        if self.elitism >= self.population {
+            return Err(RpError::Config(
+                "elitism must be smaller than the population".into(),
+            ));
+        }
+        if self.tournament == 0 || self.tournament > self.population {
+            return Err(RpError::Config(
+                "tournament size must be in [1, population]".into(),
+            ));
+        }
+        for (name, p) in [
+            ("mutation_rate", self.mutation_rate),
+            ("crossover_rate", self.crossover_rate),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(RpError::Config(format!("{name} must be within [0, 1]")));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for GeneticConfig {
+    fn default() -> Self {
+        GeneticConfig::paper()
+    }
+}
+
+/// A scored candidate in the population.
+#[derive(Debug, Clone)]
+struct Individual {
+    matrix: AchlioptasMatrix,
+    fitness: f64,
+}
+
+/// Result of a genetic search.
+#[derive(Debug, Clone)]
+pub struct GeneticOutcome {
+    /// The best projection matrix found.
+    pub best: AchlioptasMatrix,
+    /// Fitness of the best matrix.
+    pub best_fitness: f64,
+    /// Best fitness observed at each generation (length = `generations + 1`,
+    /// including the initial population).
+    pub history: Vec<f64>,
+    /// Number of fitness evaluations performed.
+    pub evaluations: usize,
+}
+
+impl GeneticOutcome {
+    /// Improvement of the final best fitness over the initial best fitness.
+    pub fn improvement(&self) -> f64 {
+        match (self.history.first(), self.history.last()) {
+            (Some(first), Some(last)) => last - first,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Genetic optimiser over Achlioptas matrices.
+#[derive(Debug, Clone)]
+pub struct GeneticOptimizer {
+    config: GeneticConfig,
+    rows: usize,
+    cols: usize,
+}
+
+impl GeneticOptimizer {
+    /// Creates an optimiser for `rows × cols` projection matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpError::Config`] when the configuration is invalid and
+    /// [`RpError::Dimension`] when a dimension is zero.
+    pub fn new(rows: usize, cols: usize, config: GeneticConfig) -> Result<Self> {
+        config.validate()?;
+        if rows == 0 || cols == 0 {
+            return Err(RpError::Dimension(
+                "projection dimensions must be non-zero".into(),
+            ));
+        }
+        Ok(GeneticOptimizer { config, rows, cols })
+    }
+
+    /// The configuration this optimiser runs with.
+    pub fn config(&self) -> &GeneticConfig {
+        &self.config
+    }
+
+    /// Runs the search, calling `fitness` once per candidate evaluation.
+    ///
+    /// Higher fitness is better (the paper's fitness is the normal-discard
+    /// rate achieved at the target abnormal-recognition rate on training
+    /// set 2).
+    pub fn run<F>(&self, mut fitness: F) -> GeneticOutcome
+    where
+        F: FnMut(&AchlioptasMatrix) -> f64,
+    {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut evaluations = 0usize;
+
+        let mut population: Vec<Individual> = (0..cfg.population)
+            .map(|_| {
+                let matrix = AchlioptasMatrix::generate_with(self.rows, self.cols, &mut rng);
+                let fit = fitness(&matrix);
+                evaluations += 1;
+                Individual { matrix, fitness: fit }
+            })
+            .collect();
+        sort_by_fitness(&mut population);
+        let mut history = vec![population[0].fitness];
+
+        for _gen in 0..cfg.generations {
+            let mut next: Vec<Individual> = population[..cfg.elitism].to_vec();
+            while next.len() < cfg.population {
+                let parent_a = self.tournament_select(&population, &mut rng);
+                let parent_b = self.tournament_select(&population, &mut rng);
+                let mut child = if rng.gen::<f64>() < cfg.crossover_rate {
+                    self.crossover(&population[parent_a].matrix, &population[parent_b].matrix, &mut rng)
+                } else if population[parent_a].fitness >= population[parent_b].fitness {
+                    population[parent_a].matrix.clone()
+                } else {
+                    population[parent_b].matrix.clone()
+                };
+                self.mutate(&mut child, &mut rng);
+                let fit = fitness(&child);
+                evaluations += 1;
+                next.push(Individual {
+                    matrix: child,
+                    fitness: fit,
+                });
+            }
+            population = next;
+            sort_by_fitness(&mut population);
+            history.push(population[0].fitness);
+        }
+
+        GeneticOutcome {
+            best: population[0].matrix.clone(),
+            best_fitness: population[0].fitness,
+            history,
+            evaluations,
+        }
+    }
+
+    /// Tournament selection: returns the index of the best of `tournament`
+    /// randomly chosen individuals.
+    fn tournament_select(&self, population: &[Individual], rng: &mut StdRng) -> usize {
+        let mut best = rng.gen_range(0..population.len());
+        for _ in 1..self.config.tournament {
+            let other = rng.gen_range(0..population.len());
+            if population[other].fitness > population[best].fitness {
+                best = other;
+            }
+        }
+        best
+    }
+
+    /// Row-wise uniform crossover: each row of the child comes from one of
+    /// the two parents. Rows are the natural gene boundary because each row
+    /// produces one projected coefficient.
+    fn crossover(
+        &self,
+        a: &AchlioptasMatrix,
+        b: &AchlioptasMatrix,
+        rng: &mut StdRng,
+    ) -> AchlioptasMatrix {
+        let mut entries = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            let source = if rng.gen::<bool>() { a } else { b };
+            entries.extend_from_slice(source.row(r));
+        }
+        AchlioptasMatrix::from_entries(self.rows, self.cols, entries)
+            .expect("crossover preserves dimensions")
+    }
+
+    /// Point mutation: each entry is replaced by a fresh Achlioptas draw with
+    /// probability `mutation_rate`.
+    fn mutate(&self, m: &mut AchlioptasMatrix, rng: &mut StdRng) {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if rng.gen::<f64>() < self.config.mutation_rate {
+                    *m.entry_mut(r, c) = ProjectionEntry::sample(rng);
+                }
+            }
+        }
+    }
+}
+
+fn sort_by_fitness(population: &mut [Individual]) {
+    population.sort_by(|a, b| {
+        b.fitness
+            .partial_cmp(&a.fitness)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic fitness: reward matrices whose first row has many +1
+    /// entries. The GA should reliably improve it.
+    fn plus_count_fitness(m: &AchlioptasMatrix) -> f64 {
+        m.row(0)
+            .iter()
+            .filter(|e| matches!(e, ProjectionEntry::Plus))
+            .count() as f64
+            / m.cols() as f64
+    }
+
+    #[test]
+    fn config_validation_catches_bad_parameters() {
+        assert!(GeneticConfig::paper().validate().is_ok());
+        assert!(GeneticConfig::quick().validate().is_ok());
+        let mut c = GeneticConfig::quick();
+        c.population = 1;
+        assert!(c.validate().is_err());
+        let mut c = GeneticConfig::quick();
+        c.elitism = c.population;
+        assert!(c.validate().is_err());
+        let mut c = GeneticConfig::quick();
+        c.mutation_rate = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = GeneticConfig::quick();
+        c.tournament = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn paper_config_matches_the_manuscript() {
+        let c = GeneticConfig::paper();
+        assert_eq!(c.population, 20);
+        assert_eq!(c.generations, 30);
+    }
+
+    #[test]
+    fn optimizer_rejects_zero_dimensions() {
+        assert!(GeneticOptimizer::new(0, 10, GeneticConfig::quick()).is_err());
+        assert!(GeneticOptimizer::new(8, 0, GeneticConfig::quick()).is_err());
+    }
+
+    #[test]
+    fn search_improves_a_simple_fitness() {
+        let mut cfg = GeneticConfig::quick();
+        cfg.generations = 15;
+        cfg.population = 10;
+        let opt = GeneticOptimizer::new(4, 30, cfg).expect("valid config");
+        let outcome = opt.run(plus_count_fitness);
+        assert!(
+            outcome.improvement() > 0.0,
+            "GA should improve fitness, history = {:?}",
+            outcome.history
+        );
+        assert_eq!(outcome.history.len(), 16);
+        assert!(outcome.best_fitness >= outcome.history[0]);
+        assert_eq!(outcome.best_fitness, plus_count_fitness(&outcome.best));
+    }
+
+    #[test]
+    fn history_is_monotone_with_elitism() {
+        let opt = GeneticOptimizer::new(4, 20, GeneticConfig::quick()).expect("valid config");
+        let outcome = opt.run(plus_count_fitness);
+        for w in outcome.history.windows(2) {
+            assert!(w[1] >= w[0], "elitism guarantees non-decreasing best fitness");
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic_for_a_seed() {
+        let opt = GeneticOptimizer::new(4, 20, GeneticConfig::quick()).expect("valid config");
+        let a = opt.run(plus_count_fitness);
+        let b = opt.run(plus_count_fitness);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn evaluation_count_matches_population_times_generations() {
+        let cfg = GeneticConfig::quick();
+        let opt = GeneticOptimizer::new(2, 10, cfg).expect("valid config");
+        let outcome = opt.run(plus_count_fitness);
+        let expected = cfg.population + cfg.generations * (cfg.population - cfg.elitism);
+        assert_eq!(outcome.evaluations, expected);
+    }
+}

@@ -1,0 +1,192 @@
+//! Johnson–Lindenstrauss distortion utilities.
+//!
+//! The theoretical appeal of random projections is the Johnson–Lindenstrauss
+//! (JL) lemma: for `k ≥ 4 ln(n) / (ε²/2 − ε³/3)`, all pairwise distances of
+//! `n` points are preserved within a factor `1 ± ε` with high probability.
+//! Achlioptas proved the same guarantee holds for the sparse ternary matrices
+//! used in the paper, with the projection scaled by `sqrt(3/k)`.
+//!
+//! These helpers quantify the *empirical* distortion a concrete projection
+//! induces on a concrete beat set, which is how the paper motivates that a
+//! small number of coefficients (8) is enough.
+
+use crate::achlioptas::AchlioptasMatrix;
+
+/// Scale factor that makes an Achlioptas projection an isometry in
+/// expectation: `sqrt(3 / k)` where `k` is the number of rows.
+pub fn achlioptas_scale(rows: usize) -> f64 {
+    (3.0 / rows as f64).sqrt()
+}
+
+/// Minimum number of projected dimensions the JL lemma requires to preserve
+/// pairwise distances of `n` points within `1 ± eps`.
+///
+/// # Panics
+///
+/// Panics if `eps` is not in `(0, 1)` or `n < 2`.
+pub fn jl_minimum_dimensions(n: usize, eps: f64) -> usize {
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+    assert!(n >= 2, "need at least two points");
+    let denom = eps * eps / 2.0 - eps * eps * eps / 3.0;
+    (4.0 * (n as f64).ln() / denom).ceil() as usize
+}
+
+/// Summary of the pairwise-distance distortion of a projection on a point
+/// set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistortionReport {
+    /// Smallest observed ratio `‖Pu − Pv‖² / ‖u − v‖²` (after scaling).
+    pub min_ratio: f64,
+    /// Largest observed ratio.
+    pub max_ratio: f64,
+    /// Mean observed ratio (should be close to 1 for a JL embedding).
+    pub mean_ratio: f64,
+    /// Number of point pairs measured.
+    pub pairs: usize,
+}
+
+impl DistortionReport {
+    /// The maximum relative distortion `max(|min_ratio − 1|, |max_ratio − 1|)`.
+    pub fn epsilon(&self) -> f64 {
+        (1.0 - self.min_ratio).abs().max((self.max_ratio - 1.0).abs())
+    }
+}
+
+/// Measures the pairwise squared-distance distortion of `matrix` (scaled by
+/// [`achlioptas_scale`]) over `points`.
+///
+/// Pairs whose original distance is (numerically) zero are skipped. Returns
+/// `None` when fewer than two distinct points are provided.
+pub fn measure_distortion(matrix: &AchlioptasMatrix, points: &[Vec<f64>]) -> Option<DistortionReport> {
+    if points.len() < 2 {
+        return None;
+    }
+    let scale = achlioptas_scale(matrix.rows());
+    let projected: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| {
+            matrix
+                .project(p)
+                .into_iter()
+                .map(|x| x * scale)
+                .collect::<Vec<f64>>()
+        })
+        .collect();
+
+    let mut min_ratio = f64::INFINITY;
+    let mut max_ratio = f64::NEG_INFINITY;
+    let mut sum_ratio = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let orig = squared_distance(&points[i], &points[j]);
+            if orig < 1e-12 {
+                continue;
+            }
+            let proj = squared_distance(&projected[i], &projected[j]);
+            let ratio = proj / orig;
+            min_ratio = min_ratio.min(ratio);
+            max_ratio = max_ratio.max(ratio);
+            sum_ratio += ratio;
+            pairs += 1;
+        }
+    }
+    if pairs == 0 {
+        return None;
+    }
+    Some(DistortionReport {
+        min_ratio,
+        max_ratio,
+        mean_ratio: sum_ratio / pairs as f64,
+        pairs,
+    })
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn scale_factor_matches_achlioptas() {
+        assert!((achlioptas_scale(3) - 1.0).abs() < 1e-12);
+        assert!((achlioptas_scale(12) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jl_dimension_bound_behaves_monotonically() {
+        let k1 = jl_minimum_dimensions(100, 0.3);
+        let k2 = jl_minimum_dimensions(1000, 0.3);
+        let k3 = jl_minimum_dimensions(1000, 0.1);
+        assert!(k2 > k1, "more points need more dimensions");
+        assert!(k3 > k2, "tighter epsilon needs more dimensions");
+    }
+
+    #[test]
+    #[should_panic(expected = "eps")]
+    fn jl_bound_rejects_bad_epsilon() {
+        jl_minimum_dimensions(10, 1.5);
+    }
+
+    #[test]
+    fn mean_ratio_is_close_to_one_for_large_k() {
+        // With k = 64 on 200-dimensional data the expected squared norm is
+        // preserved; the mean over many pairs should concentrate near 1.
+        let matrix = AchlioptasMatrix::generate(64, 200, 4);
+        let points = random_points(20, 200, 9);
+        let report = measure_distortion(&matrix, &points).expect("enough points");
+        assert!(
+            (report.mean_ratio - 1.0).abs() < 0.15,
+            "mean ratio {} should concentrate near 1",
+            report.mean_ratio
+        );
+        assert!(report.min_ratio > 0.0);
+        assert!(report.max_ratio >= report.mean_ratio);
+        assert_eq!(report.pairs, 20 * 19 / 2);
+        assert!(report.epsilon() < 1.0);
+    }
+
+    #[test]
+    fn more_coefficients_reduce_distortion_on_average() {
+        let points = random_points(15, 200, 17);
+        let mut eps_by_k = Vec::new();
+        for &k in &[4usize, 16, 64] {
+            // Average the worst-case distortion over several seeds to smooth
+            // out projection-to-projection variance.
+            let mut total = 0.0;
+            for seed in 0..5 {
+                let m = AchlioptasMatrix::generate(k, 200, seed);
+                total += measure_distortion(&m, &points).expect("points").epsilon();
+            }
+            eps_by_k.push(total / 5.0);
+        }
+        assert!(
+            eps_by_k[0] > eps_by_k[2],
+            "distortion should shrink from k=4 ({}) to k=64 ({})",
+            eps_by_k[0],
+            eps_by_k[2]
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        let m = AchlioptasMatrix::generate(8, 10, 0);
+        assert!(measure_distortion(&m, &[]).is_none());
+        assert!(measure_distortion(&m, &[vec![0.0; 10]]).is_none());
+        // Identical points only -> no measurable pair.
+        let same = vec![vec![1.0; 10], vec![1.0; 10]];
+        assert!(measure_distortion(&m, &same).is_none());
+    }
+}

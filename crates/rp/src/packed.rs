@@ -1,0 +1,226 @@
+//! 2-bit packed representation of the projection matrix.
+//!
+//! Section III-B of the paper: because the matrix entries only take the
+//! values {+1, 0, −1}, each entry can be coded on two bits, so the stored
+//! matrix occupies a quarter of the memory of an 8-bit-per-entry layout. On a
+//! platform with 96 KB of RAM this matters: an unpacked 32 × 200 matrix is
+//! 6.4 KB, the packed form only 1.6 KB.
+//!
+//! The encoding used here is `00 → 0`, `01 → +1`, `10 → −1` (`11` is unused
+//! and decodes to 0), packed four entries per byte, row-major.
+
+use crate::achlioptas::{AchlioptasMatrix, ProjectionEntry};
+use crate::{Result, RpError};
+
+/// A projection matrix stored at two bits per entry.
+///
+/// ```
+/// use hbc_rp::{AchlioptasMatrix, PackedProjection};
+///
+/// let dense = AchlioptasMatrix::generate(8, 200, 7);
+/// let packed = PackedProjection::from_matrix(&dense);
+/// assert_eq!(packed.size_bytes(), 8 * 200 / 4);
+/// assert_eq!(packed.to_matrix(), dense);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedProjection {
+    data: Vec<u8>,
+    rows: usize,
+    cols: usize,
+}
+
+impl PackedProjection {
+    /// Packs a dense matrix into the 2-bit representation.
+    pub fn from_matrix(matrix: &AchlioptasMatrix) -> Self {
+        let rows = matrix.rows();
+        let cols = matrix.cols();
+        let total = rows * cols;
+        let mut data = vec![0u8; total.div_ceil(4)];
+        for (i, e) in matrix.entries().iter().enumerate() {
+            let code: u8 = match e {
+                ProjectionEntry::Zero => 0b00,
+                ProjectionEntry::Plus => 0b01,
+                ProjectionEntry::Minus => 0b10,
+            };
+            data[i / 4] |= code << ((i % 4) * 2);
+        }
+        PackedProjection { data, rows, cols }
+    }
+
+    /// Reconstructs the dense matrix (used for verification and by the PC-side
+    /// tooling; the embedded code path projects directly from the packed
+    /// form).
+    pub fn to_matrix(&self) -> AchlioptasMatrix {
+        let entries = (0..self.rows * self.cols)
+            .map(|i| self.entry_at(i))
+            .collect();
+        AchlioptasMatrix::from_entries(self.rows, self.cols, entries)
+            .expect("packed data always has rows*cols entries")
+    }
+
+    fn entry_at(&self, i: usize) -> ProjectionEntry {
+        let code = (self.data[i / 4] >> ((i % 4) * 2)) & 0b11;
+        match code {
+            0b01 => ProjectionEntry::Plus,
+            0b10 => ProjectionEntry::Minus,
+            _ => ProjectionEntry::Zero,
+        }
+    }
+
+    /// Number of projected coefficients (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Input dimensionality (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of range.
+    pub fn entry(&self, row: usize, col: usize) -> ProjectionEntry {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.entry_at(row * self.cols + col)
+    }
+
+    /// Memory footprint of the packed matrix in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Memory footprint of the equivalent 8-bit-per-entry matrix in bytes.
+    pub fn unpacked_size_bytes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Raw packed bytes (what would be burned into the WBSN firmware image).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Rebuilds a packed projection from raw bytes and its dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpError::Dimension`] when the byte count does not match
+    /// `ceil(rows*cols/4)` or a dimension is zero.
+    pub fn from_bytes(rows: usize, cols: usize, data: Vec<u8>) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(RpError::Dimension("dimensions must be non-zero".into()));
+        }
+        let expected = (rows * cols).div_ceil(4);
+        if data.len() != expected {
+            return Err(RpError::Dimension(format!(
+                "expected {expected} packed bytes for a {rows}x{cols} matrix, got {}",
+                data.len()
+            )));
+        }
+        Ok(PackedProjection { data, rows, cols })
+    }
+
+    /// Projects an integer sample window directly from the packed
+    /// representation, exactly as the embedded firmware does (no unpacking
+    /// buffer, additions/subtractions only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpError::Dimension`] when the input length does not match the
+    /// matrix width.
+    pub fn project_i32(&self, input: &[i32]) -> Result<Vec<i32>> {
+        if input.len() != self.cols {
+            return Err(RpError::Dimension(format!(
+                "input has {} samples but the projection expects {}",
+                input.len(),
+                self.cols
+            )));
+        }
+        let mut out = vec![0i32; self.rows];
+        for (r, acc) in out.iter_mut().enumerate() {
+            let base = r * self.cols;
+            let mut sum = 0i64;
+            for (c, &x) in input.iter().enumerate() {
+                match self.entry_at(base + c) {
+                    ProjectionEntry::Plus => sum += x as i64,
+                    ProjectionEntry::Minus => sum -= x as i64,
+                    ProjectionEntry::Zero => {}
+                }
+            }
+            *acc = sum.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+        }
+        Ok(out)
+    }
+}
+
+impl From<&AchlioptasMatrix> for PackedProjection {
+    fn from(m: &AchlioptasMatrix) -> Self {
+        PackedProjection::from_matrix(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for seed in 0..5 {
+            let dense = AchlioptasMatrix::generate(8, 50, seed);
+            let packed = PackedProjection::from_matrix(&dense);
+            assert_eq!(packed.to_matrix(), dense);
+        }
+    }
+
+    #[test]
+    fn packed_size_is_quarter_of_unpacked() {
+        let dense = AchlioptasMatrix::generate(32, 200, 3);
+        let packed = PackedProjection::from_matrix(&dense);
+        assert_eq!(packed.unpacked_size_bytes(), 6400);
+        assert_eq!(packed.size_bytes(), 1600);
+        // Paper: 8 coefficients, 50 samples -> 100 bytes packed.
+        let small = PackedProjection::from_matrix(&AchlioptasMatrix::generate(8, 50, 3));
+        assert_eq!(small.size_bytes(), 100);
+    }
+
+    #[test]
+    fn packed_projection_matches_dense_projection() {
+        let dense = AchlioptasMatrix::generate(16, 50, 21);
+        let packed = PackedProjection::from_matrix(&dense);
+        let input: Vec<i32> = (0..50).map(|i| (i as i32 * 37 % 211) - 100).collect();
+        assert_eq!(
+            packed.project_i32(&input).expect("dims ok"),
+            dense.project_i32(&input).expect("dims ok")
+        );
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_validation() {
+        let dense = AchlioptasMatrix::generate(8, 50, 5);
+        let packed = PackedProjection::from_matrix(&dense);
+        let rebuilt =
+            PackedProjection::from_bytes(8, 50, packed.as_bytes().to_vec()).expect("valid bytes");
+        assert_eq!(rebuilt, packed);
+        assert!(PackedProjection::from_bytes(8, 50, vec![0; 99]).is_err());
+        assert!(PackedProjection::from_bytes(0, 50, vec![]).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let packed = PackedProjection::from_matrix(&AchlioptasMatrix::generate(4, 10, 1));
+        assert!(packed.project_i32(&[0; 9]).is_err());
+    }
+
+    #[test]
+    fn entry_accessor_agrees_with_dense() {
+        let dense = AchlioptasMatrix::generate(5, 17, 8); // non-multiple-of-4 total
+        let packed = PackedProjection::from_matrix(&dense);
+        for r in 0..5 {
+            for c in 0..17 {
+                assert_eq!(packed.entry(r, c), dense.entry(r, c));
+            }
+        }
+    }
+}

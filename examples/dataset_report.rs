@@ -1,0 +1,17 @@
+//! Table I — dataset composition report.
+//!
+//! ```text
+//! cargo run --release --example dataset_report            # quick scale
+//! cargo run --release --example dataset_report -- paper   # exact Table I sizes
+//! ```
+
+use heartbeat_rp::experiments::table1_composition;
+use heartbeat_rp::scale_from_args;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = scale_from_args();
+    let report = table1_composition(&config)?;
+    println!("{report}");
+    println!("total beats: {}", report.total());
+    Ok(())
+}

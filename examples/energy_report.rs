@@ -1,0 +1,24 @@
+//! Section IV-E — energy-efficiency improvement of the classifier-gated WBSN
+//! over an always-on delineation node.
+//!
+//! ```text
+//! cargo run --release --example energy_report            # quick scale
+//! cargo run --release --example energy_report -- paper   # full scale (slow)
+//! ```
+
+use heartbeat_rp::experiments::energy_report;
+use heartbeat_rp::scale_from_args;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = scale_from_args();
+    let experiment = energy_report(&config)?;
+    println!("{experiment}");
+    println!(
+        "absolute session energies: compute {:.1} -> {:.1} mJ, radio {:.1} -> {:.1} mJ",
+        experiment.report.baseline_compute_mj,
+        experiment.report.gated_compute_mj,
+        experiment.report.baseline_radio_mj,
+        experiment.report.gated_radio_mj
+    );
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Figure 4 — Gaussian membership function vs its 4-segment linear
+//! approximation and the simpler triangular interpolation.
+//!
+//! Prints the three curves as a CSV series (offset in σ units, then the three
+//! normalised grades) followed by the approximation-error summary.
+//!
+//! ```text
+//! cargo run --release --example figure4_membership
+//! ```
+
+use heartbeat_rp::experiments::figure4_curves;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let curves = figure4_curves(48)?;
+    println!("offset_sigma,gaussian,linearized,triangular");
+    for i in 0..curves.offsets_sigma.len() {
+        println!(
+            "{:.3},{:.4},{:.4},{:.4}",
+            curves.offsets_sigma[i], curves.gaussian[i], curves.linearized[i], curves.triangular[i]
+        );
+    }
+    println!();
+    println!("{curves}");
+    Ok(())
+}

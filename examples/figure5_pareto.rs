@@ -1,0 +1,23 @@
+//! Figure 5 — NDR/ARR pareto fronts for Gaussian, linearised and triangular
+//! membership functions (8 coefficients, 50 samples at 90 Hz).
+//!
+//! ```text
+//! cargo run --release --example figure5_pareto            # quick scale
+//! cargo run --release --example figure5_pareto -- paper   # full scale (slow)
+//! ```
+
+use heartbeat_rp::experiments::{figure5_pareto, MfFamily};
+use heartbeat_rp::scale_from_args;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = scale_from_args();
+    let report = figure5_pareto(&config)?;
+    println!("{report}");
+    for family in [MfFamily::Gaussian, MfFamily::Linearized, MfFamily::Triangular] {
+        match report.ndr_at_arr(family, 0.97) {
+            Some(ndr) => println!("{family:>14}: NDR at ARR >= 97 % = {:.2} %", 100.0 * ndr),
+            None => println!("{family:>14}: never reaches 97 % ARR on this sweep"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart: train the RP-based heartbeat classifier end to end and report
+//! its figures of merit.
+//!
+//! ```text
+//! cargo run --release --example quickstart            # quick scale
+//! cargo run --release --example quickstart -- paper   # full Table I scale
+//! cargo run --release --example quickstart -- 0.05    # 5 % of the test set
+//! ```
+
+use heartbeat_rp::pipeline::TrainedSystem;
+use heartbeat_rp::scale_from_args;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = scale_from_args();
+    println!(
+        "Training the RP + neuro-fuzzy classifier ({} coefficients, {} training beats)...",
+        config.coefficients,
+        config.dataset.training1.total() + config.dataset.training2.total()
+    );
+
+    let system = TrainedSystem::train(&config)?;
+
+    let pc = system.evaluate_pc_on_test()?;
+    let wbsn = system.evaluate_wbsn_on_test()?;
+
+    println!();
+    println!("PC (floating point, Gaussian MFs, 360 Hz windows)");
+    println!("  NDR = {:6.2} %   ARR = {:6.2} %", 100.0 * pc.ndr(), 100.0 * pc.arr());
+    println!("{}", pc.matrix_report());
+    println!("WBSN (integer, linearised MFs, 90 Hz windows, 2-bit packed projection)");
+    println!(
+        "  NDR = {:6.2} %   ARR = {:6.2} %",
+        100.0 * wbsn.ndr(),
+        100.0 * wbsn.arr()
+    );
+    println!("{}", wbsn.matrix_report());
+
+    println!(
+        "projection memory: {} bytes packed ({} bytes unpacked), classifier tables: {} bytes",
+        system.wbsn.projection.size_bytes(),
+        system.wbsn.projection.unpacked_size_bytes(),
+        system.wbsn.classifier.parameter_table_bytes()
+    );
+    Ok(())
+}

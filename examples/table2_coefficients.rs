@@ -1,0 +1,29 @@
+//! Table II — Normal Discard Rate at ARR ≥ 97 % for 8/16/32 coefficients,
+//! comparing the floating-point PC classifier, the integer WBSN classifier
+//! and the PCA baseline.
+//!
+//! ```text
+//! cargo run --release --example table2_coefficients            # quick scale
+//! cargo run --release --example table2_coefficients -- paper   # full scale (slow)
+//! cargo run --release --example table2_coefficients -- 0.05    # 5 % of the test set
+//! ```
+
+use heartbeat_rp::experiments::table2_ndr;
+use heartbeat_rp::scale_from_args;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = scale_from_args();
+    println!(
+        "Sweeping coefficient counts {:?} over {} test beats...",
+        config.coefficient_sweep,
+        config.dataset.test.total()
+    );
+    let report = table2_ndr(&config)?;
+    println!();
+    println!("{report}");
+    println!(
+        "largest NDR gap between the PC and WBSN rows: {:.2} percentage points",
+        100.0 * report.max_pc_wbsn_gap()
+    );
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Table III — code size and duty cycle of the embedded sub-systems on the
+//! IcyHeart platform model (6 MHz), with delineation gated by the trained
+//! classifier.
+//!
+//! ```text
+//! cargo run --release --example table3_runtime            # quick scale
+//! cargo run --release --example table3_runtime -- paper   # full scale (slow)
+//! ```
+
+use heartbeat_rp::experiments::table3_runtime;
+use heartbeat_rp::scale_from_args;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = scale_from_args();
+    let report = table3_runtime(&config)?;
+    println!("{report}");
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Workspace root library: a thin façade re-exporting the framework crate so
+//! the examples and integration tests have a single import point.
+//!
+//! The actual functionality lives in the `hbc-*` crates under `crates/`; see
+//! the repository `README.md` and `DESIGN.md` for the architecture.
+
+pub use hbc_core::*;
+
+/// Parses the common scale argument used by the examples: `quick` (default),
+/// `paper`, or a fraction such as `0.05`.
+///
+/// Unknown values fall back to `quick` so examples never panic on argument
+/// typos.
+pub fn scale_from_args() -> hbc_core::config::ExperimentConfig {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "quick".to_string());
+    match arg.as_str() {
+        "paper" => hbc_core::config::ExperimentConfig::paper(),
+        "quick" => hbc_core::config::ExperimentConfig::quick(),
+        other => other
+            .parse::<f64>()
+            .ok()
+            .and_then(|f| {
+                hbc_core::config::ExperimentConfig::at_scale(hbc_core::config::Scale::Fraction(f))
+                    .ok()
+            })
+            .unwrap_or_else(hbc_core::config::ExperimentConfig::quick),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scale_parsing_defaults_to_quick() {
+        // No recognised CLI argument is present under `cargo test`, so the
+        // fallback path must yield the quick configuration.
+        let config = super::scale_from_args();
+        assert_eq!(config, hbc_core::config::ExperimentConfig::quick());
+    }
+}

@@ -1,0 +1,83 @@
+//! Integration smoke tests: every experiment of the harness runs at quick
+//! scale and produces a report whose shape matches the paper's conclusions.
+//!
+//! (Detailed per-experiment assertions live in the unit tests of
+//! `hbc-core::experiments`; these tests exercise the public, cross-crate
+//! entry points exactly as the examples and benches do.)
+
+use heartbeat_rp::config::ExperimentConfig;
+use heartbeat_rp::experiments::{
+    energy_report, figure4_curves, figure5_pareto, table1_composition, table2_ndr, table3_runtime,
+    MfFamily,
+};
+use heartbeat_rp::hbc_ecg::Split;
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig::quick()
+}
+
+#[test]
+fn table1_reports_every_split_of_the_configured_dataset() {
+    let report = table1_composition(&config()).expect("table 1");
+    let spec = config().dataset;
+    assert_eq!(report.split(Split::Training1), spec.training1.counts);
+    assert_eq!(report.split(Split::Training2), spec.training2.counts);
+    assert_eq!(report.split(Split::Test), spec.test.counts);
+    assert!(report.to_string().contains("Table I"));
+}
+
+#[test]
+fn table2_rows_reproduce_the_papers_two_conclusions() {
+    let report = table2_ndr(&config()).expect("table 2");
+    // Conclusion 1: a small number of coefficients is already enough — the
+    // k = 8 column must not be dramatically worse than the k = 32 one.
+    let k8 = report.column(8).expect("k = 8 swept");
+    let k32 = report.column(32).expect("k = 32 swept");
+    assert!(k8.ndr_pc > k32.ndr_pc - 0.15);
+    // Conclusion 2: PC, WBSN and PCA stay within a few percentage points.
+    assert!(report.max_pc_wbsn_gap() < 0.2);
+    for column in &report.columns {
+        assert!((column.ndr_pc - column.pca_pc).abs() < 0.2);
+    }
+}
+
+#[test]
+fn figure4_quantifies_the_linearisation_quality() {
+    let curves = figure4_curves(64).expect("figure 4");
+    assert!(curves.linearized_max_error < curves.triangular_max_error + 1e-12);
+    assert!(curves.linearized_mean_error < 0.06);
+}
+
+#[test]
+fn figure5_front_ordering_matches_the_paper() {
+    let report = figure5_pareto(&config()).expect("figure 5");
+    // At a high recognition-rate requirement the linearised classifier stays
+    // close to the Gaussian one while the triangular variant does not beat it.
+    let g = report.ndr_at_arr(MfFamily::Gaussian, 0.95).unwrap_or(0.0);
+    let l = report.ndr_at_arr(MfFamily::Linearized, 0.95).unwrap_or(0.0);
+    let t = report.ndr_at_arr(MfFamily::Triangular, 0.95).unwrap_or(0.0);
+    assert!(g > 0.5);
+    assert!(l > g - 0.25);
+    assert!(t <= l + 0.05);
+}
+
+#[test]
+fn table3_and_energy_reports_are_mutually_consistent() {
+    let table3 = table3_runtime(&config()).expect("table 3");
+    let energy = energy_report(&config()).expect("energy");
+    // Both experiments train the same system from the same seed, so the
+    // forwarded fractions they measure must agree.
+    assert!(
+        (table3.forwarded_fraction - energy.forwarded_fraction).abs() < 0.05,
+        "table 3 forwards {:.3}, energy forwards {:.3}",
+        table3.forwarded_fraction,
+        energy.forwarded_fraction
+    );
+    // The computation saving reported by the energy experiment equals the
+    // duty-cycle reduction of Table III by construction.
+    assert!((table3.runtime_reduction - energy.compute_reduction).abs() < 0.02);
+    // And the savings are substantial, as the paper claims.
+    assert!(energy.compute_reduction > 0.35);
+    assert!(energy.radio_reduction > 0.4);
+    assert!(energy.total_reduction > 0.1);
+}

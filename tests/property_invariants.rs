@@ -1,0 +1,216 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the framework:
+//!
+//! * the 2-bit packed projection is a lossless encoding of the dense matrix
+//!   and projects identically;
+//! * random projection is linear and its integer/float paths agree;
+//! * MIT-BIH format-212 and annotation encodings round-trip;
+//! * integer membership functions are bounded, symmetric and monotone;
+//! * the defuzzification rule is monotone in α (raising α only moves beats
+//!   towards *Unknown*), which is the property the α calibration relies on;
+//! * beat windowing and downsampling preserve the documented lengths.
+
+use proptest::prelude::*;
+
+use heartbeat_rp::hbc_ecg::beat::{Beat, BeatClass, BeatWindow};
+use heartbeat_rp::hbc_ecg::mitbih;
+use heartbeat_rp::hbc_embedded::int_classifier::{AlphaQ16, IntegerNfc, MembershipKind};
+use heartbeat_rp::hbc_embedded::linear_mf::{IntMembership, LinearizedMf, TriangularMf, MF_FULL_SCALE};
+use heartbeat_rp::hbc_nfc::{GaussianMf, NeuroFuzzyClassifier};
+use heartbeat_rp::hbc_rp::{AchlioptasMatrix, PackedProjection};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn packed_projection_roundtrips_and_projects_identically(
+        rows in 1usize..24,
+        cols in 1usize..120,
+        seed in any::<u64>(),
+        input_seed in any::<u64>(),
+    ) {
+        let dense = AchlioptasMatrix::generate(rows, cols, seed);
+        let packed = PackedProjection::from_matrix(&dense);
+        prop_assert_eq!(packed.to_matrix(), dense.clone());
+        prop_assert_eq!(packed.size_bytes(), (rows * cols).div_ceil(4));
+
+        // Pseudo-random integer input derived from the seed (kept small so
+        // the accumulators stay far from overflow).
+        let input: Vec<i32> = (0..cols)
+            .map(|i| {
+                let mixed = input_seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((i as u64).wrapping_mul(1442695040888963407));
+                ((mixed >> 33) as i32 % 2048) - 1024
+            })
+            .collect();
+        prop_assert_eq!(packed.project_i32(&input).expect("dims"), dense.project_i32(&input).expect("dims"));
+    }
+
+    #[test]
+    fn projection_is_linear_and_integer_matches_float(
+        seed in any::<u64>(),
+        scale in 1i32..50,
+    ) {
+        let matrix = AchlioptasMatrix::generate(8, 64, seed);
+        let a: Vec<i32> = (0..64).map(|i| (i as i32 * 7 % 101) - 50).collect();
+        let b: Vec<i32> = (0..64).map(|i| (i as i32 * 13 % 89) - 44).collect();
+        let sum: Vec<i32> = a.iter().zip(&b).map(|(x, y)| x + scale * y).collect();
+
+        let pa = matrix.project_i32(&a).expect("dims");
+        let pb = matrix.project_i32(&b).expect("dims");
+        let psum = matrix.project_i32(&sum).expect("dims");
+        for k in 0..8 {
+            prop_assert_eq!(psum[k], pa[k] + scale * pb[k], "linearity violated at row {}", k);
+        }
+
+        let fa: Vec<f64> = a.iter().map(|&v| v as f64).collect();
+        let pf = matrix.project(&fa);
+        for k in 0..8 {
+            prop_assert!((pf[k] - pa[k] as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn format_212_roundtrips_arbitrary_12bit_channels(
+        samples in prop::collection::vec((-2048i32..=2047, -2048i32..=2047), 1..200)
+    ) {
+        let ch0: Vec<i32> = samples.iter().map(|(a, _)| *a).collect();
+        let ch1: Vec<i32> = samples.iter().map(|(_, b)| *b).collect();
+        let bytes = mitbih::encode_format_212(&ch0, &ch1);
+        let (d0, d1) = mitbih::decode_format_212(&bytes).expect("well-formed stream");
+        prop_assert_eq!(d0, ch0);
+        prop_assert_eq!(d1, ch1);
+    }
+
+    #[test]
+    fn annotation_encoding_roundtrips_sorted_beats(
+        deltas in prop::collection::vec(1usize..5000, 1..100),
+        codes in prop::collection::vec(0u8..3, 100)
+    ) {
+        let mut sample = 0usize;
+        let annotations: Vec<(usize, mitbih::MitAnnotationCode)> = deltas
+            .iter()
+            .zip(&codes)
+            .map(|(d, c)| {
+                sample += d;
+                let code = match c {
+                    0 => mitbih::MitAnnotationCode::Normal,
+                    1 => mitbih::MitAnnotationCode::Pvc,
+                    _ => mitbih::MitAnnotationCode::Lbbb,
+                };
+                (sample, code)
+            })
+            .collect();
+        let bytes = mitbih::encode_annotations(&annotations);
+        let decoded = mitbih::decode_annotations(&bytes).expect("well-formed stream");
+        prop_assert_eq!(decoded.len(), annotations.len());
+        for ((s, c), (ds, dc)) in annotations.iter().zip(&decoded) {
+            prop_assert_eq!(s, ds);
+            prop_assert_eq!(c.code(), dc.code());
+        }
+    }
+
+    #[test]
+    fn integer_membership_functions_are_bounded_symmetric_and_monotone(
+        center in -100_000i32..100_000,
+        s in 1i32..5_000,
+        offset in 0i32..25_000,
+    ) {
+        for mf in [
+            IntMembership::Linearized(LinearizedMf::new(center, s)),
+            IntMembership::Triangular(TriangularMf::new(center, s)),
+        ] {
+            let up = mf.grade(center.saturating_add(offset));
+            let down = mf.grade(center.saturating_sub(offset));
+            prop_assert_eq!(up, down, "symmetry around the centre");
+            prop_assert!(u32::from(up) <= MF_FULL_SCALE);
+            // Monotone: one step further from the centre never increases the
+            // grade.
+            let further = mf.grade(center.saturating_add(offset + 1));
+            prop_assert!(further <= up);
+            // Peak at the centre.
+            prop_assert!(mf.grade(center) >= up);
+        }
+    }
+
+    #[test]
+    fn defuzzification_is_monotone_in_alpha(
+        input in prop::collection::vec(-2000i32..2000, 8),
+        alpha_lo in 0.0f64..1.0,
+        alpha_hi in 0.0f64..1.0,
+    ) {
+        let (alpha_lo, alpha_hi) = if alpha_lo <= alpha_hi { (alpha_lo, alpha_hi) } else { (alpha_hi, alpha_lo) };
+        let rows = (0..8)
+            .map(|_| {
+                [
+                    IntMembership::new(MembershipKind::Linearized, 0, 300),
+                    IntMembership::new(MembershipKind::Linearized, 900, 300),
+                    IntMembership::new(MembershipKind::Linearized, -900, 300),
+                ]
+            })
+            .collect();
+        let classifier = IntegerNfc::new(rows).expect("non-empty");
+        let lo = classifier
+            .classify(&input, AlphaQ16::from_f64(alpha_lo).expect("range"))
+            .expect("dims");
+        let hi = classifier
+            .classify(&input, AlphaQ16::from_f64(alpha_hi).expect("range"))
+            .expect("dims");
+        // Raising alpha can only turn a confident decision into Unknown; it
+        // can never flip between two confident classes.
+        if hi.class != BeatClass::Unknown {
+            prop_assert_eq!(hi.class, lo.class);
+        }
+        if lo.class == BeatClass::Unknown {
+            prop_assert_eq!(hi.class, BeatClass::Unknown);
+        }
+    }
+
+    #[test]
+    fn float_classifier_fuzzy_values_form_a_distribution(
+        coeffs in prop::collection::vec(-50.0f64..50.0, 8),
+        centers in prop::collection::vec(-20.0f64..20.0, 24),
+        sigmas in prop::collection::vec(0.1f64..10.0, 24),
+    ) {
+        let mfs: Vec<[GaussianMf; 3]> = (0..8)
+            .map(|k| {
+                [
+                    GaussianMf::new(centers[3 * k], sigmas[3 * k]),
+                    GaussianMf::new(centers[3 * k + 1], sigmas[3 * k + 1]),
+                    GaussianMf::new(centers[3 * k + 2], sigmas[3 * k + 2]),
+                ]
+            })
+            .collect();
+        let classifier = NeuroFuzzyClassifier::new(mfs).expect("non-empty");
+        let fuzzy = classifier.fuzzy_values(&coeffs).expect("dims");
+        let sum: f64 = fuzzy.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(fuzzy.iter().all(|v| v.is_finite() && *v >= 0.0));
+        // And the decision respects the margin rule at alpha = 0 (never
+        // Unknown).
+        let decision = classifier.classify(&coeffs, 0.0).expect("dims");
+        prop_assert_ne!(decision.class, BeatClass::Unknown);
+    }
+
+    #[test]
+    fn beat_windowing_and_downsampling_preserve_lengths(
+        len in 300usize..2000,
+        peak in 0usize..2000,
+        factor in 1usize..8,
+    ) {
+        let signal: Vec<f64> = (0..len).map(|i| (i as f64 * 0.01).sin()).collect();
+        let window = BeatWindow::PAPER;
+        match window.extract(&signal, peak) {
+            Some(samples) => {
+                prop_assert_eq!(samples.len(), window.len());
+                let beat = Beat::new(samples, BeatClass::Normal);
+                let down = beat.downsample(factor);
+                prop_assert_eq!(down.samples.len(), beat.samples.len().div_ceil(factor));
+            }
+            None => {
+                prop_assert!(peak < window.pre || peak + window.post > len);
+            }
+        }
+    }
+}
