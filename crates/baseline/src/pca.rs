@@ -54,6 +54,9 @@ impl Pca {
     /// Returns [`PcaError::InvalidData`] for an empty or ragged training set
     /// and [`PcaError::TooManyComponents`] when `num_components` exceeds the
     /// input dimensionality.
+    // Index loops mirror the symmetric-matrix math more directly than
+    // iterator chains throughout this routine.
+    #[allow(clippy::needless_range_loop)]
     pub fn fit(data: &[Vec<f64>], num_components: usize) -> Result<Self, PcaError> {
         if data.is_empty() {
             return Err(PcaError::InvalidData("empty training set".into()));
@@ -198,7 +201,14 @@ impl Pca {
 /// Cyclic Jacobi eigendecomposition of a symmetric matrix. Returns
 /// `(eigenvalues, eigenvectors)` where `eigenvectors[i][j]` is the i-th
 /// coordinate of the j-th eigenvector.
-fn jacobi_eigen(matrix: &[Vec<f64>], max_sweeps: usize, tolerance: f64) -> (Vec<f64>, Vec<Vec<f64>>) {
+// Textbook Jacobi rotations are written with explicit (i, j, k) index
+// triples; iterator rewrites obscure the symmetry being exploited.
+#[allow(clippy::needless_range_loop)]
+fn jacobi_eigen(
+    matrix: &[Vec<f64>],
+    max_sweeps: usize,
+    tolerance: f64,
+) -> (Vec<f64>, Vec<Vec<f64>>) {
     let n = matrix.len();
     let mut a: Vec<Vec<f64>> = matrix.to_vec();
     let mut v = vec![vec![0.0; n]; n];
@@ -284,7 +294,10 @@ mod tests {
     fn fit_validates_its_input() {
         assert!(matches!(Pca::fit(&[], 2), Err(PcaError::InvalidData(_))));
         let ragged = vec![vec![0.0; 3], vec![0.0; 2]];
-        assert!(matches!(Pca::fit(&ragged, 1), Err(PcaError::InvalidData(_))));
+        assert!(matches!(
+            Pca::fit(&ragged, 1),
+            Err(PcaError::InvalidData(_))
+        ));
         let data = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
         assert!(matches!(
             Pca::fit(&data, 3),

@@ -11,7 +11,10 @@ fn bench_downsampling(c: &mut Criterion) {
     let base = bench_config();
 
     println!("\nAblation — downsampling factor (NDR at ARR >= 97 % on the test split)");
-    println!("{:<10} {:>10} {:>14} {:>18}", "factor", "window", "NDR-WBSN (%)", "matrix bytes");
+    println!(
+        "{:<10} {:>10} {:>14} {:>18}",
+        "factor", "window", "NDR-WBSN (%)", "matrix bytes"
+    );
     let mut systems = Vec::new();
     for &factor in &[1usize, 2, 4] {
         let mut config = base;

@@ -37,10 +37,22 @@ fn bench_ga_gain(c: &mut Criterion) {
     let ga_fitted = ga_trainer.fit(&dataset).expect("fit");
 
     println!("\nAblation — genetic optimisation of the projection matrix");
-    println!("mean single-draw fitness (NDR @ target ARR): {:.4}", mean_single);
-    println!("best single-draw fitness                  : {:.4}", best_single);
-    println!("GA-optimised fitness                      : {:.4}", ga_fitted.fitness);
-    println!("GA history                                : {:?}", ga_fitted.ga_history);
+    println!(
+        "mean single-draw fitness (NDR @ target ARR): {:.4}",
+        mean_single
+    );
+    println!(
+        "best single-draw fitness                  : {:.4}",
+        best_single
+    );
+    println!(
+        "GA-optimised fitness                      : {:.4}",
+        ga_fitted.fitness
+    );
+    println!(
+        "GA history                                : {:?}",
+        ga_fitted.ga_history
+    );
 
     let mut group = c.benchmark_group("ablation_ga");
     group.sample_size(10);

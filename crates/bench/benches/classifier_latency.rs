@@ -16,20 +16,41 @@ fn bench_classifier(c: &mut Criterion) {
     let pc_coeffs = system.pc.projection.project(&beat.samples);
     let downsampled = beat.downsample(system.config.downsample);
     let quantized = system.wbsn.adc.quantize_samples(&downsampled.samples);
-    let wbsn_coeffs = system.wbsn.projection.project_i32(&quantized).expect("dims");
+    let wbsn_coeffs = system
+        .wbsn
+        .projection
+        .project_i32(&quantized)
+        .expect("dims");
     let triangular = system
         .wbsn_with_kind(MembershipKind::Triangular)
         .expect("triangular variant");
 
     let mut group = c.benchmark_group("classifier_per_beat");
     group.bench_function("float_gaussian_nfc", |b| {
-        b.iter(|| system.pc.classifier.classify(&pc_coeffs, alpha_f).expect("dims"))
+        b.iter(|| {
+            system
+                .pc
+                .classifier
+                .classify(&pc_coeffs, alpha_f)
+                .expect("dims")
+        })
     });
     group.bench_function("integer_linearized_nfc", |b| {
-        b.iter(|| system.wbsn.classifier.classify(&wbsn_coeffs, alpha_q).expect("dims"))
+        b.iter(|| {
+            system
+                .wbsn
+                .classifier
+                .classify(&wbsn_coeffs, alpha_q)
+                .expect("dims")
+        })
     });
     group.bench_function("integer_triangular_nfc", |b| {
-        b.iter(|| triangular.classifier.classify(&wbsn_coeffs, alpha_q).expect("dims"))
+        b.iter(|| {
+            triangular
+                .classifier
+                .classify(&wbsn_coeffs, alpha_q)
+                .expect("dims")
+        })
     });
     group.bench_function("end_to_end_wbsn_beat", |b| {
         b.iter(|| system.wbsn.classify(beat).expect("window matches"))

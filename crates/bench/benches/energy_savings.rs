@@ -31,7 +31,9 @@ fn bench_energy(c: &mut Criterion) {
     group.bench_function("full_experiment", |b| {
         b.iter(|| energy_report(&config).expect("report"))
     });
-    group.bench_function("energy_model_only", |b| b.iter(|| model.report(&duty, &stats)));
+    group.bench_function("energy_model_only", |b| {
+        b.iter(|| model.report(&duty, &stats))
+    });
     group.finish();
 }
 

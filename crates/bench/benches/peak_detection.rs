@@ -19,7 +19,9 @@ fn bench_peak_detection(c: &mut Criterion) {
     let peaks = detector.detect(&filtered).expect("peaks");
     let delineator = Delineator::new(record.fs);
     let window = hbc_ecg::beat::BeatWindow::PAPER;
-    let beat = window.extract(&filtered, peaks[peaks.len() / 2]).expect("window");
+    let beat = window
+        .extract(&filtered, peaks[peaks.len() / 2])
+        .expect("window");
 
     let mut group = c.benchmark_group("conditioning_one_minute");
     group.sample_size(20);
@@ -30,7 +32,11 @@ fn bench_peak_detection(c: &mut Criterion) {
         b.iter(|| detector.detect(&filtered).expect("peaks"))
     });
     group.bench_function("mmd_delineation_per_beat", |b| {
-        b.iter(|| delineator.delineate_beat(&beat, window.pre).expect("delineate"))
+        b.iter(|| {
+            delineator
+                .delineate_beat(&beat, window.pre)
+                .expect("delineate")
+        })
     });
     group.finish();
 }

@@ -21,7 +21,9 @@ fn bench_table3(c: &mut Criterion) {
         b.iter(|| table3_runtime(&config).expect("report"))
     });
     group.bench_function("duty_cycle_model_only", |b| {
-        b.iter(|| cycle_model.duty_cycles(&system.wbsn.projection, &system.wbsn.classifier, &workload))
+        b.iter(|| {
+            cycle_model.duty_cycles(&system.wbsn.projection, &system.wbsn.classifier, &workload)
+        })
     });
     group.finish();
 }

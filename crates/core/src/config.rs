@@ -140,10 +140,14 @@ impl ExperimentConfig {
     /// Returns [`CoreError::Config`] when a field is out of range.
     pub fn validate(&self) -> Result<()> {
         if self.coefficients == 0 {
-            return Err(CoreError::Config("coefficient count must be non-zero".into()));
+            return Err(CoreError::Config(
+                "coefficient count must be non-zero".into(),
+            ));
         }
         if self.downsample == 0 {
-            return Err(CoreError::Config("downsampling factor must be non-zero".into()));
+            return Err(CoreError::Config(
+                "downsampling factor must be non-zero".into(),
+            ));
         }
         if !(self.target_arr > 0.0 && self.target_arr <= 1.0) {
             return Err(CoreError::Config(format!(
@@ -197,7 +201,10 @@ mod tests {
         let c = ExperimentConfig::at_scale(Scale::Fraction(0.01)).expect("valid");
         assert!(c.dataset.test.total() < 1000);
         assert!(c.genetic.is_none());
-        assert!(ExperimentConfig::at_scale(Scale::Paper).expect("valid").genetic.is_some());
+        assert!(ExperimentConfig::at_scale(Scale::Paper)
+            .expect("valid")
+            .genetic
+            .is_some());
         assert_eq!(
             ExperimentConfig::at_scale(Scale::Quick).expect("valid"),
             ExperimentConfig::quick()

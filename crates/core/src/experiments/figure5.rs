@@ -11,6 +11,7 @@ use hbc_embedded::MembershipKind;
 use hbc_nfc::metrics::{pareto_front, ParetoPoint};
 
 use crate::config::ExperimentConfig;
+use crate::engine::Engine;
 use crate::pipeline::TrainedSystem;
 use crate::Result;
 
@@ -96,6 +97,17 @@ impl std::fmt::Display for Figure5Report {
 ///
 /// Returns an error when the configuration is invalid or training fails.
 pub fn figure5_pareto(config: &ExperimentConfig) -> Result<Figure5Report> {
+    figure5_pareto_with(&Engine::default(), config)
+}
+
+/// [`figure5_pareto`] with an explicit evaluation engine: the α_test points
+/// of each family are independent full-test-set scans, so the engine spreads
+/// them over its workers (the sweep order of the report is preserved).
+///
+/// # Errors
+///
+/// Returns an error when the configuration is invalid or training fails.
+pub fn figure5_pareto_with(engine: &Engine, config: &ExperimentConfig) -> Result<Figure5Report> {
     config.validate()?;
     let system = TrainedSystem::train(config)?;
     let alphas: Vec<f64> = (0..config.pareto_points)
@@ -106,18 +118,19 @@ pub fn figure5_pareto(config: &ExperimentConfig) -> Result<Figure5Report> {
 
     // Gaussian (floating point) on the downsampled windows, like the WBSN
     // variants, so the three families differ only by the membership shape.
-    let mut gaussian_points = Vec::with_capacity(alphas.len());
-    for &alpha in &alphas {
+    // Each α point scans the whole test split sequentially; the engine
+    // parallelises across points instead of within them.
+    let gaussian_points = engine.try_map(&alphas, |&alpha| {
         let report = system
             .pc_downsampled
             .evaluate(&system.dataset_downsampled.test, alpha)
             .map_err(crate::CoreError::Nfc)?;
-        gaussian_points.push(ParetoPoint {
+        Ok(ParetoPoint {
             alpha,
             ndr: report.ndr(),
             arr: report.arr(),
-        });
-    }
+        })
+    })?;
     sweeps.push((MfFamily::Gaussian, gaussian_points));
 
     // Integer families.
@@ -126,15 +139,14 @@ pub fn figure5_pareto(config: &ExperimentConfig) -> Result<Figure5Report> {
         (MfFamily::Triangular, MembershipKind::Triangular),
     ] {
         let pipeline = system.wbsn_with_kind(kind)?;
-        let mut points = Vec::with_capacity(alphas.len());
-        for &alpha in &alphas {
+        let points = engine.try_map(&alphas, |&alpha| {
             let report = pipeline.evaluate(&system.dataset.test, AlphaQ16::from_f64(alpha)?)?;
-            points.push(ParetoPoint {
+            Ok(ParetoPoint {
                 alpha,
                 ndr: report.ndr(),
                 arr: report.arr(),
-            });
-        }
+            })
+        })?;
         sweeps.push((family, points));
     }
 
@@ -162,7 +174,11 @@ mod tests {
         let r = report();
         assert_eq!(r.sweeps.len(), 3);
         assert_eq!(r.fronts.len(), 3);
-        for family in [MfFamily::Gaussian, MfFamily::Linearized, MfFamily::Triangular] {
+        for family in [
+            MfFamily::Gaussian,
+            MfFamily::Linearized,
+            MfFamily::Triangular,
+        ] {
             assert!(
                 !r.front(family).is_empty(),
                 "family {family} has an empty pareto front"

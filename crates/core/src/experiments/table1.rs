@@ -37,7 +37,11 @@ impl Table1Report {
 impl std::fmt::Display for Table1Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Table I — dataset composition")?;
-        writeln!(f, "{:<16} {:>8} {:>8} {:>8} {:>8}", "split", "N", "V", "L", "Total")?;
+        writeln!(
+            f,
+            "{:<16} {:>8} {:>8} {:>8} {:>8}",
+            "split", "N", "V", "L", "Total"
+        )?;
         for (split, counts) in &self.rows {
             writeln!(
                 f,
@@ -80,7 +84,10 @@ mod tests {
     fn quick_report_matches_its_specification() {
         let config = ExperimentConfig::quick();
         let report = table1_composition(&config).expect("report");
-        assert_eq!(report.split(Split::Training1), config.dataset.training1.counts);
+        assert_eq!(
+            report.split(Split::Training1),
+            config.dataset.training1.counts
+        );
         assert_eq!(report.split(Split::Test), config.dataset.test.counts);
         assert_eq!(report.total(), config.dataset.total());
         let text = report.to_string();

@@ -54,7 +54,11 @@ impl std::fmt::Display for Table3Report {
             f,
             "Table III — code size and duty cycle on the IcyHeart platform (6 MHz)"
         )?;
-        writeln!(f, "{:<38} {:>14} {:>12}", "", "Code Size (KB)", "Duty Cycle")?;
+        writeln!(
+            f,
+            "{:<38} {:>14} {:>12}",
+            "", "Code Size (KB)", "Duty Cycle"
+        )?;
         for row in &self.rows {
             writeln!(
                 f,
@@ -151,7 +155,11 @@ mod tests {
         assert!(r.rows[1].code_size_kib < r.rows[2].code_size_kib);
         assert!(r.rows[2].code_size_kib < r.rows[3].code_size_kib);
         // Duty cycle: classifier tiny, (3) well below (2).
-        assert!(r.rows[0].duty_cycle < 0.01, "classifier duty {}", r.rows[0].duty_cycle);
+        assert!(
+            r.rows[0].duty_cycle < 0.01,
+            "classifier duty {}",
+            r.rows[0].duty_cycle
+        );
         assert!(r.rows[1].duty_cycle < r.rows[2].duty_cycle);
         assert!(r.rows[3].duty_cycle < r.rows[2].duty_cycle);
     }

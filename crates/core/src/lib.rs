@@ -21,6 +21,9 @@
 //! * [`config`] — experiment configuration with `quick` / `paper` presets;
 //! * [`pipeline`] — training of the PC (floating-point) and WBSN (integer)
 //!   pipelines from one dataset;
+//! * [`engine`] — a work-stealing parallel runner that evaluates trained
+//!   pipelines over beat sets, α sweeps and whole record collections on all
+//!   cores, with bit-identical results to the sequential path;
 //! * [`experiments`] — one function per table / figure of the paper, each
 //!   returning a typed report that prints the corresponding rows.
 //!
@@ -43,10 +46,12 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod engine;
 pub mod experiments;
 pub mod pipeline;
 
 pub use config::{ExperimentConfig, Scale};
+pub use engine::{BeatEvaluator, Engine, EngineConfig, MultiRecordReport};
 pub use pipeline::{TrainedSystem, WbsnPipeline};
 
 // Re-export the substrate crates so downstream users need a single

@@ -20,6 +20,7 @@ use hbc_nfc::{FittedPipeline, TwoStepTrainer};
 use hbc_rp::PackedProjection;
 
 use crate::config::ExperimentConfig;
+use crate::engine::{Engine, WbsnEvaluator};
 use crate::Result;
 
 /// The integer (WBSN) deployment of a trained classifier.
@@ -56,7 +57,10 @@ impl WbsnPipeline {
     pub fn classify_with_alpha(&self, beat: &Beat, alpha: AlphaQ16) -> Result<hbc_ecg::BeatClass> {
         let downsampled = beat.downsample(self.downsample);
         let quantized = self.adc.quantize_samples(&downsampled.samples);
-        let coefficients = self.projection.project_i32(&quantized).map_err(crate::CoreError::Rp)?;
+        let coefficients = self
+            .projection
+            .project_i32(&quantized)
+            .map_err(crate::CoreError::Rp)?;
         Ok(self
             .classifier
             .classify(&coefficients, alpha)
@@ -81,8 +85,32 @@ impl WbsnPipeline {
         Ok(report)
     }
 
+    /// [`Self::evaluate`] spread over `engine`'s workers; the report is
+    /// bit-identical to the sequential pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a beat window does not match the pipeline.
+    pub fn evaluate_with(
+        &self,
+        engine: &Engine,
+        beats: &[Beat],
+        alpha: AlphaQ16,
+    ) -> Result<EvaluationReport> {
+        engine.evaluate_beats(
+            &WbsnEvaluator {
+                pipeline: self,
+                alpha,
+            },
+            beats,
+        )
+    }
+
     /// Calibrates α_test so the ARR measured on `beats` reaches
     /// `target_arr`, returning the calibrated α and its report.
+    ///
+    /// Every probe of the binary search scans the full beat set, so the
+    /// probes run on all cores by default.
     ///
     /// # Errors
     ///
@@ -92,10 +120,24 @@ impl WbsnPipeline {
         beats: &[Beat],
         target_arr: f64,
     ) -> Result<(AlphaQ16, EvaluationReport)> {
+        self.calibrate_alpha_with(&Engine::default(), beats, target_arr)
+    }
+
+    /// [`Self::calibrate_alpha`] with an explicit evaluation engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a beat window does not match the pipeline.
+    pub fn calibrate_alpha_with(
+        &self,
+        engine: &Engine,
+        beats: &[Beat],
+        target_arr: f64,
+    ) -> Result<(AlphaQ16, EvaluationReport)> {
         // Binary search over the Q16 grid (ARR is non-decreasing in α).
         let mut lo = 0u32;
         let mut hi = 65_536u32;
-        let eval = |alpha: u32| self.evaluate(beats, AlphaQ16(alpha));
+        let eval = |alpha: u32| self.evaluate_with(engine, beats, AlphaQ16(alpha));
         let hi_report = eval(hi)?;
         let mut best = (AlphaQ16(hi), hi_report);
         let lo_report = eval(lo)?;
@@ -152,10 +194,7 @@ impl TrainedSystem {
     /// # Errors
     ///
     /// Returns an error when the configuration is invalid or training fails.
-    pub fn train_with_coefficients(
-        config: &ExperimentConfig,
-        coefficients: usize,
-    ) -> Result<Self> {
+    pub fn train_with_coefficients(config: &ExperimentConfig, coefficients: usize) -> Result<Self> {
         config.validate()?;
         let dataset = Dataset::synthetic(config.dataset, config.seed);
         let dataset_downsampled = downsample_dataset(&dataset, config.downsample);
@@ -185,30 +224,60 @@ impl TrainedSystem {
     }
 
     /// Evaluates the PC pipeline on the test split at its calibrated
-    /// α_train.
+    /// α_train, using all cores.
     ///
     /// # Errors
     ///
     /// Returns an error when a beat window does not match the projection.
     pub fn evaluate_pc_on_test(&self) -> Result<EvaluationReport> {
-        Ok(self.pc.evaluate(&self.dataset.test, self.pc.alpha_train)?)
+        self.evaluate_pc_on_test_with(&Engine::default())
+    }
+
+    /// [`Self::evaluate_pc_on_test`] with an explicit evaluation engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a beat window does not match the projection.
+    pub fn evaluate_pc_on_test_with(&self, engine: &Engine) -> Result<EvaluationReport> {
+        engine.evaluate_beats(
+            &crate::engine::PcEvaluator {
+                pipeline: &self.pc,
+                alpha: self.pc.alpha_train,
+            },
+            &self.dataset.test,
+        )
     }
 
     /// Evaluates the WBSN pipeline on the (acquisition-rate) test split at
-    /// its calibrated α.
+    /// its calibrated α, using all cores.
     ///
     /// # Errors
     ///
     /// Returns an error when a beat window does not match the projection.
     pub fn evaluate_wbsn_on_test(&self) -> Result<EvaluationReport> {
-        self.wbsn.evaluate(&self.dataset.test, self.wbsn.alpha)
+        self.evaluate_wbsn_on_test_with(&Engine::default())
+    }
+
+    /// [`Self::evaluate_wbsn_on_test`] with an explicit evaluation engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a beat window does not match the projection.
+    pub fn evaluate_wbsn_on_test_with(&self, engine: &Engine) -> Result<EvaluationReport> {
+        self.wbsn
+            .evaluate_with(engine, &self.dataset.test, self.wbsn.alpha)
     }
 }
 
 /// Trains a floating-point pipeline, using the GA when the configuration
 /// enables it.
-fn fit(config: &ExperimentConfig, dataset: &Dataset, coefficients: usize) -> Result<FittedPipeline> {
-    let trainer = TwoStepTrainer::new(config.two_step(coefficients)).map_err(crate::CoreError::Nfc)?;
+fn fit(
+    config: &ExperimentConfig,
+    dataset: &Dataset,
+    coefficients: usize,
+) -> Result<FittedPipeline> {
+    let trainer =
+        TwoStepTrainer::new(config.two_step(coefficients)).map_err(crate::CoreError::Nfc)?;
     let fitted = if config.genetic.is_some() {
         trainer.fit(dataset)
     } else {

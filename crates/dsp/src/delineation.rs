@@ -325,14 +325,19 @@ mod tests {
     fn normal_beat_yields_all_nine_fiducials() {
         let beat = clean_beat(BeatClass::Normal);
         let d = Delineator::new(360.0);
-        let f = d.delineate_beat(&beat.samples, beat.peak_index).expect("delineate");
+        let f = d
+            .delineate_beat(&beat.samples, beat.peak_index)
+            .expect("delineate");
         assert_eq!(f.qrs.count(), 3, "QRS onset/peak/end should all be found");
         assert_eq!(f.p.count(), 3, "normal beats have a P wave: {f:?}");
         assert_eq!(f.t.count(), 3, "normal beats have a T wave: {f:?}");
         assert_eq!(f.count(), 9);
         // QRS peak must be near the annotated R peak.
         let qrs_peak = f.qrs.peak.expect("peak found");
-        assert!((qrs_peak as isize - 100).abs() <= 8, "QRS peak at {qrs_peak}");
+        assert!(
+            (qrs_peak as isize - 100).abs() <= 8,
+            "QRS peak at {qrs_peak}"
+        );
         // Ordering of fiducials must be physiological.
         assert!(f.p.peak.expect("p") < f.qrs.onset.expect("qrs onset"));
         assert!(f.qrs.end.expect("qrs end") <= f.t.onset.expect("t onset") + 1);

@@ -82,7 +82,9 @@ mod tests {
     fn antialiasing_attenuates_high_frequency() {
         // Nyquist-rate alternation would alias badly under plain decimation;
         // the anti-aliased path must attenuate it.
-        let x: Vec<f64> = (0..400).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..400)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let plain = decimate(&x, 4).expect("ok");
         let aa = decimate_antialiased(&x, 4).expect("ok");
         let energy = |v: &[f64]| v.iter().map(|s| s * s).sum::<f64>();

@@ -136,11 +136,7 @@ impl MorphologicalFilter {
     /// the longest structuring element.
     pub fn apply(&self, signal: &[f64]) -> Result<Vec<f64>> {
         let baseline = self.baseline(signal)?;
-        Ok(signal
-            .iter()
-            .zip(&baseline)
-            .map(|(s, b)| s - b)
-            .collect())
+        Ok(signal.iter().zip(&baseline).map(|(s, b)| s - b).collect())
     }
 
     /// Number of comparison operations the filter performs per input sample,
@@ -216,11 +212,17 @@ mod tests {
         let mut x = vec![0.0; 50];
         x[25] = 10.0; // one-sample spike
         let o = open(&x, 5);
-        assert!(o.iter().all(|&v| v.abs() < 1e-12), "opening removes the spike");
+        assert!(
+            o.iter().all(|&v| v.abs() < 1e-12),
+            "opening removes the spike"
+        );
         let mut y = vec![0.0; 50];
         y[25] = -10.0;
         let c = close(&y, 5);
-        assert!(c.iter().all(|&v| v.abs() < 1e-12), "closing removes the dip");
+        assert!(
+            c.iter().all(|&v| v.abs() < 1e-12),
+            "closing removes the dip"
+        );
     }
 
     #[test]
@@ -261,7 +263,10 @@ mod tests {
         );
         // The QRS peaks must survive filtering.
         let max_after = corrected.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(max_after > 0.7, "QRS amplitude should be preserved, got {max_after}");
+        assert!(
+            max_after > 0.7,
+            "QRS amplitude should be preserved, got {max_after}"
+        );
     }
 
     #[test]
@@ -281,7 +286,9 @@ mod tests {
 
     #[test]
     fn moving_average_smooths_and_preserves_mean() {
-        let x: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let y = moving_average(&x, 4);
         let energy_before: f64 = x.iter().map(|v| v * v).sum();
         let energy_after: f64 = y.iter().map(|v| v * v).sum();

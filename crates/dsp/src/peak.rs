@@ -178,7 +178,11 @@ fn is_local_extremum(x: &[f64], i: usize) -> bool {
 fn zero_crossing(x: &[f64], a: usize, b: usize) -> Option<usize> {
     for i in a..b {
         if x[i].signum() != x[i + 1].signum() {
-            return Some(if x[i].abs() <= x[i + 1].abs() { i } else { i + 1 });
+            return Some(if x[i].abs() <= x[i + 1].abs() {
+                i
+            } else {
+                i + 1
+            });
         }
     }
     None
@@ -187,9 +191,9 @@ fn zero_crossing(x: &[f64], a: usize, b: usize) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hbc_ecg::synthetic::SyntheticEcg;
     use hbc_ecg::noise::NoiseModel;
     use hbc_ecg::record::Lead;
+    use hbc_ecg::synthetic::SyntheticEcg;
     use hbc_ecg::BeatClass;
 
     #[test]
@@ -225,7 +229,9 @@ mod tests {
         let filtered = crate::filter::MorphologicalFilter::for_sampling_rate(record.fs)
             .apply(signal)
             .expect("filter");
-        let peaks = PeakDetector::new(record.fs).detect(&filtered).expect("detect");
+        let peaks = PeakDetector::new(record.fs)
+            .detect(&filtered)
+            .expect("detect");
         let tolerance = (0.06 * record.fs) as isize;
         let matched = record
             .annotations
@@ -259,7 +265,12 @@ mod tests {
         let peaks = PeakDetector::new(record.fs).detect(signal).expect("detect");
         let refractory = (0.2 * record.fs) as usize;
         for w in peaks.windows(2) {
-            assert!(w[1] - w[0] >= refractory, "peaks {} and {} too close", w[0], w[1]);
+            assert!(
+                w[1] - w[0] >= refractory,
+                "peaks {} and {} too close",
+                w[0],
+                w[1]
+            );
         }
     }
 

@@ -232,8 +232,11 @@ impl StreamingBaselineFilter {
 
         // Stage 2 runs on the stage-1 output; the two branches consume the
         // same sample so their outputs stay aligned.
-        let Some(s1) = stage1 else { return None };
-        let open2 = self.open2_erode.push(s1).and_then(|v| self.open2_dilate.push(v));
+        let s1 = stage1?;
+        let open2 = self
+            .open2_erode
+            .push(s1)
+            .and_then(|v| self.open2_dilate.push(v));
         let close2 = self
             .close2_dilate
             .push(s1)

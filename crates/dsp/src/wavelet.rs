@@ -169,7 +169,10 @@ mod tests {
         let signal: Vec<f64> = (0..128).map(|i| 0.5 * i as f64).collect();
         let d = &w.transform(&signal).expect("ok")[0];
         for &v in &d[2..120] {
-            assert!((v - 1.0).abs() < 1e-9, "2*(x[i+1]-x[i]) = 2*0.5 = 1, got {v}");
+            assert!(
+                (v - 1.0).abs() < 1e-9,
+                "2*(x[i+1]-x[i]) = 2*0.5 = 1, got {v}"
+            );
         }
     }
 
@@ -184,10 +187,11 @@ mod tests {
         let w = DyadicWavelet::new();
         let details = w.transform(&signal).expect("ok");
         for (scale, d) in details.iter().enumerate() {
-            let (argmax, max) = d
-                .iter()
-                .enumerate()
-                .fold((0, f64::MIN), |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc });
+            let (argmax, max) =
+                d.iter().enumerate().fold(
+                    (0, f64::MIN),
+                    |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc },
+                );
             assert!(max > 0.5, "scale {scale} should respond to the edge");
             assert!(
                 (argmax as isize - 128).unsigned_abs() <= (2 << scale),
@@ -216,7 +220,9 @@ mod tests {
     fn scales_increasingly_smooth_high_frequencies() {
         // Alternating signal: the first scale responds strongly, the fourth
         // barely at all (its filters span many samples).
-        let signal: Vec<f64> = (0..256).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let signal: Vec<f64> = (0..256)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let details = DyadicWavelet::new().transform(&signal).expect("ok");
         let energy = |d: &[f64]| d.iter().map(|v| v * v).sum::<f64>();
         assert!(

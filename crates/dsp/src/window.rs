@@ -66,7 +66,7 @@ pub fn match_peaks(peaks: &[usize], annotations: &[Annotation], tolerance: usize
                 continue;
             }
             let d = p.abs_diff(a.sample);
-            if d <= tolerance && best.map_or(true, |(bd, _)| d < bd) {
+            if d <= tolerance && best.is_none_or(|(bd, _)| d < bd) {
                 best = Some((d, ai));
             }
         }
@@ -189,14 +189,9 @@ mod tests {
             ],
         )
         .expect("valid record");
-        let beats = labelled_beats_from_record(
-            &record,
-            Lead(0),
-            &[598, 1203, 1700],
-            BeatWindow::PAPER,
-            15,
-        )
-        .expect("lead exists");
+        let beats =
+            labelled_beats_from_record(&record, Lead(0), &[598, 1203, 1700], BeatWindow::PAPER, 15)
+                .expect("lead exists");
         assert_eq!(beats.len(), 3);
         assert_eq!(beats[0].class, BeatClass::LeftBundleBranchBlock);
         assert_eq!(beats[1].class, BeatClass::Normal);

@@ -196,10 +196,9 @@ impl Dataset {
             beats.sort_by_key(|b| {
                 // A simple deterministic shuffle key derived from the sample
                 // content keeps the operation reproducible without an RNG.
-                let h = b
-                    .samples
-                    .iter()
-                    .fold(0u64, |acc, &s| acc.wrapping_mul(31).wrapping_add(s.to_bits()));
+                let h = b.samples.iter().fold(0u64, |acc, &s| {
+                    acc.wrapping_mul(31).wrapping_add(s.to_bits())
+                });
                 h
             });
             beats

@@ -90,7 +90,7 @@ impl MitAnnotationCode {
 /// Returns [`EcgError::Format`] if the byte stream length is not a multiple of
 /// three.
 pub fn decode_format_212(bytes: &[u8]) -> Result<(Vec<i32>, Vec<i32>)> {
-    if bytes.len() % 3 != 0 {
+    if !bytes.len().is_multiple_of(3) {
         return Err(EcgError::Format(format!(
             "format 212 stream length {} is not a multiple of 3",
             bytes.len()
@@ -117,11 +117,21 @@ pub fn decode_format_212(bytes: &[u8]) -> Result<(Vec<i32>, Vec<i32>)> {
 /// Panics if the channels have different lengths or a sample does not fit in
 /// 12 bits.
 pub fn encode_format_212(ch0: &[i32], ch1: &[i32]) -> Vec<u8> {
-    assert_eq!(ch0.len(), ch1.len(), "format 212 requires equal-length channels");
+    assert_eq!(
+        ch0.len(),
+        ch1.len(),
+        "format 212 requires equal-length channels"
+    );
     let mut out = Vec::with_capacity(ch0.len() * 3);
     for (&a, &b) in ch0.iter().zip(ch1) {
-        assert!((-2048..=2047).contains(&a), "sample {a} does not fit in 12 bits");
-        assert!((-2048..=2047).contains(&b), "sample {b} does not fit in 12 bits");
+        assert!(
+            (-2048..=2047).contains(&a),
+            "sample {a} does not fit in 12 bits"
+        );
+        assert!(
+            (-2048..=2047).contains(&b),
+            "sample {b} does not fit in 12 bits"
+        );
         let ua = (a & 0x0FFF) as u16;
         let ub = (b & 0x0FFF) as u16;
         out.push((ua & 0xFF) as u8);
@@ -213,7 +223,7 @@ pub fn encode_annotations(annotations: &[(usize, MitAnnotationCode)]) -> Vec<u8>
             let d = delta as u32;
             out.extend_from_slice(&((59u16 << 10).to_le_bytes()));
             out.extend_from_slice(&(((d >> 16) as u16).to_le_bytes()));
-            out.extend_from_slice(&((d as u16 & 0xFFFF).to_le_bytes()));
+            out.extend_from_slice(&((d as u16).to_le_bytes()));
             delta = 0;
         }
         let word: u16 = ((code.code() as u16) << 10) | (delta as u16 & 0x03FF);
@@ -265,7 +275,10 @@ pub fn record_from_bytes(
 ) -> Result<EcgRecord> {
     let (ch0, ch1) = decode_format_212(dat)?;
     let to_mv = |v: &i32| (*v - adc_zero) as f64 / adc_gain;
-    let leads = vec![ch0.iter().map(to_mv).collect(), ch1.iter().map(to_mv).collect()];
+    let leads = vec![
+        ch0.iter().map(to_mv).collect(),
+        ch1.iter().map(to_mv).collect(),
+    ];
     let annotations = decode_annotations(atr)?
         .into_iter()
         .filter_map(|(sample, code)| code.beat_class().map(|c| Annotation::new(sample, c)))
@@ -351,7 +364,10 @@ mod tests {
         );
         assert_eq!(MitAnnotationCode::Other(12).beat_class(), None);
         assert_eq!(MitAnnotationCode::from_code(5), MitAnnotationCode::Pvc);
-        assert_eq!(MitAnnotationCode::from_code(42), MitAnnotationCode::Other(42));
+        assert_eq!(
+            MitAnnotationCode::from_code(42),
+            MitAnnotationCode::Other(42)
+        );
     }
 
     #[test]
@@ -369,9 +385,12 @@ mod tests {
         let raw: Vec<i32> = vec![1224; n];
         let _ = ch;
         let dat = encode_format_212(&raw, &raw);
-        let atr = encode_annotations(&[(300, MitAnnotationCode::Normal), (700, MitAnnotationCode::Other(14))]);
-        let rec = record_from_bytes(100, &dat, &atr, DEFAULT_ADC_GAIN, DEFAULT_ADC_ZERO)
-            .expect("record");
+        let atr = encode_annotations(&[
+            (300, MitAnnotationCode::Normal),
+            (700, MitAnnotationCode::Other(14)),
+        ]);
+        let rec =
+            record_from_bytes(100, &dat, &atr, DEFAULT_ADC_GAIN, DEFAULT_ADC_ZERO).expect("record");
         assert_eq!(rec.num_leads(), 2);
         assert_eq!(rec.len(), n);
         assert!((rec.leads[0][0] - 1.0).abs() < 1e-9, "1224 raw = 1 mV");

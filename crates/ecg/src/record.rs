@@ -68,7 +68,9 @@ impl EcgRecord {
         mut annotations: Vec<Annotation>,
     ) -> Result<Self> {
         if leads.is_empty() {
-            return Err(EcgError::Format("record must contain at least one lead".into()));
+            return Err(EcgError::Format(
+                "record must contain at least one lead".into(),
+            ));
         }
         let len = leads[0].len();
         if leads.iter().any(|l| l.len() != len) {
@@ -231,7 +233,9 @@ mod tests {
             ],
         )
         .expect("valid record");
-        let beats = r.extract_beats(Lead(0), BeatWindow::PAPER).expect("lead exists");
+        let beats = r
+            .extract_beats(Lead(0), BeatWindow::PAPER)
+            .expect("lead exists");
         assert_eq!(beats.len(), 1);
         assert_eq!(beats[0].record_position, 500);
         assert_eq!(beats[0].samples.len(), 200);
@@ -259,14 +263,20 @@ mod tests {
         .expect("valid record");
         assert_eq!(r.class_counts(), [2, 1, 1]);
         let rr = r.mean_rr_s().expect("at least two annotations");
-        assert!((rr - 1.0).abs() < 1e-9, "360 samples at 360 Hz is 1 s, got {rr}");
+        assert!(
+            (rr - 1.0).abs() < 1e-9,
+            "360 samples at 360 Hz is 1 s, got {rr}"
+        );
         assert!((r.duration_s() - 2000.0 / 360.0).abs() < 1e-9);
     }
 
     #[test]
     fn mean_rr_requires_two_annotations() {
-        let r = record_with(vec![vec![0.0; 10]], vec![Annotation::new(2, BeatClass::Normal)])
-            .expect("valid record");
+        let r = record_with(
+            vec![vec![0.0; 10]],
+            vec![Annotation::new(2, BeatClass::Normal)],
+        )
+        .expect("valid record");
         assert_eq!(r.mean_rr_s(), None);
     }
 }

@@ -74,11 +74,11 @@ impl BeatTemplate {
         BeatTemplate {
             class: BeatClass::Normal,
             waves: vec![
-                Wave::new(0.12, -0.180, 0.022), // P
+                Wave::new(0.12, -0.180, 0.022),  // P
                 Wave::new(-0.14, -0.030, 0.008), // Q
-                Wave::new(1.05, 0.000, 0.011),  // R
-                Wave::new(-0.22, 0.030, 0.009), // S
-                Wave::new(0.28, 0.230, 0.045),  // T
+                Wave::new(1.05, 0.000, 0.011),   // R
+                Wave::new(-0.22, 0.030, 0.009),  // S
+                Wave::new(0.28, 0.230, 0.045),   // T
             ],
             nominal_rr_s: 0.80,
         }
@@ -90,11 +90,11 @@ impl BeatTemplate {
         BeatTemplate {
             class: BeatClass::LeftBundleBranchBlock,
             waves: vec![
-                Wave::new(0.10, -0.200, 0.022),  // P (still present)
-                Wave::new(0.75, -0.022, 0.020),  // slurred R, first hump
-                Wave::new(0.82, 0.028, 0.022),   // notched R, second hump
-                Wave::new(-0.25, 0.085, 0.018),  // delayed S
-                Wave::new(-0.33, 0.270, 0.055),  // discordant (inverted) T
+                Wave::new(0.10, -0.200, 0.022), // P (still present)
+                Wave::new(0.75, -0.022, 0.020), // slurred R, first hump
+                Wave::new(0.82, 0.028, 0.022),  // notched R, second hump
+                Wave::new(-0.25, 0.085, 0.018), // delayed S
+                Wave::new(-0.33, 0.270, 0.055), // discordant (inverted) T
             ],
             nominal_rr_s: 0.82,
         }
@@ -259,9 +259,8 @@ impl SyntheticEcg {
                 let amp = w.amplitude_mv
                     * gain
                     * (1.0 + v.amplitude_rel_std * standard_normal(&mut self.rng));
-                let width = (w.width_s
-                    * (1.0 + v.width_rel_std * standard_normal(&mut self.rng)))
-                .max(0.002);
+                let width = (w.width_s * (1.0 + v.width_rel_std * standard_normal(&mut self.rng)))
+                    .max(0.002);
                 let center = w.center_s + v.timing_std_s * standard_normal(&mut self.rng);
                 Wave::new(amp, center, width)
             })
@@ -346,9 +345,7 @@ impl SyntheticEcg {
                 _ => 0.45 + 0.1 * standard_normal(&mut self.rng),
             })
             .collect();
-        let lead_shifts: Vec<f64> = (0..num_leads)
-            .map(|l| l as f64 * 0.002)
-            .collect();
+        let lead_shifts: Vec<f64> = (0..num_leads).map(|l| l as f64 * 0.002).collect();
 
         let mut leads: Vec<Vec<f64>> = vec![vec![0.0; len]; num_leads];
         let mut annotations = Vec::with_capacity(rhythm.len());
@@ -458,7 +455,10 @@ mod tests {
 
         let wn = qrs_width_above(&n, 0.3);
         let wv = qrs_width_above(&v, 0.3);
-        assert!(wv > 1.5 * wn, "V QRS ({wv}s) should be much wider than N ({wn}s)");
+        assert!(
+            wv > 1.5 * wn,
+            "V QRS ({wv}s) should be much wider than N ({wn}s)"
+        );
 
         // T wave region: 180–270 ms after the peak (within the 100-sample
         // post-peak window).
@@ -483,13 +483,12 @@ mod tests {
         let p_region = |b: &Beat| -> f64 {
             let start = 100 - (0.22 * MITBIH_FS) as usize;
             let end = 100 - (0.14 * MITBIH_FS) as usize;
-            b.samples[start..end]
-                .iter()
-                .map(|s| s.abs())
-                .sum::<f64>()
-                / (end - start) as f64
+            b.samples[start..end].iter().map(|s| s.abs()).sum::<f64>() / (end - start) as f64
         };
-        assert!(p_region(&n) > 3.0 * p_region(&v), "N has a P wave, V does not");
+        assert!(
+            p_region(&n) > 3.0 * p_region(&v),
+            "N has a P wave, V does not"
+        );
     }
 
     #[test]

@@ -95,7 +95,10 @@ pub fn emit_c_header(
         "#define {upper}_WINDOW_SAMPLES {}\n",
         options.window.len()
     ));
-    out.push_str(&format!("#define {upper}_DOWNSAMPLE {}\n", options.downsample));
+    out.push_str(&format!(
+        "#define {upper}_DOWNSAMPLE {}\n",
+        options.downsample
+    ));
     out.push_str(&format!("#define {upper}_ALPHA_Q16 {}u\n", alpha.0));
     let kind_code = match classifier.kind() {
         MembershipKind::Linearized => 0,
@@ -163,15 +166,19 @@ mod tests {
             (0..8)
                 .map(|i| {
                     [
-                        IntMembership::new(MembershipKind::Linearized, i as i32, 10 + i as i32),
-                        IntMembership::new(MembershipKind::Linearized, 100 + i as i32, 20),
-                        IntMembership::new(MembershipKind::Linearized, -100 - i as i32, 30),
+                        IntMembership::new(MembershipKind::Linearized, i, 10 + i),
+                        IntMembership::new(MembershipKind::Linearized, 100 + i, 20),
+                        IntMembership::new(MembershipKind::Linearized, -100 - i, 30),
                     ]
                 })
                 .collect(),
         )
         .expect("non-empty");
-        (projection, classifier, AlphaQ16::from_f64(0.125).expect("valid"))
+        (
+            projection,
+            classifier,
+            AlphaQ16::from_f64(0.125).expect("valid"),
+        )
     }
 
     #[test]
@@ -189,7 +196,9 @@ mod tests {
         assert!(header.contains("static const uint8_t hbc_projection_packed[100]"));
         assert!(header.contains("static const int32_t hbc_mf_center[8][3]"));
         assert!(header.contains("static const int32_t hbc_mf_half_width[8][3]"));
-        assert!(header.trim_end().ends_with("#endif /* HBC_CLASSIFIER_TABLES_H */"));
+        assert!(header
+            .trim_end()
+            .ends_with("#endif /* HBC_CLASSIFIER_TABLES_H */"));
     }
 
     #[test]
@@ -216,7 +225,10 @@ mod tests {
                 row[1].center(),
                 row[2].center()
             );
-            assert!(header.contains(&expected), "missing centre row {c}: {expected}");
+            assert!(
+                header.contains(&expected),
+                "missing centre row {c}: {expected}"
+            );
         }
     }
 

@@ -46,7 +46,7 @@ pub fn peak_detection_ops_per_sample(scales: usize) -> OperationCounts {
     OperationCounts {
         // Low-pass (4 taps) and high-pass (2 taps) per scale.
         adds: 6 * scales,
-        muls: scales, // the 3·x terms of the low-pass filter
+        muls: scales,         // the 3·x terms of the low-pass filter
         compares: 4 * scales, // extremum tracking and thresholding
         loads: 8 * scales,
         stores: 2 * scales,
@@ -176,12 +176,10 @@ impl CycleModel {
     /// (morphological filtering + wavelet peak detection).
     pub fn conditioning_cycles_per_second(&self, fs: f64) -> f64 {
         let filter = MorphologicalFilter::for_sampling_rate(fs);
-        let per_sample = self
-            .platform
-            .cycles(&filtering_ops_per_sample(&filter))
-            + self
-                .platform
-                .cycles(&peak_detection_ops_per_sample(hbc_dsp::wavelet::DEFAULT_SCALES));
+        let per_sample = self.platform.cycles(&filtering_ops_per_sample(&filter))
+            + self.platform.cycles(&peak_detection_ops_per_sample(
+                hbc_dsp::wavelet::DEFAULT_SCALES,
+            ));
         per_sample as f64 * fs
     }
 
@@ -228,11 +226,9 @@ impl CycleModel {
         workload: &Workload,
     ) -> DutyCycleReport {
         let clock = self.platform.clock_hz;
-        let rp = self.classifier_cycles_per_second(
-            projection,
-            classifier,
-            workload.beats_per_second,
-        ) / clock;
+        let rp =
+            self.classifier_cycles_per_second(projection, classifier, workload.beats_per_second)
+                / clock;
         let conditioning = self.conditioning_cycles_per_second(workload.fs) / clock;
         let subsystem1 = rp + conditioning;
         let subsystem2 = self.delineation_cycles_per_second(workload) / clock;
@@ -331,7 +327,10 @@ mod tests {
             &toy_classifier(8),
             &Workload::paper(0.0),
         );
-        assert!(all.subsystem3 > all.subsystem2, "gating overhead when everything is forwarded");
+        assert!(
+            all.subsystem3 > all.subsystem2,
+            "gating overhead when everything is forwarded"
+        );
         assert!(none.subsystem3 < 0.5 * all.subsystem3);
         assert!(none.runtime_reduction() > all.runtime_reduction());
     }
@@ -339,7 +338,8 @@ mod tests {
     #[test]
     fn more_coefficients_cost_more_classifier_cycles() {
         let model = CycleModel::default();
-        let c8 = model.classifier_cycles_per_second(&toy_projection(8, 50), &toy_classifier(8), 1.2);
+        let c8 =
+            model.classifier_cycles_per_second(&toy_projection(8, 50), &toy_classifier(8), 1.2);
         let c32 =
             model.classifier_cycles_per_second(&toy_projection(32, 50), &toy_classifier(32), 1.2);
         assert!(c32 > 3.0 * c8);

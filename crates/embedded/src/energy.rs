@@ -168,12 +168,12 @@ impl EnergyModel {
         };
         let baseline_compute_mj = self.platform.cpu_energy_mj(span_cycles(duty.subsystem2));
         let gated_compute_mj = self.platform.cpu_energy_mj(span_cycles(duty.subsystem3));
-        let baseline_radio_mj = self.platform.radio_energy_mj(
-            self.transmitted_bits(TransmissionPolicy::AllFiducials, stats),
-        );
-        let gated_radio_mj = self.platform.radio_energy_mj(
-            self.transmitted_bits(TransmissionPolicy::GatedByClassifier, stats),
-        );
+        let baseline_radio_mj = self
+            .platform
+            .radio_energy_mj(self.transmitted_bits(TransmissionPolicy::AllFiducials, stats));
+        let gated_radio_mj = self
+            .platform
+            .radio_energy_mj(self.transmitted_bits(TransmissionPolicy::GatedByClassifier, stats));
         EnergyReport {
             baseline_compute_mj,
             gated_compute_mj,
@@ -239,7 +239,10 @@ mod tests {
         let compute = report.compute_reduction();
         let radio = report.radio_reduction();
         let total = report.total_node_reduction();
-        assert!((0.58..=0.70).contains(&compute), "compute reduction {compute}");
+        assert!(
+            (0.58..=0.70).contains(&compute),
+            "compute reduction {compute}"
+        );
         assert!((0.60..=0.75).contains(&radio), "radio reduction {radio}");
         assert!((0.18..=0.28).contains(&total), "total reduction {total}");
     }

@@ -167,7 +167,9 @@ mod tests {
             GaussianMf::new(0.0, 2.0),
         ]];
         let classifier = NeuroFuzzyClassifier::new(mfs).expect("valid");
-        let q = Quantizer::new().quantize_classifier(&classifier).expect("fits");
+        let q = Quantizer::new()
+            .quantize_classifier(&classifier)
+            .expect("fits");
         assert_eq!(q.num_coefficients(), 1);
         let gain = AdcModel::default_frontend().codes_per_mv();
         let m = q.membership(0);

@@ -74,8 +74,14 @@ mod tests {
 
     #[test]
     fn errors_display_their_category() {
-        assert!(EmbeddedError::Dimension("a".into()).to_string().contains("dimension"));
-        assert!(EmbeddedError::Range("b".into()).to_string().contains("range"));
-        assert!(EmbeddedError::Resources("c".into()).to_string().contains("resources"));
+        assert!(EmbeddedError::Dimension("a".into())
+            .to_string()
+            .contains("dimension"));
+        assert!(EmbeddedError::Range("b".into())
+            .to_string()
+            .contains("range"));
+        assert!(EmbeddedError::Resources("c".into())
+            .to_string()
+            .contains("resources"));
     }
 }

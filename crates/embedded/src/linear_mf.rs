@@ -206,7 +206,10 @@ mod tests {
         let mut prev = mf.grade(0);
         for d in 1..(4 * 57 + 5) {
             let g = mf.grade(d);
-            assert!(g <= prev, "grade must not increase with distance: {g} > {prev} at {d}");
+            assert!(
+                g <= prev,
+                "grade must not increase with distance: {g} > {prev} at {d}"
+            );
             assert_eq!(g, mf.grade(-d), "symmetry around the centre");
             prev = g;
         }
@@ -231,7 +234,7 @@ mod tests {
     #[test]
     fn triangular_reaches_zero_at_twice_the_half_width() {
         let mf = TriangularMf::new(500, 80);
-        assert_eq!(mf.grade(500), (MF_FULL_SCALE - MF_FULL_SCALE % 1) as u16);
+        assert_eq!(u32::from(mf.grade(500)), MF_FULL_SCALE);
         assert_eq!(mf.grade(500 + 160), 0);
         assert_eq!(mf.grade(500 - 160), 0);
         assert!(mf.grade(500 + 80) > 30000 && mf.grade(500 + 80) < 35000);

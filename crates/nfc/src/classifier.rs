@@ -141,6 +141,16 @@ impl NeuroFuzzyClassifier {
     /// `(M1 − M2) ≥ alpha · S` (with `S` the sum of the fuzzy values), and to
     /// [`BeatClass::Unknown`] otherwise.
     ///
+    /// Note that α = 1 is *not* guaranteed to route every beat to Unknown:
+    /// the log-domain normalisation saturates outliers to a margin of
+    /// exactly 1.0 (all fuzzy mass on one class), and such beats stay
+    /// confidently classified at any α. α = 1 therefore means "accept only
+    /// fully-saturated decisions", and calibration routines must not assume
+    /// ARR(α = 1) = 1 (see `metrics::calibrate_alpha`, which returns `None`
+    /// in that case). The integer classifier differs here: its Q16 grid top
+    /// is pinned to all-Unknown because its α calibration binary-searches
+    /// against that anchor.
+    ///
     /// # Errors
     ///
     /// Returns [`NfcError::Dimension`] when the input length does not match
@@ -192,7 +202,7 @@ impl NeuroFuzzyClassifier {
     /// multiple of `2 · NUM_CLASSES` or is empty.
     pub fn from_parameters(params: &[f64]) -> Result<Self> {
         let stride = 2 * NUM_CLASSES;
-        if params.is_empty() || params.len() % stride != 0 {
+        if params.is_empty() || !params.len().is_multiple_of(stride) {
             return Err(NfcError::Dimension(format!(
                 "parameter vector length {} is not a positive multiple of {stride}",
                 params.len()
@@ -293,7 +303,10 @@ mod tests {
         // Exactly between N and V: the two largest fuzzy values tie, margin 0.
         let d = c.classify(&[5.0; 8], 0.05).expect("classify");
         assert_eq!(d.class, BeatClass::Unknown);
-        assert!(d.is_abnormal(), "unknown beats are routed to detailed analysis");
+        assert!(
+            d.is_abnormal(),
+            "unknown beats are routed to detailed analysis"
+        );
         assert!(d.margin < 0.05);
     }
 

@@ -78,8 +78,14 @@ mod tests {
 
     #[test]
     fn errors_display_their_category() {
-        assert!(NfcError::Dimension("x".into()).to_string().contains("dimension"));
-        assert!(NfcError::Training("y".into()).to_string().contains("training"));
-        assert!(NfcError::Config("z".into()).to_string().contains("configuration"));
+        assert!(NfcError::Dimension("x".into())
+            .to_string()
+            .contains("dimension"));
+        assert!(NfcError::Training("y".into())
+            .to_string()
+            .contains("training"));
+        assert!(NfcError::Config("z".into())
+            .to_string()
+            .contains("configuration"));
     }
 }

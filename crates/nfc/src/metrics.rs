@@ -36,9 +36,7 @@ impl BinaryConfusion {
         match (truth, predicted) {
             (BinaryLabel::Normal, BinaryLabel::Normal) => self.normal_discarded += 1,
             (BinaryLabel::Normal, BinaryLabel::Pathological) => self.normal_forwarded += 1,
-            (BinaryLabel::Pathological, BinaryLabel::Pathological) => {
-                self.abnormal_recognized += 1
-            }
+            (BinaryLabel::Pathological, BinaryLabel::Pathological) => self.abnormal_recognized += 1,
             (BinaryLabel::Pathological, BinaryLabel::Normal) => self.abnormal_missed += 1,
         }
     }
@@ -155,6 +153,20 @@ impl EvaluationReport {
         correct as f64 / total as f64
     }
 
+    /// Merges another report into this one (both the binary confusion and the
+    /// 4-way matrix). Because every field is a count, merging per-shard
+    /// reports in any grouping yields exactly the report a single sequential
+    /// pass would have produced — the property the parallel evaluation engine
+    /// in `hbc-core` relies on.
+    pub fn merge(&mut self, other: &EvaluationReport) {
+        self.binary.merge(&other.binary);
+        for (ours, theirs) in self.matrix.iter_mut().zip(&other.matrix) {
+            for (a, b) in ours.iter_mut().zip(theirs) {
+                *a += b;
+            }
+        }
+    }
+
     /// Formats the confusion matrix (rows: truth N/V/L, columns: predicted
     /// N/V/L/U).
     pub fn matrix_report(&self) -> String {
@@ -189,12 +201,16 @@ pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
         .iter()
         .copied()
         .filter(|p| {
-            !points.iter().any(|q| {
-                (q.ndr >= p.ndr && q.arr >= p.arr) && (q.ndr > p.ndr || q.arr > p.arr)
-            })
+            !points
+                .iter()
+                .any(|q| (q.ndr >= p.ndr && q.arr >= p.arr) && (q.ndr > p.ndr || q.arr > p.arr))
         })
         .collect();
-    front.sort_by(|a, b| a.arr.partial_cmp(&b.arr).unwrap_or(std::cmp::Ordering::Equal));
+    front.sort_by(|a, b| {
+        a.arr
+            .partial_cmp(&b.arr)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     front.dedup_by(|a, b| a.ndr == b.ndr && a.arr == b.arr);
     front
 }
@@ -210,9 +226,17 @@ pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
 /// *Unknown* (which counts as pathological), ARR is non-decreasing in α and a
 /// binary search applies.
 ///
-/// Returns `None` when even α = 1 cannot reach the target (which cannot happen
-/// in practice since α = 1 routes every beat to Unknown, giving ARR = 1).
-pub fn calibrate_alpha<F>(target_arr: f64, tolerance: f64, mut evaluate: F) -> Option<(f64, EvaluationReport)>
+/// Returns `None` when even α = 1 cannot reach the target. This *does*
+/// happen with the float classifier: outlier beats saturate to a
+/// defuzzification margin of exactly 1.0 and stay confidently classified at
+/// any α (see `NeuroFuzzyClassifier::classify`), so a confidently
+/// misclassified abnormal beat caps the reachable ARR below 1. Callers must
+/// handle `None` rather than `expect` it away.
+pub fn calibrate_alpha<F>(
+    target_arr: f64,
+    tolerance: f64,
+    mut evaluate: F,
+) -> Option<(f64, EvaluationReport)>
 where
     F: FnMut(f64) -> EvaluationReport,
 {
@@ -282,7 +306,10 @@ mod tests {
         let mut r = EvaluationReport::new();
         r.record(BeatClass::Normal, BeatClass::Normal);
         r.record(BeatClass::Normal, BeatClass::Unknown);
-        r.record(BeatClass::PrematureVentricular, BeatClass::PrematureVentricular);
+        r.record(
+            BeatClass::PrematureVentricular,
+            BeatClass::PrematureVentricular,
+        );
         r.record(BeatClass::LeftBundleBranchBlock, BeatClass::Unknown);
         r.record(BeatClass::LeftBundleBranchBlock, BeatClass::Normal);
         assert_eq!(r.total(), 5);
@@ -296,6 +323,34 @@ mod tests {
     }
 
     #[test]
+    fn merged_reports_equal_one_sequential_pass() {
+        let decisions = [
+            (BeatClass::Normal, BeatClass::Normal),
+            (BeatClass::Normal, BeatClass::Unknown),
+            (
+                BeatClass::PrematureVentricular,
+                BeatClass::PrematureVentricular,
+            ),
+            (BeatClass::LeftBundleBranchBlock, BeatClass::Normal),
+            (BeatClass::PrematureVentricular, BeatClass::Unknown),
+        ];
+        let mut sequential = EvaluationReport::new();
+        for (t, p) in decisions {
+            sequential.record(t, p);
+        }
+        // Shard the same decisions 2 + 3 and merge.
+        let mut merged = EvaluationReport::new();
+        for chunk in decisions.chunks(2) {
+            let mut shard = EvaluationReport::new();
+            for &(t, p) in chunk {
+                shard.record(t, p);
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged, sequential);
+    }
+
+    #[test]
     #[should_panic(expected = "ground truth")]
     fn unknown_ground_truth_panics() {
         EvaluationReport::new().record(BeatClass::Unknown, BeatClass::Normal);
@@ -304,11 +359,31 @@ mod tests {
     #[test]
     fn pareto_front_removes_dominated_points() {
         let points = vec![
-            ParetoPoint { alpha: 0.0, ndr: 0.95, arr: 0.90 },
-            ParetoPoint { alpha: 0.1, ndr: 0.93, arr: 0.95 },
-            ParetoPoint { alpha: 0.2, ndr: 0.90, arr: 0.97 },
-            ParetoPoint { alpha: 0.3, ndr: 0.89, arr: 0.96 }, // dominated by 0.2
-            ParetoPoint { alpha: 0.4, ndr: 0.80, arr: 0.97 }, // dominated by 0.2
+            ParetoPoint {
+                alpha: 0.0,
+                ndr: 0.95,
+                arr: 0.90,
+            },
+            ParetoPoint {
+                alpha: 0.1,
+                ndr: 0.93,
+                arr: 0.95,
+            },
+            ParetoPoint {
+                alpha: 0.2,
+                ndr: 0.90,
+                arr: 0.97,
+            },
+            ParetoPoint {
+                alpha: 0.3,
+                ndr: 0.89,
+                arr: 0.96,
+            }, // dominated by 0.2
+            ParetoPoint {
+                alpha: 0.4,
+                ndr: 0.80,
+                arr: 0.97,
+            }, // dominated by 0.2
         ];
         let front = pareto_front(&points);
         assert_eq!(front.len(), 3);
@@ -330,7 +405,10 @@ mod tests {
             let abn_ok = (arr * 1000.0).round() as usize;
             let nrm_ok = (ndr * 1000.0).round() as usize;
             for _ in 0..abn_ok {
-                r.record(BeatClass::PrematureVentricular, BeatClass::PrematureVentricular);
+                r.record(
+                    BeatClass::PrematureVentricular,
+                    BeatClass::PrematureVentricular,
+                );
             }
             for _ in abn_ok..1000 {
                 r.record(BeatClass::PrematureVentricular, BeatClass::Normal);

@@ -143,11 +143,15 @@ where
             history.push(f_w);
 
             // Restart or continue the conjugate direction.
-            if iterations % n.max(1) == 0 {
+            if iterations.is_multiple_of(n.max(1)) {
                 p = r_new.clone();
             } else {
                 let beta = (dot(&r_new, &r_new) - dot(&r_new, &r)) / mu;
-                p = r_new.iter().zip(&p).map(|(rn, pi)| rn + beta * pi).collect();
+                p = r_new
+                    .iter()
+                    .zip(&p)
+                    .map(|(rn, pi)| rn + beta * pi)
+                    .collect();
             }
             r = r_new;
 
@@ -198,7 +202,13 @@ mod tests {
     /// Convex quadratic with known minimum at (1, -2, 3, ...).
     fn quadratic(w: &[f64]) -> (f64, Vec<f64>) {
         let target: Vec<f64> = (0..w.len())
-            .map(|i| if i % 2 == 0 { (i + 1) as f64 } else { -((i + 1) as f64) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    (i + 1) as f64
+                } else {
+                    -((i + 1) as f64)
+                }
+            })
             .collect();
         let scale: Vec<f64> = (0..w.len()).map(|i| 1.0 + i as f64).collect();
         let mut f = 0.0;

@@ -142,7 +142,8 @@ impl NfcTrainer {
         let mfs = (0..k)
             .map(|i| {
                 let global_sigma = (global_m2[i] / examples.len() as f64).sqrt();
-                let floor = (self.config.min_sigma_fraction * global_sigma).max(GaussianMf::MIN_SIGMA);
+                let floor =
+                    (self.config.min_sigma_fraction * global_sigma).max(GaussianMf::MIN_SIGMA);
                 let mut row = [GaussianMf::default(); NUM_CLASSES];
                 for l in 0..NUM_CLASSES {
                     let var = if count[l] > 1 {
@@ -178,8 +179,7 @@ impl NfcTrainer {
         // Keep whichever parameter set is better (SCG never worsens the loss,
         // but guard against numerical corner cases anyway).
         let refined = NeuroFuzzyClassifier::from_parameters(&scg_outcome.parameters)?;
-        let (final_loss, _) =
-            loss_and_gradient(&scg_outcome.parameters, examples, &anchor, reg);
+        let (final_loss, _) = loss_and_gradient(&scg_outcome.parameters, examples, &anchor, reg);
         let (classifier, final_loss) = if final_loss.is_finite() && final_loss <= initial_loss {
             (refined, final_loss)
         } else {
@@ -251,7 +251,9 @@ fn loss_and_gradient(
     for i in 0..k {
         for l in 0..NUM_CLASSES {
             centers[i][l] = params[i * stride + 2 * l];
-            sigmas[i][l] = params[i * stride + 2 * l + 1].exp().max(GaussianMf::MIN_SIGMA);
+            sigmas[i][l] = params[i * stride + 2 * l + 1]
+                .exp()
+                .max(GaussianMf::MIN_SIGMA);
         }
     }
 
@@ -375,7 +377,11 @@ mod tests {
         let trainer = NfcTrainer::new(TrainingConfig::quick());
         let outcome = trainer.train(&examples).expect("train");
         assert!(outcome.final_loss <= outcome.initial_loss + 1e-12);
-        assert!(outcome.final_loss < 0.1, "loss {} too high", outcome.final_loss);
+        assert!(
+            outcome.final_loss < 0.1,
+            "loss {} too high",
+            outcome.final_loss
+        );
         // The trained classifier must get essentially every toy example right.
         let mut correct = 0;
         for ex in &examples {

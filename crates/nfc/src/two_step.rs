@@ -71,7 +71,9 @@ impl TwoStepConfig {
     /// ARR target is outside `(0, 1]`.
     pub fn validate(&self) -> Result<()> {
         if self.coefficients == 0 {
-            return Err(NfcError::Config("coefficient count must be non-zero".into()));
+            return Err(NfcError::Config(
+                "coefficient count must be non-zero".into(),
+            ));
         }
         if !(self.target_arr > 0.0 && self.target_arr <= 1.0) {
             return Err(NfcError::Config(format!(
@@ -258,8 +260,9 @@ impl TwoStepTrainer {
             ));
         }
         let window = dataset.training1[0].samples.len();
-        let optimizer = GeneticOptimizer::new(self.config.coefficients, window, self.config.genetic)
-            .map_err(|e| NfcError::Config(e.to_string()))?;
+        let optimizer =
+            GeneticOptimizer::new(self.config.coefficients, window, self.config.genetic)
+                .map_err(|e| NfcError::Config(e.to_string()))?;
 
         // Run the GA; candidates that fail to train score 0 (they are simply
         // never selected).
@@ -349,7 +352,11 @@ mod tests {
             "ARR {} should meet the calibration target",
             report.arr()
         );
-        assert!(pipeline.fitness > 0.5, "NDR fitness {} too low", pipeline.fitness);
+        assert!(
+            pipeline.fitness > 0.5,
+            "NDR fitness {} too low",
+            pipeline.fitness
+        );
         assert_eq!(pipeline.classifier.num_coefficients(), 8);
         assert_eq!(pipeline.projection.rows(), 8);
         assert_eq!(pipeline.projection.cols(), 200);
@@ -385,7 +392,10 @@ mod tests {
         assert!(!fitted.ga_history.is_empty());
         let first = fitted.ga_history[0];
         let last = *fitted.ga_history.last().expect("non-empty");
-        assert!(last >= first, "GA best fitness must not regress: {first} -> {last}");
+        assert!(
+            last >= first,
+            "GA best fitness must not regress: {first} -> {last}"
+        );
         assert!(fitted.fitness > 0.0);
     }
 

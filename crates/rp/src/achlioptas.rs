@@ -78,7 +78,10 @@ impl AchlioptasMatrix {
     ///
     /// Panics if `rows` or `cols` is zero.
     pub fn generate(rows: usize, cols: usize, seed: u64) -> Self {
-        assert!(rows > 0 && cols > 0, "projection dimensions must be non-zero");
+        assert!(
+            rows > 0 && cols > 0,
+            "projection dimensions must be non-zero"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         Self::generate_with(rows, cols, &mut rng)
     }
@@ -90,11 +93,18 @@ impl AchlioptasMatrix {
     ///
     /// Panics if `rows` or `cols` is zero.
     pub fn generate_with<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
-        assert!(rows > 0 && cols > 0, "projection dimensions must be non-zero");
+        assert!(
+            rows > 0 && cols > 0,
+            "projection dimensions must be non-zero"
+        );
         let entries = (0..rows * cols)
             .map(|_| ProjectionEntry::sample(rng))
             .collect();
-        AchlioptasMatrix { entries, rows, cols }
+        AchlioptasMatrix {
+            entries,
+            rows,
+            cols,
+        }
     }
 
     /// Builds a matrix from explicit entries in row-major order.
@@ -103,11 +113,7 @@ impl AchlioptasMatrix {
     ///
     /// Returns [`RpError::Dimension`] when `entries.len() != rows * cols` or a
     /// dimension is zero.
-    pub fn from_entries(
-        rows: usize,
-        cols: usize,
-        entries: Vec<ProjectionEntry>,
-    ) -> Result<Self> {
+    pub fn from_entries(rows: usize, cols: usize, entries: Vec<ProjectionEntry>) -> Result<Self> {
         if rows == 0 || cols == 0 {
             return Err(RpError::Dimension("dimensions must be non-zero".into()));
         }
@@ -118,7 +124,11 @@ impl AchlioptasMatrix {
                 entries.len()
             )));
         }
-        Ok(AchlioptasMatrix { entries, rows, cols })
+        Ok(AchlioptasMatrix {
+            entries,
+            rows,
+            cols,
+        })
     }
 
     /// Number of projected coefficients (rows, `k`).
@@ -184,7 +194,8 @@ impl AchlioptasMatrix {
     /// Panics when `input.len() != cols()`; use [`Self::try_project`] for a
     /// fallible variant.
     pub fn project(&self, input: &[f64]) -> Vec<f64> {
-        self.try_project(input).expect("input length must equal cols()")
+        self.try_project(input)
+            .expect("input length must equal cols()")
     }
 
     /// Fallible floating-point projection.
@@ -292,7 +303,11 @@ mod tests {
 
     #[test]
     fn entry_value_roundtrip() {
-        for e in [ProjectionEntry::Zero, ProjectionEntry::Plus, ProjectionEntry::Minus] {
+        for e in [
+            ProjectionEntry::Zero,
+            ProjectionEntry::Plus,
+            ProjectionEntry::Minus,
+        ] {
             assert_eq!(ProjectionEntry::from_value(e.value()), e);
         }
         assert_eq!(ProjectionEntry::from_value(17), ProjectionEntry::Plus);
@@ -307,18 +322,18 @@ mod tests {
         let c = AchlioptasMatrix::generate(16, 200, 2);
         assert_ne!(a, c);
         // Density should be close to 1/3.
-        assert!((a.density() - 1.0 / 3.0).abs() < 0.05, "density {}", a.density());
+        assert!(
+            (a.density() - 1.0 / 3.0).abs() < 0.05,
+            "density {}",
+            a.density()
+        );
     }
 
     #[test]
     fn projection_matches_manual_computation() {
         use ProjectionEntry::{Minus, Plus, Zero};
-        let m = AchlioptasMatrix::from_entries(
-            2,
-            3,
-            vec![Plus, Zero, Minus, Minus, Plus, Plus],
-        )
-        .expect("valid entries");
+        let m = AchlioptasMatrix::from_entries(2, 3, vec![Plus, Zero, Minus, Minus, Plus, Plus])
+            .expect("valid entries");
         let out = m.project(&[1.0, 2.0, 3.0]);
         assert_eq!(out, vec![1.0 - 3.0, -1.0 + 2.0 + 3.0]);
         let outi = m.project_i32(&[1, 2, 3]).expect("dims ok");

@@ -186,7 +186,10 @@ impl GeneticOptimizer {
                 let matrix = AchlioptasMatrix::generate_with(self.rows, self.cols, &mut rng);
                 let fit = fitness(&matrix);
                 evaluations += 1;
-                Individual { matrix, fitness: fit }
+                Individual {
+                    matrix,
+                    fitness: fit,
+                }
             })
             .collect();
         sort_by_fitness(&mut population);
@@ -198,7 +201,11 @@ impl GeneticOptimizer {
                 let parent_a = self.tournament_select(&population, &mut rng);
                 let parent_b = self.tournament_select(&population, &mut rng);
                 let mut child = if rng.gen::<f64>() < cfg.crossover_rate {
-                    self.crossover(&population[parent_a].matrix, &population[parent_b].matrix, &mut rng)
+                    self.crossover(
+                        &population[parent_a].matrix,
+                        &population[parent_b].matrix,
+                        &mut rng,
+                    )
                 } else if population[parent_a].fitness >= population[parent_b].fitness {
                     population[parent_a].matrix.clone()
                 } else {
@@ -344,7 +351,10 @@ mod tests {
         let opt = GeneticOptimizer::new(4, 20, GeneticConfig::quick()).expect("valid config");
         let outcome = opt.run(plus_count_fitness);
         for w in outcome.history.windows(2) {
-            assert!(w[1] >= w[0], "elitism guarantees non-decreasing best fitness");
+            assert!(
+                w[1] >= w[0],
+                "elitism guarantees non-decreasing best fitness"
+            );
         }
     }
 

@@ -48,7 +48,9 @@ pub struct DistortionReport {
 impl DistortionReport {
     /// The maximum relative distortion `max(|min_ratio − 1|, |max_ratio − 1|)`.
     pub fn epsilon(&self) -> f64 {
-        (1.0 - self.min_ratio).abs().max((self.max_ratio - 1.0).abs())
+        (1.0 - self.min_ratio)
+            .abs()
+            .max((self.max_ratio - 1.0).abs())
     }
 }
 
@@ -57,7 +59,10 @@ impl DistortionReport {
 ///
 /// Pairs whose original distance is (numerically) zero are skipped. Returns
 /// `None` when fewer than two distinct points are provided.
-pub fn measure_distortion(matrix: &AchlioptasMatrix, points: &[Vec<f64>]) -> Option<DistortionReport> {
+pub fn measure_distortion(
+    matrix: &AchlioptasMatrix,
+    points: &[Vec<f64>],
+) -> Option<DistortionReport> {
     if points.len() < 2 {
         return None;
     }

@@ -189,7 +189,7 @@ mod tests {
     fn packed_projection_matches_dense_projection() {
         let dense = AchlioptasMatrix::generate(16, 50, 21);
         let packed = PackedProjection::from_matrix(&dense);
-        let input: Vec<i32> = (0..50).map(|i| (i as i32 * 37 % 211) - 100).collect();
+        let input: Vec<i32> = (0..50).map(|i| (i * 37 % 211) - 100).collect();
         assert_eq!(
             packed.project_i32(&input).expect("dims ok"),
             dense.project_i32(&input).expect("dims ok")

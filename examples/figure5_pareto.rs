@@ -13,7 +13,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = scale_from_args();
     let report = figure5_pareto(&config)?;
     println!("{report}");
-    for family in [MfFamily::Gaussian, MfFamily::Linearized, MfFamily::Triangular] {
+    for family in [
+        MfFamily::Gaussian,
+        MfFamily::Linearized,
+        MfFamily::Triangular,
+    ] {
         match report.ndr_at_arr(family, 0.97) {
             Some(ndr) => println!("{family:>14}: NDR at ARR >= 97 % = {:.2} %", 100.0 * ndr),
             None => println!("{family:>14}: never reaches 97 % ARR on this sweep"),

@@ -12,8 +12,8 @@
 
 use heartbeat_rp::hbc_dsp::{MorphologicalFilter, PeakDetector};
 use heartbeat_rp::hbc_ecg::mitbih::{
-    encode_annotations, encode_format_212, record_from_bytes, MitAnnotationCode,
-    DEFAULT_ADC_GAIN, DEFAULT_ADC_ZERO,
+    encode_annotations, encode_format_212, record_from_bytes, MitAnnotationCode, DEFAULT_ADC_GAIN,
+    DEFAULT_ADC_ZERO,
 };
 use heartbeat_rp::hbc_ecg::record::Lead;
 use heartbeat_rp::hbc_ecg::synthetic::SyntheticEcg;
@@ -60,7 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Run the embedded conditioning chain on the decoded signal.
-    let filtered = MorphologicalFilter::for_sampling_rate(decoded.fs).apply(decoded.lead(Lead(0))?)?;
+    let filtered =
+        MorphologicalFilter::for_sampling_rate(decoded.fs).apply(decoded.lead(Lead(0))?)?;
     let peaks = PeakDetector::new(decoded.fs).detect(&filtered)?;
     println!(
         "peak detector found {} beats ({} annotated)",

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("PC (floating point, Gaussian MFs, 360 Hz windows)");
-    println!("  NDR = {:6.2} %   ARR = {:6.2} %", 100.0 * pc.ndr(), 100.0 * pc.arr());
+    println!(
+        "  NDR = {:6.2} %   ARR = {:6.2} %",
+        100.0 * pc.ndr(),
+        100.0 * pc.arr()
+    );
     println!("{}", pc.matrix_report());
     println!("WBSN (integer, linearised MFs, 90 Hz windows, 2-bit packed projection)");
     println!(

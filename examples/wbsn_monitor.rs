@@ -54,8 +54,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.stats.forwarded_beats,
         100.0 * report.forwarded_fraction()
     );
-    println!("  NDR on this recording     : {:.2} %", 100.0 * report.ndr());
-    println!("  ARR on this recording     : {:.2} %", 100.0 * report.arr());
+    println!(
+        "  NDR on this recording     : {:.2} %",
+        100.0 * report.ndr()
+    );
+    println!(
+        "  ARR on this recording     : {:.2} %",
+        100.0 * report.arr()
+    );
     println!(
         "  duty cycle (gated / always-on delineation): {:.3} / {:.3}",
         report.duty.subsystem3, report.duty.subsystem2

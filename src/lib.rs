@@ -12,7 +12,9 @@ pub use hbc_core::*;
 /// Unknown values fall back to `quick` so examples never panic on argument
 /// typos.
 pub fn scale_from_args() -> hbc_core::config::ExperimentConfig {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "quick".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "quick".to_string());
     match arg.as_str() {
         "paper" => hbc_core::config::ExperimentConfig::paper(),
         "quick" => hbc_core::config::ExperimentConfig::quick(),

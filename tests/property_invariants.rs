@@ -15,7 +15,9 @@ use proptest::prelude::*;
 use heartbeat_rp::hbc_ecg::beat::{Beat, BeatClass, BeatWindow};
 use heartbeat_rp::hbc_ecg::mitbih;
 use heartbeat_rp::hbc_embedded::int_classifier::{AlphaQ16, IntegerNfc, MembershipKind};
-use heartbeat_rp::hbc_embedded::linear_mf::{IntMembership, LinearizedMf, TriangularMf, MF_FULL_SCALE};
+use heartbeat_rp::hbc_embedded::linear_mf::{
+    IntMembership, LinearizedMf, TriangularMf, MF_FULL_SCALE,
+};
 use heartbeat_rp::hbc_nfc::{GaussianMf, NeuroFuzzyClassifier};
 use heartbeat_rp::hbc_rp::{AchlioptasMatrix, PackedProjection};
 
@@ -53,8 +55,8 @@ proptest! {
         scale in 1i32..50,
     ) {
         let matrix = AchlioptasMatrix::generate(8, 64, seed);
-        let a: Vec<i32> = (0..64).map(|i| (i as i32 * 7 % 101) - 50).collect();
-        let b: Vec<i32> = (0..64).map(|i| (i as i32 * 13 % 89) - 44).collect();
+        let a: Vec<i32> = (0..64).map(|i| (i * 7 % 101) - 50).collect();
+        let b: Vec<i32> = (0..64).map(|i| (i * 13 % 89) - 44).collect();
         let sum: Vec<i32> = a.iter().zip(&b).map(|(x, y)| x + scale * y).collect();
 
         let pa = matrix.project_i32(&a).expect("dims");
