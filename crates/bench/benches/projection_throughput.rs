@@ -1,10 +1,15 @@
 //! Micro-benchmark: per-beat cost of the dimensionality-reduction front-ends
-//! — dense Achlioptas projection (float and integer), 2-bit packed
-//! projection, and the PCA baseline — across the coefficient counts of
+//! — dense Achlioptas projection (float and integer), the 2-bit packed
+//! projection in both its firmware-faithful scalar form and the bit-sliced
+//! host kernel, and the PCA baseline — across the coefficient counts of
 //! Table II. This quantifies the paper's argument that random projections
-//! are the WBSN-friendly choice.
+//! are the WBSN-friendly choice, and records the scalar vs bit-sliced
+//! baseline in `BENCH_projection.json` at the workspace root so kernel
+//! regressions are visible in review.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hbc_baseline::Pca;
 use hbc_bench::bench_dataset;
 use hbc_rp::{AchlioptasMatrix, PackedProjection};
@@ -25,6 +30,7 @@ fn bench_projection(c: &mut Criterion) {
         let dense = AchlioptasMatrix::generate(k, beat_f.len(), 42);
         let packed = PackedProjection::from_matrix(&dense);
         let pca = Pca::fit(&training, k).expect("pca fits");
+        let mut out = vec![0i32; k];
 
         group.bench_with_input(BenchmarkId::new("dense_float", k), &k, |b, _| {
             b.iter(|| dense.project(&beat_f))
@@ -32,8 +38,14 @@ fn bench_projection(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dense_integer", k), &k, |b, _| {
             b.iter(|| dense.project_i32(&beat_i).expect("dims"))
         });
-        group.bench_with_input(BenchmarkId::new("packed_2bit_integer", k), &k, |b, _| {
+        group.bench_with_input(BenchmarkId::new("packed_2bit_scalar", k), &k, |b, _| {
+            b.iter(|| packed.project_i32_scalar(&beat_i).expect("dims"))
+        });
+        group.bench_with_input(BenchmarkId::new("packed_bitsliced", k), &k, |b, _| {
             b.iter(|| packed.project_i32(&beat_i).expect("dims"))
+        });
+        group.bench_with_input(BenchmarkId::new("packed_bitsliced_into", k), &k, |b, _| {
+            b.iter(|| packed.project_into(&beat_i, &mut out).expect("dims"))
         });
         group.bench_with_input(BenchmarkId::new("pca_float", k), &k, |b, _| {
             b.iter(|| pca.project(&beat_f))
@@ -42,5 +54,135 @@ fn bench_projection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_projection);
+/// Minimum per-iteration time of `f` in nanoseconds: iterations are
+/// calibrated until one sample lasts ≳2 ms, then the fastest of `samples`
+/// such runs is taken (min is the standard low-noise estimator for
+/// micro-kernels).
+fn min_ns_per_iter<F: FnMut()>(mut f: F, samples: usize) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if start.elapsed() >= Duration::from_millis(2) || iters >= 1 << 28 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+/// One (k, cols) row of the recorded baseline.
+struct BaselineRow {
+    k: usize,
+    cols: usize,
+    dense_ns: f64,
+    scalar_ns: f64,
+    bitsliced_ns: f64,
+    bitsliced_into_ns: f64,
+}
+
+/// Measures scalar vs bit-sliced packed projection per (k, cols) and writes
+/// the result to `BENCH_projection.json` at the workspace root.
+///
+/// Opt-in via `HBC_BENCH_BASELINE=1`: the file is a checked-in reviewed
+/// baseline, so routine `cargo bench` runs (CI smoke included) must not
+/// silently overwrite it with numbers from an arbitrary host.
+fn baseline_json(_c: &mut Criterion) {
+    if std::env::var("HBC_BENCH_BASELINE").map_or(true, |v| v != "1") {
+        println!(
+            "baseline_json: skipped (set HBC_BENCH_BASELINE=1 to rewrite BENCH_projection.json)"
+        );
+        return;
+    }
+    let samples = 9;
+    let mut rows = Vec::new();
+    // cols = 50 is the WBSN operating point (4×-downsampled window); 200 is
+    // the acquisition-rate window of the PC half.
+    for &cols in &[50usize, 200] {
+        let input: Vec<i32> = (0..cols as i32).map(|i| (i * 37 % 211) - 100).collect();
+        for &k in &[8usize, 16, 32] {
+            let dense = AchlioptasMatrix::generate(k, cols, 42);
+            let packed = PackedProjection::from_matrix(&dense);
+            let mut out = vec![0i32; k];
+            let row = BaselineRow {
+                k,
+                cols,
+                dense_ns: min_ns_per_iter(
+                    || {
+                        black_box(dense.project_i32(black_box(&input)).expect("dims"));
+                    },
+                    samples,
+                ),
+                scalar_ns: min_ns_per_iter(
+                    || {
+                        black_box(packed.project_i32_scalar(black_box(&input)).expect("dims"));
+                    },
+                    samples,
+                ),
+                bitsliced_ns: min_ns_per_iter(
+                    || {
+                        black_box(packed.project_i32(black_box(&input)).expect("dims"));
+                    },
+                    samples,
+                ),
+                bitsliced_into_ns: min_ns_per_iter(
+                    || {
+                        packed
+                            .project_into(black_box(&input), black_box(&mut out))
+                            .expect("dims");
+                    },
+                    samples,
+                ),
+            };
+            println!(
+                "baseline k={:>2} cols={:>3}  scalar {:>8.1} ns  bitsliced {:>8.1} ns  ({:.2}x)",
+                row.k,
+                row.cols,
+                row.scalar_ns,
+                row.bitsliced_ns,
+                row.scalar_ns / row.bitsliced_ns
+            );
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"projection_throughput\",\n  \"units\": \"ns_per_projection\",\n  \
+         \"kernel\": \"bit-sliced bitplanes (two u64 masks per row, trailing_zeros walk)\",\n  \
+         \"estimator\": \"min of 9 calibrated samples\",\n  \"results\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"k\": {}, \"cols\": {}, \"dense_ns\": {:.2}, \"scalar_ns\": {:.2}, \
+             \"bitsliced_ns\": {:.2}, \"bitsliced_into_ns\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            r.k,
+            r.cols,
+            r.dense_ns,
+            r.scalar_ns,
+            r.bitsliced_ns,
+            r.bitsliced_into_ns,
+            r.scalar_ns / r.bitsliced_ns,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_projection.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_projection, baseline_json);
 criterion_main!(benches);

@@ -73,7 +73,15 @@ impl Bencher {
     }
 }
 
+/// Sample-count override for quick smoke runs: `HBC_BENCH_SAMPLES=2 cargo
+/// bench` caps every benchmark at two timed samples (CI uses this to compile
+/// and execute all bench targets cheaply).
+fn sample_cap() -> Option<usize> {
+    std::env::var("HBC_BENCH_SAMPLES").ok()?.parse().ok()
+}
+
 fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let samples = sample_cap().map_or(samples, |cap| samples.min(cap.max(1)));
     // Calibrate the iteration count so one sample takes ≳1 ms but the whole
     // benchmark stays fast even for micro-benches.
     let mut bencher = Bencher {

@@ -8,33 +8,26 @@
 //! work-stealing runner that spreads records, batches of beats, or arbitrary
 //! sweep items over all cores.
 //!
-//! Design constraints:
-//!
-//! * **Determinism** — the merged [`EvaluationReport`] must be *bit-identical*
-//!   to the sequential pass regardless of thread count or scheduling. Workers
-//!   therefore never merge into a shared accumulator; every work item writes
-//!   its result into its own slot and the final reduction walks the slots in
-//!   submission order. Since a report is a bundle of counts, ordered merging
-//!   of per-batch reports reproduces the sequential result exactly.
-//! * **No external dependencies** — the build environment has no registry
-//!   access, so the runner uses `std::thread::scope` plus an atomic cursor
-//!   (shared-queue work stealing) instead of rayon. The `Engine` API is
-//!   deliberately rayon-shaped (`map`-style combinators) so a future PR can
-//!   swap the substrate without touching call sites.
+//! The generic substrate — the scoped-thread pool, the atomic work cursor and
+//! the ordered result slots that make the merged [`EvaluationReport`]
+//! *bit-identical* to the sequential pass for any thread count — lives in the
+//! [`hbc_par`] crate (training needs the same runner without depending on
+//! this framework crate). This module layers the domain on top: beat
+//! batching, per-batch scratch buffers, report merging in submission order
+//! and the record-level drivers.
 //!
 //! The experiment modules ([`crate::experiments`]) route their dataset-scale
 //! evaluations and α sweeps through an [`Engine`], as does
 //! [`crate::pipeline::TrainedSystem`].
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use hbc_ecg::beat::{Beat, BeatClass, BeatWindow};
 use hbc_ecg::record::{EcgRecord, Lead};
 use hbc_embedded::int_classifier::AlphaQ16;
 use hbc_nfc::metrics::EvaluationReport;
 use hbc_nfc::FittedPipeline;
+use hbc_par::Par;
 
 use crate::pipeline::WbsnPipeline;
 use crate::Result;
@@ -89,61 +82,25 @@ impl Engine {
         self.config.batch_size.max(1)
     }
 
-    /// The number of workers a call on `items` would use.
-    pub fn workers_for(&self, items: usize) -> usize {
-        let hw = self
-            .config
-            .threads
-            .map(NonZeroUsize::get)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(NonZeroUsize::get)
-                    .unwrap_or(1)
-            });
-        hw.min(items).max(1)
+    /// The generic runner this engine schedules its work on.
+    pub fn par(&self) -> Par {
+        Par::with_threads(self.config.threads)
     }
 
-    /// Applies `f` to every item, returning the results in item order.
-    ///
-    /// Work is distributed dynamically: each worker repeatedly claims the
-    /// next unclaimed index from a shared atomic cursor, so a slow item (a
-    /// long record, an expensive α point) never stalls the others. Results
-    /// land in per-index slots, making the output order — and therefore any
-    /// ordered reduction over it — independent of scheduling.
+    /// The number of workers a call on `items` would use.
+    pub fn workers_for(&self, items: usize) -> usize {
+        self.par().workers_for(items)
+    }
+
+    /// Applies `f` to every item, returning the results in item order
+    /// (see [`Par::map`]).
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        let workers = self.workers_for(items.len());
-        if workers <= 1 {
-            return items.iter().map(f).collect();
-        }
-        let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(item) = items.get(index) else {
-                        break;
-                    };
-                    let result = f(item);
-                    *slots[index]
-                        .lock()
-                        .expect("result slot poisoned: a worker panicked") = Some(result);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned: a worker panicked")
-                    .expect("every index below the cursor was filled")
-            })
-            .collect()
+        self.par().map(items, f)
     }
 
     /// Fallible [`Engine::map`]: short-circuits on the first error *in item
@@ -154,7 +111,7 @@ impl Engine {
         R: Send,
         F: Fn(&T) -> Result<R> + Sync,
     {
-        self.map(items, f).into_iter().collect()
+        self.par().try_map(items, f)
     }
 
     /// Evaluates `evaluator` over a flat beat set, batching beats into work
@@ -173,7 +130,7 @@ impl Engine {
     ) -> Result<EvaluationReport> {
         let batch = self.batch_size();
         let batches: Vec<&[Beat]> = beats.chunks(batch).collect();
-        let reports = self.try_map(&batches, |chunk| evaluate_batch(evaluator, chunk))?;
+        let reports = self.try_map(&batches, |chunk| evaluator.evaluate_batch(chunk))?;
         Ok(merge_in_order(reports))
     }
 
@@ -198,7 +155,7 @@ impl Engine {
             // cache-friendly contiguous scans.
             let mut report = EvaluationReport::new();
             for chunk in beats.chunks(self.batch_size()) {
-                report.merge(&evaluate_batch(evaluator, chunk)?);
+                report.merge(&evaluator.evaluate_batch(chunk)?);
             }
             Ok(RecordReport {
                 record_id: record.id,
@@ -226,12 +183,40 @@ pub trait BeatEvaluator: Sync {
     ///
     /// Returns an error when the beat window does not match the pipeline.
     fn classify_beat(&self, beat: &Beat) -> Result<BeatClass>;
+
+    /// Evaluates one contiguous batch of beats, skipping unlabelled beats.
+    ///
+    /// The default walks [`Self::classify_beat`] beat by beat; evaluators
+    /// whose hot path allocates per beat override this to reuse scratch
+    /// buffers across the whole batch (the batch is always processed by a
+    /// single worker, so the override needs no synchronisation).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in beat order) classification error.
+    fn evaluate_batch(&self, beats: &[Beat]) -> Result<EvaluationReport> {
+        let mut report = EvaluationReport::new();
+        for beat in beats {
+            if beat.class.index().is_none() {
+                continue;
+            }
+            let predicted = self.classify_beat(beat)?;
+            report.record(beat.class, predicted);
+        }
+        Ok(report)
+    }
 }
 
 /// The WBSN integer pipeline at its calibrated α.
 impl BeatEvaluator for WbsnPipeline {
     fn classify_beat(&self, beat: &Beat) -> Result<BeatClass> {
         self.classify(beat)
+    }
+
+    fn evaluate_batch(&self, beats: &[Beat]) -> Result<EvaluationReport> {
+        // One scratch per batch: the downsample/quantise/projection buffers
+        // are reused across every beat of the batch.
+        self.evaluate(beats, self.alpha)
     }
 }
 
@@ -247,6 +232,10 @@ pub struct WbsnEvaluator<'a> {
 impl BeatEvaluator for WbsnEvaluator<'_> {
     fn classify_beat(&self, beat: &Beat) -> Result<BeatClass> {
         self.pipeline.classify_with_alpha(beat, self.alpha)
+    }
+
+    fn evaluate_batch(&self, beats: &[Beat]) -> Result<EvaluationReport> {
+        self.pipeline.evaluate(beats, self.alpha)
     }
 }
 
@@ -305,20 +294,6 @@ impl MultiRecordReport {
     pub fn record(&self, record_id: u32) -> Option<&RecordReport> {
         self.per_record.iter().find(|r| r.record_id == record_id)
     }
-}
-
-/// Sequentially classifies one batch of beats, skipping unlabelled beats
-/// exactly like the pipelines' own `evaluate` loops do.
-fn evaluate_batch<E: BeatEvaluator>(evaluator: &E, beats: &[Beat]) -> Result<EvaluationReport> {
-    let mut report = EvaluationReport::new();
-    for beat in beats {
-        if beat.class.index().is_none() {
-            continue;
-        }
-        let predicted = evaluator.classify_beat(beat)?;
-        report.record(beat.class, predicted);
-    }
-    Ok(report)
 }
 
 /// Merges per-batch reports in submission order.

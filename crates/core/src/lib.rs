@@ -52,7 +52,7 @@ pub mod pipeline;
 
 pub use config::{ExperimentConfig, Scale};
 pub use engine::{BeatEvaluator, Engine, EngineConfig, MultiRecordReport};
-pub use pipeline::{TrainedSystem, WbsnPipeline};
+pub use pipeline::{TrainedSystem, WbsnPipeline, WbsnScratch};
 
 // Re-export the substrate crates so downstream users need a single
 // dependency.

@@ -38,6 +38,17 @@ pub struct WbsnPipeline {
     pub adc: hbc_embedded::AdcModel,
 }
 
+/// Reusable buffers for the WBSN per-beat hot path (downsampled window,
+/// quantised codes, projected coefficients) — the same working set the
+/// firmware uses, re-exported from [`hbc_embedded`].
+///
+/// Classifying a beat through [`WbsnPipeline::classify_with_alpha`] allocates
+/// three vectors; batch loops instead hold one `WbsnScratch` and call
+/// [`WbsnPipeline::classify_with_scratch`], so steady-state evaluation
+/// performs no per-beat allocation. A scratch belongs to one worker at a
+/// time — the engine creates one per batch.
+pub type WbsnScratch = hbc_embedded::BeatScratch;
+
 impl WbsnPipeline {
     /// Classifies one acquisition-rate beat window exactly as the node would.
     ///
@@ -55,31 +66,52 @@ impl WbsnPipeline {
     ///
     /// Returns an error when the window length does not match the pipeline.
     pub fn classify_with_alpha(&self, beat: &Beat, alpha: AlphaQ16) -> Result<hbc_ecg::BeatClass> {
-        let downsampled = beat.downsample(self.downsample);
-        let quantized = self.adc.quantize_samples(&downsampled.samples);
-        let coefficients = self
-            .projection
-            .project_i32(&quantized)
-            .map_err(crate::CoreError::Rp)?;
-        Ok(self
-            .classifier
-            .classify(&coefficients, alpha)
-            .map_err(crate::CoreError::Embedded)?
-            .class)
+        self.classify_with_scratch(beat, alpha, &mut WbsnScratch::default())
     }
 
-    /// Evaluates the pipeline over a set of acquisition-rate beats.
+    /// [`Self::classify_with_alpha`] against caller-owned scratch buffers:
+    /// the per-beat intermediates live in `scratch` and are reused across
+    /// calls, so batch loops perform no per-beat allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the window length does not match the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pipeline's downsampling factor is zero.
+    pub fn classify_with_scratch(
+        &self,
+        beat: &Beat,
+        alpha: AlphaQ16,
+        scratch: &mut WbsnScratch,
+    ) -> Result<hbc_ecg::BeatClass> {
+        scratch
+            .classify(
+                &beat.samples,
+                self.downsample,
+                &self.adc,
+                &self.projection,
+                &self.classifier,
+                alpha,
+            )
+            .map_err(crate::CoreError::Embedded)
+    }
+
+    /// Evaluates the pipeline over a set of acquisition-rate beats, reusing
+    /// one scratch across the whole set.
     ///
     /// # Errors
     ///
     /// Returns an error when a beat window does not match the pipeline.
     pub fn evaluate(&self, beats: &[Beat], alpha: AlphaQ16) -> Result<EvaluationReport> {
+        let mut scratch = WbsnScratch::default();
         let mut report = EvaluationReport::new();
         for beat in beats {
             if beat.class.index().is_none() {
                 continue;
             }
-            let predicted = self.classify_with_alpha(beat, alpha)?;
+            let predicted = self.classify_with_scratch(beat, alpha, &mut scratch)?;
             report.record(beat.class, predicted);
         }
         Ok(report)

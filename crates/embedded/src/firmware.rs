@@ -106,6 +106,51 @@ impl FirmwareReport {
     }
 }
 
+/// Reusable working buffers for the per-beat stage 3-5 path (downsampled
+/// window, ADC codes, projected coefficients) — on the node these live in
+/// statically allocated RAM; on the host they are reused across beats so
+/// classification allocates nothing in steady state. Shared by
+/// [`WbsnFirmware`] and `hbc_core`'s `WbsnPipeline`.
+#[derive(Debug, Clone, Default)]
+pub struct BeatScratch {
+    downsampled: Vec<f64>,
+    quantized: Vec<i32>,
+    coefficients: Vec<i32>,
+}
+
+impl BeatScratch {
+    /// Runs the per-beat classification stages — downsample, ADC
+    /// quantisation, packed integer projection, integer NFC — against these
+    /// buffers, allocating nothing once they have grown to size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddedError::Dimension`] when the downsampled window does
+    /// not match the projection width or the classifier input size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `downsample` is zero.
+    pub fn classify(
+        &mut self,
+        samples: &[f64],
+        downsample: usize,
+        adc: &AdcModel,
+        projection: &PackedProjection,
+        classifier: &IntegerNfc,
+        alpha: AlphaQ16,
+    ) -> Result<BeatClass> {
+        self.downsampled.clear();
+        self.downsampled.extend(samples.iter().step_by(downsample));
+        adc.quantize_samples_into(&self.downsampled, &mut self.quantized);
+        self.coefficients.resize(projection.rows(), 0);
+        projection
+            .project_into(&self.quantized, &mut self.coefficients)
+            .map_err(|e| EmbeddedError::Dimension(e.to_string()))?;
+        Ok(classifier.classify(&self.coefficients, alpha)?.class)
+    }
+}
+
 /// The embedded application: configuration plus all trained artefacts.
 #[derive(Debug, Clone)]
 pub struct WbsnFirmware {
@@ -181,6 +226,23 @@ impl WbsnFirmware {
     /// Returns [`EmbeddedError::Dimension`] when the window length does not
     /// match the firmware configuration.
     pub fn classify_window(&self, samples: &[f64]) -> Result<BeatClass> {
+        self.classify_window_with(samples, &mut BeatScratch::default())
+    }
+
+    /// [`Self::classify_window`] against caller-owned scratch buffers — the
+    /// firmware equivalent of the node's statically allocated working RAM:
+    /// per-beat loops hold one [`BeatScratch`] and perform no allocation in
+    /// steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddedError::Dimension`] when the window length does not
+    /// match the firmware configuration.
+    pub fn classify_window_with(
+        &self,
+        samples: &[f64],
+        scratch: &mut BeatScratch,
+    ) -> Result<BeatClass> {
         if samples.len() != self.window.len() {
             return Err(EmbeddedError::Dimension(format!(
                 "expected a {}-sample window, got {}",
@@ -188,13 +250,14 @@ impl WbsnFirmware {
                 samples.len()
             )));
         }
-        let downsampled: Vec<f64> = samples.iter().step_by(self.downsample).copied().collect();
-        let quantized = self.adc.quantize_samples(&downsampled);
-        let coefficients = self
-            .projection
-            .project_i32(&quantized)
-            .map_err(|e| EmbeddedError::Dimension(e.to_string()))?;
-        Ok(self.classifier.classify(&coefficients, self.alpha)?.class)
+        scratch.classify(
+            samples,
+            self.downsample,
+            &self.adc,
+            &self.projection,
+            &self.classifier,
+            self.alpha,
+        )
     }
 
     /// Processes a full multi-lead record through the complete Figure 6
@@ -237,8 +300,9 @@ impl WbsnFirmware {
         let beats = windows_at_peaks(&filtered, &peaks, self.window);
         let mut outcomes = Vec::with_capacity(beats.len());
         let mut forwarded = 0usize;
+        let mut scratch = BeatScratch::default();
         for (i, beat) in beats.iter().enumerate() {
-            let predicted = self.classify_window(&beat.samples)?;
+            let predicted = self.classify_window_with(&beat.samples, &mut scratch)?;
             let truth = matching.matched_annotation[i].map(|a| record.annotations[a].class);
             let delineated = predicted.is_abnormal();
             let fiducials_transmitted = if delineated {

@@ -48,15 +48,22 @@ impl AdcModel {
 
     /// Quantises a raw sample vector (millivolts) to ADC codes.
     pub fn quantize_samples(&self, samples: &[f64]) -> Vec<i32> {
+        let mut out = Vec::with_capacity(samples.len());
+        self.quantize_samples_into(samples, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Self::quantize_samples`]: clears `out` and refills it
+    /// with one code per sample, reusing the buffer's capacity (the per-beat
+    /// hot paths call this with a scratch vector).
+    pub fn quantize_samples_into(&self, samples: &[f64], out: &mut Vec<i32>) {
         let half = (1i64 << (self.bits - 1)) as f64;
-        samples
-            .iter()
-            .map(|&s| {
-                (s / self.full_scale_mv * half)
-                    .round()
-                    .clamp(-half, half - 1.0) as i32
-            })
-            .collect()
+        out.clear();
+        out.extend(samples.iter().map(|&s| {
+            (s / self.full_scale_mv * half)
+                .round()
+                .clamp(-half, half - 1.0) as i32
+        }));
     }
 }
 

@@ -35,7 +35,7 @@ pub mod memory;
 pub mod platform;
 
 pub use energy::{EnergyModel, EnergyReport, TransmissionPolicy};
-pub use firmware::{FirmwareReport, WbsnFirmware};
+pub use firmware::{BeatScratch, FirmwareReport, WbsnFirmware};
 pub use fixed::{AdcModel, Quantizer};
 pub use int_classifier::{IntegerNfc, MembershipKind};
 pub use linear_mf::{IntMembership, LinearizedMf, TriangularMf, MF_FULL_SCALE};

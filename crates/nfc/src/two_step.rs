@@ -14,8 +14,11 @@
 //! classifier and the calibrated α, ready to be evaluated on the test set or
 //! converted to the embedded integer form by `hbc-embedded`.
 
+use std::num::NonZeroUsize;
+
 use hbc_ecg::beat::Beat;
 use hbc_ecg::Dataset;
+use hbc_par::Par;
 use hbc_rp::{AchlioptasMatrix, GeneticConfig, GeneticOptimizer};
 
 use crate::classifier::NeuroFuzzyClassifier;
@@ -224,20 +227,39 @@ fn fit_candidate(
 }
 
 /// Driver of the complete two-step methodology.
+///
+/// Step 1 (SCG training) and the α calibration of step 2 are independent per
+/// GA candidate, so [`Self::fit`] scores each generation's population
+/// concurrently on a [`Par`] runner — by default one worker per core. The
+/// fitness of a candidate is a pure function of its matrix and the dataset,
+/// and scores are consumed in population order, so the fitted pipeline is
+/// *bit-identical* for any thread count (see `tests/training_parallel.rs`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TwoStepTrainer {
     config: TwoStepConfig,
+    threads: Option<NonZeroUsize>,
 }
 
 impl TwoStepTrainer {
-    /// Creates a trainer.
+    /// Creates a trainer that scores GA candidates on all cores.
     ///
     /// # Errors
     ///
     /// Returns [`NfcError::Config`] when the configuration is invalid.
     pub fn new(config: TwoStepConfig) -> Result<Self> {
         config.validate()?;
-        Ok(TwoStepTrainer { config })
+        Ok(TwoStepTrainer {
+            config,
+            threads: None,
+        })
+    }
+
+    /// Pins candidate evaluation to an explicit worker count (1 = the
+    /// sequential reference path parallel runs are asserted against).
+    #[must_use]
+    pub fn with_threads(mut self, threads: NonZeroUsize) -> Self {
+        self.threads = Some(threads);
+        self
     }
 
     /// The configuration in use.
@@ -245,8 +267,17 @@ impl TwoStepTrainer {
         &self.config
     }
 
+    /// The worker-count policy used for candidate evaluation (`None` = one
+    /// worker per available core).
+    pub fn threads(&self) -> Option<NonZeroUsize> {
+        self.threads
+    }
+
     /// Runs the genetic search over projection matrices and returns the
     /// best-performing fitted pipeline.
+    ///
+    /// All candidates of a generation are trained and calibrated
+    /// concurrently; the result does not depend on the worker count.
     ///
     /// # Errors
     ///
@@ -264,13 +295,17 @@ impl TwoStepTrainer {
             GeneticOptimizer::new(self.config.coefficients, window, self.config.genetic)
                 .map_err(|e| NfcError::Config(e.to_string()))?;
 
-        // Run the GA; candidates that fail to train score 0 (they are simply
-        // never selected).
+        // Run the GA, fanning each generation's candidates over the runner;
+        // candidates that fail to train score 0 (they are simply never
+        // selected).
         let config = self.config;
-        let outcome = optimizer.run(|matrix| {
-            fit_candidate(matrix, dataset, &config)
-                .map(|(_, _, ndr)| ndr)
-                .unwrap_or(0.0)
+        let runner = Par::with_threads(self.threads);
+        let outcome = optimizer.run_batched(|candidates| {
+            runner.map(candidates, |matrix| {
+                fit_candidate(matrix, dataset, &config)
+                    .map(|(_, _, ndr)| ndr)
+                    .unwrap_or(0.0)
+            })
         });
 
         // Re-fit the winner to recover its classifier and α.

@@ -1,0 +1,244 @@
+//! Bit-sliced (SWAR) form of the ternary projection matrix.
+//!
+//! The 2-bit packed layout of [`crate::packed`] is the *storage* format the
+//! paper motivates (¼ of the memory of a byte matrix, Section III-B), but
+//! projecting straight from it costs a shift, a mask and a three-way branch
+//! per matrix entry — two thirds of which hit the `Zero` arm and contribute
+//! nothing. This module stores each row as two *bitplanes* instead: one
+//! `u64`-packed mask of the `+1` columns and one of the `−1` columns. The
+//! projection kernel then walks whole 64-column words, visiting only the set
+//! bits (`trailing_zeros` + clear-lowest-bit), so the per-entry decode branch
+//! disappears and the ~2/3 zero entries cost nothing at all.
+//!
+//! The bitplanes are a *derived* representation: the canonical serialised
+//! form remains the 2-bit byte stream of
+//! [`PackedProjection`](crate::PackedProjection), which builds its planes on
+//! construction. Keeping the two representations separate means the firmware
+//! image format is untouched while every host-side projection goes through
+//! the fast kernel.
+
+use crate::achlioptas::{AchlioptasMatrix, ProjectionEntry};
+use crate::{Result, RpError};
+
+/// Number of columns covered by one plane word.
+const WORD_BITS: usize = 64;
+
+/// A `rows × cols` ternary matrix stored as two bitplanes per row.
+///
+/// Word `w` of row `r`'s plus-plane has bit `b` set iff entry
+/// `(r, w*64 + b)` is `+1` (and likewise for the minus-plane and `−1`).
+/// Bits at or beyond `cols` in the tail word are always zero, so kernels can
+/// trust the masks without re-checking column bounds.
+///
+/// ```
+/// use hbc_rp::{AchlioptasMatrix, BitPlanes};
+///
+/// let dense = AchlioptasMatrix::generate(8, 50, 7);
+/// let planes = BitPlanes::from_matrix(&dense);
+/// let input: Vec<i32> = (0..50).collect();
+/// let mut out = vec![0i32; 8];
+/// planes.project_into(&input, &mut out).expect("dims match");
+/// assert_eq!(out, dense.project_i32(&input).expect("dims match"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPlanes {
+    /// `+1` masks, `words_per_row` words per row, row-major.
+    plus: Vec<u64>,
+    /// `−1` masks, same layout.
+    minus: Vec<u64>,
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+}
+
+impl BitPlanes {
+    /// Builds the bitplanes of a dense matrix.
+    pub fn from_matrix(matrix: &AchlioptasMatrix) -> Self {
+        Self::from_entry_fn(matrix.rows(), matrix.cols(), |i| matrix.entries()[i])
+    }
+
+    /// Builds the bitplanes from the 2-bit packed byte stream (four entries
+    /// per byte, row-major; `00 → 0`, `01 → +1`, `10 → −1`, `11 → 0`).
+    ///
+    /// The caller guarantees `data.len() == ceil(rows*cols/4)`; spare 2-bit
+    /// codes in the final byte are ignored, exactly as the scalar decoder
+    /// ignores them.
+    pub(crate) fn from_packed_bytes(rows: usize, cols: usize, data: &[u8]) -> Self {
+        Self::from_entry_fn(rows, cols, |i| {
+            match (data[i / 4] >> ((i % 4) * 2)) & 0b11 {
+                0b01 => ProjectionEntry::Plus,
+                0b10 => ProjectionEntry::Minus,
+                _ => ProjectionEntry::Zero,
+            }
+        })
+    }
+
+    /// Shared constructor: `entry(i)` returns the row-major entry `i`.
+    fn from_entry_fn(rows: usize, cols: usize, entry: impl Fn(usize) -> ProjectionEntry) -> Self {
+        assert!(rows > 0 && cols > 0, "bitplane dimensions must be non-zero");
+        let words_per_row = cols.div_ceil(WORD_BITS);
+        let mut plus = vec![0u64; rows * words_per_row];
+        let mut minus = vec![0u64; rows * words_per_row];
+        for r in 0..rows {
+            for c in 0..cols {
+                let word = r * words_per_row + c / WORD_BITS;
+                let bit = 1u64 << (c % WORD_BITS);
+                match entry(r * cols + c) {
+                    ProjectionEntry::Plus => plus[word] |= bit,
+                    ProjectionEntry::Minus => minus[word] |= bit,
+                    ProjectionEntry::Zero => {}
+                }
+            }
+        }
+        BitPlanes {
+            plus,
+            minus,
+            rows,
+            cols,
+            words_per_row,
+        }
+    }
+
+    /// Number of projected coefficients (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Input dimensionality (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of `u64` words covering one row in each plane.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The `(plus, minus)` plane words of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row >= rows()`.
+    pub fn row_planes(&self, row: usize) -> (&[u64], &[u64]) {
+        assert!(row < self.rows, "row out of range");
+        let span = row * self.words_per_row..(row + 1) * self.words_per_row;
+        (&self.plus[span.clone()], &self.minus[span])
+    }
+
+    /// Memory footprint of both planes in bytes (host-side working set; the
+    /// serialised firmware image keeps the 2-bit packed form).
+    pub fn size_bytes(&self) -> usize {
+        (self.plus.len() + self.minus.len()) * std::mem::size_of::<u64>()
+    }
+
+    /// Projects an integer sample window with the bit-sliced kernel, writing
+    /// one coefficient per row into `out`.
+    ///
+    /// Accumulation happens in 64 bits and each coefficient saturates to the
+    /// `i32` range, matching the dense and scalar-packed reference paths
+    /// bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpError::Dimension`] when `input.len() != cols()` or
+    /// `out.len() != rows()`.
+    pub fn project_into(&self, input: &[i32], out: &mut [i32]) -> Result<()> {
+        if input.len() != self.cols {
+            return Err(RpError::Dimension(format!(
+                "input has {} samples but the projection expects {}",
+                input.len(),
+                self.cols
+            )));
+        }
+        if out.len() != self.rows {
+            return Err(RpError::Dimension(format!(
+                "output has {} slots but the projection produces {}",
+                out.len(),
+                self.rows
+            )));
+        }
+        for (r, acc) in out.iter_mut().enumerate() {
+            let span = r * self.words_per_row..(r + 1) * self.words_per_row;
+            let mut sum = 0i64;
+            for (w, (&p, &m)) in self.plus[span.clone()]
+                .iter()
+                .zip(&self.minus[span])
+                .enumerate()
+            {
+                let window = &input[w * WORD_BITS..];
+                let mut bits = p;
+                while bits != 0 {
+                    sum += window[bits.trailing_zeros() as usize] as i64;
+                    bits &= bits - 1;
+                }
+                let mut bits = m;
+                while bits != 0 {
+                    sum -= window[bits.trailing_zeros() as usize] as i64;
+                    bits &= bits - 1;
+                }
+            }
+            *acc = sum.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planes_match_dense_projection_across_widths() {
+        // Widths straddling the 64-column word boundary exercise the tail
+        // mask; 64 and 128 exercise the exact-multiple case.
+        for cols in [1usize, 7, 50, 63, 64, 65, 127, 128, 130, 200] {
+            let dense = AchlioptasMatrix::generate(9, cols, cols as u64);
+            let planes = BitPlanes::from_matrix(&dense);
+            let input: Vec<i32> = (0..cols as i32).map(|i| (i * 37 % 211) - 100).collect();
+            let mut out = vec![0i32; 9];
+            planes.project_into(&input, &mut out).expect("dims match");
+            assert_eq!(
+                out,
+                dense.project_i32(&input).expect("dims match"),
+                "cols={cols}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_word_bits_beyond_cols_are_zero() {
+        let dense = AchlioptasMatrix::generate(4, 70, 3);
+        let planes = BitPlanes::from_matrix(&dense);
+        assert_eq!(planes.words_per_row(), 2);
+        for r in 0..4 {
+            let (p, m) = planes.row_planes(r);
+            let tail_mask = !((1u64 << (70 - 64)) - 1);
+            assert_eq!(p[1] & tail_mask, 0);
+            assert_eq!(m[1] & tail_mask, 0);
+        }
+    }
+
+    #[test]
+    fn saturating_inputs_clamp_like_the_dense_path() {
+        let dense = AchlioptasMatrix::generate(6, 80, 11);
+        let planes = BitPlanes::from_matrix(&dense);
+        let input: Vec<i32> = (0..80)
+            .map(|i| if i % 2 == 0 { i32::MAX } else { i32::MIN })
+            .collect();
+        let mut out = vec![0i32; 6];
+        planes.project_into(&input, &mut out).expect("dims match");
+        assert_eq!(out, dense.project_i32(&input).expect("dims match"));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let planes = BitPlanes::from_matrix(&AchlioptasMatrix::generate(4, 10, 1));
+        let mut out = vec![0i32; 4];
+        assert!(planes.project_into(&[0; 9], &mut out).is_err());
+        let mut short = vec![0i32; 3];
+        assert!(planes.project_into(&[0; 10], &mut short).is_err());
+        assert_eq!(planes.rows(), 4);
+        assert_eq!(planes.cols(), 10);
+        assert_eq!(planes.size_bytes(), 4 * 2 * 8);
+    }
+}

@@ -177,27 +177,60 @@ impl GeneticOptimizer {
     where
         F: FnMut(&AchlioptasMatrix) -> f64,
     {
+        self.run_batched(|candidates| candidates.iter().map(&mut fitness).collect())
+    }
+
+    /// Runs the search, scoring one whole *generation of candidates per
+    /// call*: `evaluate` receives every not-yet-scored matrix of a generation
+    /// (the full population for generation 0, the non-elite offspring after
+    /// that) and returns their fitness values in the same order.
+    ///
+    /// Because the fitness of a candidate never touches the GA's RNG, pulling
+    /// the evaluations out of the breeding loop leaves the RNG stream — and
+    /// therefore every generated matrix, selection and mutation — identical
+    /// to [`Self::run`]. The batch boundary is what lets callers spread the
+    /// evaluations over worker threads (each candidate is scored
+    /// independently and results are consumed in population order), so the
+    /// parallel search is bit-identical to the sequential one for any thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `evaluate` returns a different number of scores than
+    /// candidates it was given.
+    pub fn run_batched<F>(&self, mut evaluate: F) -> GeneticOutcome
+    where
+        F: FnMut(&[AchlioptasMatrix]) -> Vec<f64>,
+    {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut evaluations = 0usize;
 
-        let mut population: Vec<Individual> = (0..cfg.population)
-            .map(|_| {
-                let matrix = AchlioptasMatrix::generate_with(self.rows, self.cols, &mut rng);
-                let fit = fitness(&matrix);
-                evaluations += 1;
-                Individual {
-                    matrix,
-                    fitness: fit,
-                }
-            })
+        let mut score = |candidates: Vec<AchlioptasMatrix>| -> Vec<Individual> {
+            let scores = evaluate(&candidates);
+            assert_eq!(
+                scores.len(),
+                candidates.len(),
+                "batch evaluator must score every candidate"
+            );
+            evaluations += candidates.len();
+            candidates
+                .into_iter()
+                .zip(scores)
+                .map(|(matrix, fitness)| Individual { matrix, fitness })
+                .collect()
+        };
+
+        let seeds: Vec<AchlioptasMatrix> = (0..cfg.population)
+            .map(|_| AchlioptasMatrix::generate_with(self.rows, self.cols, &mut rng))
             .collect();
+        let mut population = score(seeds);
         sort_by_fitness(&mut population);
         let mut history = vec![population[0].fitness];
 
         for _gen in 0..cfg.generations {
-            let mut next: Vec<Individual> = population[..cfg.elitism].to_vec();
-            while next.len() < cfg.population {
+            let mut offspring: Vec<AchlioptasMatrix> = Vec::new();
+            while cfg.elitism + offspring.len() < cfg.population {
                 let parent_a = self.tournament_select(&population, &mut rng);
                 let parent_b = self.tournament_select(&population, &mut rng);
                 let mut child = if rng.gen::<f64>() < cfg.crossover_rate {
@@ -212,13 +245,10 @@ impl GeneticOptimizer {
                     population[parent_b].matrix.clone()
                 };
                 self.mutate(&mut child, &mut rng);
-                let fit = fitness(&child);
-                evaluations += 1;
-                next.push(Individual {
-                    matrix: child,
-                    fitness: fit,
-                });
+                offspring.push(child);
             }
+            let mut next: Vec<Individual> = population[..cfg.elitism].to_vec();
+            next.extend(score(offspring));
             population = next;
             sort_by_fitness(&mut population);
             history.push(population[0].fitness);
@@ -366,6 +396,36 @@ mod tests {
         assert_eq!(a.best, b.best);
         assert_eq!(a.history, b.history);
         assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn batched_run_matches_per_candidate_run() {
+        let opt = GeneticOptimizer::new(4, 30, GeneticConfig::quick()).expect("valid config");
+        let reference = opt.run(plus_count_fitness);
+        let mut batch_sizes = Vec::new();
+        let batched = opt.run_batched(|candidates| {
+            batch_sizes.push(candidates.len());
+            candidates.iter().map(plus_count_fitness).collect()
+        });
+        assert_eq!(batched.best, reference.best);
+        assert_eq!(batched.history, reference.history);
+        assert_eq!(batched.evaluations, reference.evaluations);
+        // Generation 0 scores the whole population in one batch; every later
+        // generation scores all non-elite offspring together — the batch
+        // boundary parallel trainers fan out over.
+        let cfg = GeneticConfig::quick();
+        assert_eq!(batch_sizes[0], cfg.population);
+        assert_eq!(batch_sizes.len(), cfg.generations + 1);
+        for &size in &batch_sizes[1..] {
+            assert_eq!(size, cfg.population - cfg.elitism);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "score every candidate")]
+    fn short_batch_scores_are_rejected() {
+        let opt = GeneticOptimizer::new(2, 10, GeneticConfig::quick()).expect("valid config");
+        opt.run_batched(|_| vec![]);
     }
 
     #[test]

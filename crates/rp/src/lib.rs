@@ -17,6 +17,9 @@
 //! * [`PackedProjection`](packed::PackedProjection) — the 2-bit-per-entry
 //!   memory layout used on the embedded platform (¼ of the memory of a byte
 //!   matrix, Section III-B of the paper);
+//! * [`BitPlanes`](bitplanes::BitPlanes) — the bit-sliced (two `u64` masks
+//!   per row) working set derived from the packed form, powering the
+//!   branch-free host-side projection kernel;
 //! * [`genetic`] — the genetic algorithm used to search for a
 //!   high-performance projection (population of 20 matrices, 30 generations
 //!   in the paper);
@@ -36,11 +39,13 @@
 #![forbid(unsafe_code)]
 
 pub mod achlioptas;
+pub mod bitplanes;
 pub mod genetic;
 pub mod jl;
 pub mod packed;
 
 pub use achlioptas::{AchlioptasMatrix, ProjectionEntry};
+pub use bitplanes::BitPlanes;
 pub use genetic::{GeneticConfig, GeneticOptimizer, GeneticOutcome};
 pub use packed::PackedProjection;
 

@@ -10,9 +10,16 @@
 //! and decodes to 0), packed four entries per byte, row-major.
 
 use crate::achlioptas::{AchlioptasMatrix, ProjectionEntry};
+use crate::bitplanes::BitPlanes;
 use crate::{Result, RpError};
 
 /// A projection matrix stored at two bits per entry.
+///
+/// The 2-bit byte stream ([`Self::as_bytes`] / [`Self::from_bytes`]) is the
+/// canonical serialised form — it is what the firmware image stores. On
+/// construction the matrix is additionally converted to a bit-sliced
+/// [`BitPlanes`] working set so [`Self::project_i32`] runs the word-at-a-time
+/// kernel instead of decoding one 2-bit entry at a time.
 ///
 /// ```
 /// use hbc_rp::{AchlioptasMatrix, PackedProjection};
@@ -25,6 +32,7 @@ use crate::{Result, RpError};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedProjection {
     data: Vec<u8>,
+    planes: BitPlanes,
     rows: usize,
     cols: usize,
 }
@@ -44,7 +52,13 @@ impl PackedProjection {
             };
             data[i / 4] |= code << ((i % 4) * 2);
         }
-        PackedProjection { data, rows, cols }
+        let planes = BitPlanes::from_matrix(matrix);
+        PackedProjection {
+            data,
+            planes,
+            rows,
+            cols,
+        }
     }
 
     /// Reconstructs the dense matrix (used for verification and by the PC-side
@@ -119,18 +133,58 @@ impl PackedProjection {
                 data.len()
             )));
         }
-        Ok(PackedProjection { data, rows, cols })
+        let planes = BitPlanes::from_packed_bytes(rows, cols, &data);
+        Ok(PackedProjection {
+            data,
+            planes,
+            rows,
+            cols,
+        })
     }
 
-    /// Projects an integer sample window directly from the packed
-    /// representation, exactly as the embedded firmware does (no unpacking
-    /// buffer, additions/subtractions only).
+    /// The bit-sliced working set derived from the packed bytes.
+    pub fn planes(&self) -> &BitPlanes {
+        &self.planes
+    }
+
+    /// Projects an integer sample window through the bit-sliced kernel
+    /// (additions/subtractions only, one coefficient per matrix row).
+    ///
+    /// Allocates the output vector; the hot paths reuse a buffer via
+    /// [`Self::project_into`] instead.
     ///
     /// # Errors
     ///
     /// Returns [`RpError::Dimension`] when the input length does not match the
     /// matrix width.
     pub fn project_i32(&self, input: &[i32]) -> Result<Vec<i32>> {
+        let mut out = vec![0i32; self.rows];
+        self.project_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free projection: writes one coefficient per row into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpError::Dimension`] when `input.len() != cols()` or
+    /// `out.len() != rows()`.
+    pub fn project_into(&self, input: &[i32], out: &mut [i32]) -> Result<()> {
+        self.planes.project_into(input, out)
+    }
+
+    /// Reference scalar path: decodes one 2-bit entry at a time, exactly as
+    /// the embedded firmware does (no unpacking buffer, a branch per entry).
+    ///
+    /// Kept as the firmware-faithful model for the cycle estimates and as the
+    /// equivalence oracle the bit-sliced kernel is tested and benchmarked
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpError::Dimension`] when the input length does not match the
+    /// matrix width.
+    pub fn project_i32_scalar(&self, input: &[i32]) -> Result<Vec<i32>> {
         if input.len() != self.cols {
             return Err(RpError::Dimension(format!(
                 "input has {} samples but the projection expects {}",
@@ -211,6 +265,35 @@ mod tests {
     fn dimension_mismatch_is_rejected() {
         let packed = PackedProjection::from_matrix(&AchlioptasMatrix::generate(4, 10, 1));
         assert!(packed.project_i32(&[0; 9]).is_err());
+        assert!(packed.project_i32_scalar(&[0; 9]).is_err());
+        let mut out = vec![0i32; 3];
+        assert!(packed.project_into(&[0; 10], &mut out).is_err());
+    }
+
+    #[test]
+    fn bitsliced_scalar_and_buffered_paths_agree() {
+        let dense = AchlioptasMatrix::generate(16, 50, 33);
+        let packed = PackedProjection::from_matrix(&dense);
+        let input: Vec<i32> = (0..50).map(|i| (i * 91 % 409) - 200).collect();
+        let fast = packed.project_i32(&input).expect("dims ok");
+        assert_eq!(fast, packed.project_i32_scalar(&input).expect("dims ok"));
+        let mut out = vec![0i32; 16];
+        packed.project_into(&input, &mut out).expect("dims ok");
+        assert_eq!(fast, out);
+        assert_eq!(packed.planes().rows(), 16);
+    }
+
+    #[test]
+    fn from_bytes_rebuilds_the_bitplanes() {
+        let dense = AchlioptasMatrix::generate(8, 70, 13);
+        let packed = PackedProjection::from_matrix(&dense);
+        let rebuilt =
+            PackedProjection::from_bytes(8, 70, packed.as_bytes().to_vec()).expect("valid bytes");
+        let input: Vec<i32> = (0..70).map(|i| i * 17 - 500).collect();
+        assert_eq!(
+            rebuilt.project_i32(&input).expect("dims ok"),
+            dense.project_i32(&input).expect("dims ok")
+        );
     }
 
     #[test]

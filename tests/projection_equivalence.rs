@@ -1,0 +1,89 @@
+//! Property-based equivalence of the three integer projection paths.
+//!
+//! The bit-sliced kernel behind `PackedProjection::project_i32` must be
+//! indistinguishable from the dense reference (`AchlioptasMatrix::
+//! project_i32`) and from the firmware-faithful scalar packed path
+//! (`project_i32_scalar`) for every matrix shape — in particular widths that
+//! are not multiples of 64, which exercise the tail-word masking — and for
+//! inputs that saturate the `i32` accumulator range.
+
+use hbc_core::hbc_rp::{AchlioptasMatrix, PackedProjection};
+use proptest::prelude::*;
+
+/// Deterministic input window of `cols` samples. `extremes` selects how often
+/// a sample is pinned to `i32::MIN`/`i32::MAX` (out of 16) so the same
+/// property covers both ordinary magnitudes and saturating accumulations.
+fn input_window(cols: usize, seed: u64, extremes: u64) -> Vec<i32> {
+    let mut state = seed | 1;
+    (0..cols)
+        .map(|_| {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            if z % 16 < extremes {
+                if z & 16 == 0 {
+                    i32::MAX
+                } else {
+                    i32::MIN
+                }
+            } else {
+                (z % 8192) as i32 - 4096
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitsliced_matches_dense_and_scalar(
+        rows in 1usize..=40,
+        cols in 1usize..=200,
+        matrix_seed in any::<u64>(),
+        input_seed in any::<u64>(),
+        extremes in 0u64..=16,
+    ) {
+        let dense = AchlioptasMatrix::generate(rows, cols, matrix_seed);
+        let packed = PackedProjection::from_matrix(&dense);
+        let input = input_window(cols, input_seed, extremes);
+
+        let reference = dense.project_i32(&input).expect("dims match");
+        let bitsliced = packed.project_i32(&input).expect("dims match");
+        let scalar = packed.project_i32_scalar(&input).expect("dims match");
+        prop_assert_eq!(&bitsliced, &reference, "bit-sliced vs dense, {}x{}", rows, cols);
+        prop_assert_eq!(&scalar, &reference, "scalar packed vs dense, {}x{}", rows, cols);
+
+        // The allocation-free entry point and the serialised round-trip reuse
+        // the same kernel and must agree too.
+        let mut out = vec![0i32; rows];
+        packed.project_into(&input, &mut out).expect("dims match");
+        prop_assert_eq!(&out, &reference);
+        let rebuilt = PackedProjection::from_bytes(rows, cols, packed.as_bytes().to_vec())
+            .expect("canonical bytes round-trip");
+        prop_assert_eq!(&rebuilt.project_i32(&input).expect("dims match"), &reference);
+    }
+
+    #[test]
+    fn tail_word_widths_match_around_the_64_column_boundary(
+        rows in 1usize..=16,
+        offset in 0usize..=4,
+        below in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        // Widths 60..=68 and 124..=132: straddling one and two plane words.
+        let cols = if below { 64 - offset.min(4) } else { 64 + offset }
+            + if seed.is_multiple_of(2) { 0 } else { 64 };
+        let dense = AchlioptasMatrix::generate(rows, cols, seed);
+        let packed = PackedProjection::from_matrix(&dense);
+        let input = input_window(cols, seed.rotate_left(17), 4);
+        prop_assert_eq!(
+            packed.project_i32(&input).expect("dims match"),
+            dense.project_i32(&input).expect("dims match"),
+            "cols = {}", cols
+        );
+    }
+}

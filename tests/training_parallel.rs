@@ -1,0 +1,73 @@
+//! Parity of the parallel two-step training: for one seed, the fitted
+//! pipeline must be *bit-identical* — winning matrix bytes, membership
+//! parameters, calibrated α, fitness history — whatever the worker count.
+//!
+//! The guarantee rests on two facts the test pins down: the GA scores each
+//! generation as one ordered batch (candidate fitness never touches the GA's
+//! RNG), and `hbc_par::Par` returns batch results in submission order.
+
+use std::num::NonZeroUsize;
+
+use hbc_core::hbc_ecg::dataset::DatasetSpec;
+use hbc_core::hbc_ecg::Dataset;
+use hbc_core::hbc_nfc::{FittedPipeline, TwoStepConfig, TwoStepTrainer};
+use hbc_core::hbc_rp::PackedProjection;
+
+fn ga_config() -> TwoStepConfig {
+    let mut config = TwoStepConfig::quick(8);
+    // Small but real search: two generations of a six-candidate population
+    // keeps the test fast while exercising batched offspring evaluation.
+    config.genetic.population = 6;
+    config.genetic.generations = 2;
+    config
+}
+
+/// Bit-level comparison of two fitted pipelines.
+fn assert_bit_identical(a: &FittedPipeline, b: &FittedPipeline, label: &str) {
+    assert_eq!(
+        PackedProjection::from_matrix(&a.projection).as_bytes(),
+        PackedProjection::from_matrix(&b.projection).as_bytes(),
+        "{label}: winning matrix bytes diverged"
+    );
+    assert_eq!(
+        a.classifier, b.classifier,
+        "{label}: membership parameters diverged"
+    );
+    assert_eq!(
+        a.alpha_train.to_bits(),
+        b.alpha_train.to_bits(),
+        "{label}: calibrated alpha diverged"
+    );
+    assert_eq!(
+        a.fitness.to_bits(),
+        b.fitness.to_bits(),
+        "{label}: fitness diverged"
+    );
+    let history = |p: &FittedPipeline| p.ga_history.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+    assert_eq!(history(a), history(b), "{label}: GA history diverged");
+}
+
+#[test]
+fn fit_is_bit_identical_for_any_thread_count() {
+    let dataset = Dataset::synthetic(DatasetSpec::tiny(), 17);
+    let trainer = TwoStepTrainer::new(ga_config()).expect("valid config");
+
+    let reference = trainer
+        .with_threads(NonZeroUsize::new(1).expect("non-zero"))
+        .fit(&dataset)
+        .expect("sequential fit");
+    assert!(reference.fitness > 0.0, "degenerate reference fit");
+
+    for threads in [2usize, 8] {
+        let parallel = trainer
+            .with_threads(NonZeroUsize::new(threads).expect("non-zero"))
+            .fit(&dataset)
+            .expect("parallel fit");
+        assert_bit_identical(&reference, &parallel, &format!("{threads} threads"));
+    }
+
+    // The default trainer (one worker per core, whatever this host has) must
+    // land on the same artefacts as the pinned runs.
+    let default_run = trainer.fit(&dataset).expect("default fit");
+    assert_bit_identical(&reference, &default_run, "default thread policy");
+}
