@@ -184,5 +184,95 @@ fn baseline_json(_c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_projection, baseline_json);
+/// Extracts `(k, cols, speedup)` triples from the checked-in
+/// `BENCH_projection.json` (own format, so a hand-rolled scan suffices — the
+/// workspace has no JSON dependency).
+fn parse_baseline(json: &str) -> Vec<(usize, usize, f64)> {
+    fn field(row: &str, name: &str) -> Option<f64> {
+        let tail = &row[row.find(&format!("\"{name}\":"))? + name.len() + 3..];
+        let tail = tail.trim_start();
+        let end = tail
+            .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+            .unwrap_or(tail.len());
+        tail[..end].parse().ok()
+    }
+    json.lines()
+        .filter(|l| l.contains("\"k\":"))
+        .filter_map(|row| {
+            Some((
+                field(row, "k")? as usize,
+                field(row, "cols")? as usize,
+                field(row, "speedup")?,
+            ))
+        })
+        .collect()
+}
+
+/// Regression gate for the bit-sliced projection kernel, run by the CI bench
+/// smoke job (`HBC_BENCH_REGRESSION=1`).
+///
+/// Comparing wall-clock nanoseconds against a baseline recorded on a
+/// different host would trip on machine speed, so the gate checks the
+/// *scalar-to-bit-sliced speedup ratio* — both sides measured on the same
+/// host, here and in the baseline — against the checked-in value with a
+/// generous noise margin (2× by default, `HBC_BENCH_MARGIN` to override).
+/// A kernel regression that erases the bit-sliced advantage fails the job.
+fn regression_gate(_c: &mut Criterion) {
+    if std::env::var("HBC_BENCH_REGRESSION").map_or(true, |v| v != "1") {
+        println!("regression_gate: skipped (set HBC_BENCH_REGRESSION=1 to enable)");
+        return;
+    }
+    let margin: f64 = std::env::var("HBC_BENCH_MARGIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_projection.json");
+    let json = std::fs::read_to_string(path).expect("checked-in BENCH_projection.json");
+    let baseline = parse_baseline(&json);
+    assert!(
+        !baseline.is_empty(),
+        "no rows parsed from BENCH_projection.json"
+    );
+
+    let samples = 5;
+    let mut failures = Vec::new();
+    for (k, cols, baseline_speedup) in baseline {
+        let input: Vec<i32> = (0..cols as i32).map(|i| (i * 37 % 211) - 100).collect();
+        let dense = AchlioptasMatrix::generate(k, cols, 42);
+        let packed = PackedProjection::from_matrix(&dense);
+        let scalar_ns = min_ns_per_iter(
+            || {
+                black_box(packed.project_i32_scalar(black_box(&input)).expect("dims"));
+            },
+            samples,
+        );
+        let bitsliced_ns = min_ns_per_iter(
+            || {
+                black_box(packed.project_i32(black_box(&input)).expect("dims"));
+            },
+            samples,
+        );
+        let speedup = scalar_ns / bitsliced_ns;
+        let floor = baseline_speedup / margin;
+        let verdict = if speedup >= floor { "ok" } else { "REGRESSION" };
+        println!(
+            "regression_gate k={k:>2} cols={cols:>3}  scalar {scalar_ns:>8.1} ns  bitsliced \
+             {bitsliced_ns:>8.1} ns  speedup {speedup:>5.2}x (baseline {baseline_speedup:.2}x, \
+             floor {floor:.2}x)  {verdict}"
+        );
+        if speedup < floor {
+            failures.push(format!(
+                "k={k} cols={cols}: speedup {speedup:.2}x below floor {floor:.2}x \
+                 (baseline {baseline_speedup:.2}x / margin {margin})"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "bit-sliced projection kernel regressed:\n{}",
+        failures.join("\n")
+    );
+}
+
+criterion_group!(benches, bench_projection, baseline_json, regression_gate);
 criterion_main!(benches);

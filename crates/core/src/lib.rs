@@ -24,6 +24,9 @@
 //! * [`engine`] — a work-stealing parallel runner that evaluates trained
 //!   pipelines over beat sets, α sweeps and whole record collections on all
 //!   cores, with bit-identical results to the sequential path;
+//! * [`stream`] — the live serving layer: a [`StreamHub`] multiplexing many
+//!   concurrent per-patient streaming-firmware sessions over the same
+//!   parallel runner, with order-deterministic merged reports;
 //! * [`experiments`] — one function per table / figure of the paper, each
 //!   returning a typed report that prints the corresponding rows.
 //!
@@ -49,10 +52,12 @@ pub mod config;
 pub mod engine;
 pub mod experiments;
 pub mod pipeline;
+pub mod stream;
 
 pub use config::{ExperimentConfig, Scale};
 pub use engine::{BeatEvaluator, Engine, EngineConfig, MultiRecordReport};
 pub use pipeline::{TrainedSystem, WbsnPipeline, WbsnScratch};
+pub use stream::{SessionId, StreamHub};
 
 // Re-export the substrate crates so downstream users need a single
 // dependency.

@@ -1,0 +1,399 @@
+//! Multi-patient streaming service: many concurrent [`StreamingFirmware`]
+//! sessions multiplexed over the `hbc-par` runner.
+//!
+//! A production node fleet terminates one sample stream per patient. The
+//! [`StreamHub`] models that service point on the host: each patient gets an
+//! independent push-based firmware session (bounded memory, bit-identical to
+//! the batch pipeline), arriving chunks are dispatched over all cores with
+//! the same deterministic work-stealing runner the evaluation engine uses,
+//! and per-session figures of merit are merged **in session order** through
+//! [`EvaluationReport::merge`] — so the fleet-wide report is bit-identical
+//! for any thread count, like every other parallel path in this workspace.
+//!
+//! Ground truth is unknown while streaming; outcomes are labelled after the
+//! fact by matching emitted peak positions against reference annotations
+//! with the same tolerance the batch firmware reports with.
+
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+use hbc_dsp::window::match_peaks;
+use hbc_dsp::{MorphologicalFilter, PeakDetector, PeakThresholds};
+use hbc_ecg::record::Annotation;
+use hbc_embedded::firmware::BeatOutcome;
+use hbc_embedded::{StreamingFirmware, WbsnFirmware};
+use hbc_nfc::EvaluationReport;
+use hbc_par::Par;
+
+use crate::{CoreError, Result};
+
+/// Handle of one patient session inside a [`StreamHub`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(usize);
+
+impl SessionId {
+    /// Position of the session in the hub (also its merge order).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// One patient's live session: the streaming firmware plus the outcomes it
+/// has emitted so far.
+#[derive(Debug)]
+struct PatientStream<'fw> {
+    patient_id: u32,
+    stream: StreamingFirmware<'fw>,
+    outcomes: Vec<BeatOutcome>,
+}
+
+impl PatientStream<'_> {
+    fn drain(&mut self) {
+        while let Some(o) = self.stream.pop_outcome() {
+            self.outcomes.push(o);
+        }
+    }
+}
+
+/// Multiplexes many concurrent per-patient [`StreamingFirmware`] sessions
+/// over the deterministic parallel runner.
+///
+/// Sessions are independent, so a batch of chunks — at most one per session
+/// — is ingested with one parallel sweep; results (emitted beats, reports)
+/// depend only on each session's own sample stream, never on scheduling.
+#[derive(Debug)]
+pub struct StreamHub<'fw> {
+    firmware: &'fw WbsnFirmware,
+    fs: f64,
+    par: Par,
+    sessions: Vec<Mutex<PatientStream<'fw>>>,
+}
+
+impl<'fw> StreamHub<'fw> {
+    /// Creates a hub serving sessions of `firmware` at sampling rate `fs`,
+    /// using one worker per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fs` is not positive (propagated from the DSP stages when
+    /// the first session is added).
+    pub fn new(firmware: &'fw WbsnFirmware, fs: f64) -> Self {
+        Self::with_threads(firmware, fs, None)
+    }
+
+    /// Creates a hub with an explicit worker-thread policy (`None` = one per
+    /// core).
+    pub fn with_threads(
+        firmware: &'fw WbsnFirmware,
+        fs: f64,
+        threads: Option<NonZeroUsize>,
+    ) -> Self {
+        StreamHub {
+            firmware,
+            fs,
+            par: Par::with_threads(threads),
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Number of registered sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Derives per-patient detection thresholds from a raw calibration
+    /// stretch (typically the first seconds of the patient's signal): the
+    /// stretch is baseline-filtered and the detector's RMS calibration runs
+    /// over it — the same procedure the batch path applies to whole records.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the stretch is too short for the filter or the
+    /// wavelet decomposition.
+    pub fn calibrate_thresholds(&self, raw: &[f64]) -> Result<PeakThresholds> {
+        let filtered = MorphologicalFilter::for_sampling_rate(self.fs).apply(raw)?;
+        Ok(PeakDetector::new(self.fs).calibrate(&filtered)?)
+    }
+
+    /// Registers a new patient session with fixed detection thresholds,
+    /// returning its handle. Session order is merge order.
+    pub fn add_patient(&mut self, patient_id: u32, thresholds: PeakThresholds) -> SessionId {
+        let id = SessionId(self.sessions.len());
+        self.sessions.push(Mutex::new(PatientStream {
+            patient_id,
+            stream: StreamingFirmware::new(self.firmware, self.fs, thresholds),
+            outcomes: Vec::new(),
+        }));
+        id
+    }
+
+    fn session(&self, id: SessionId) -> Result<&Mutex<PatientStream<'fw>>> {
+        self.sessions
+            .get(id.0)
+            .ok_or_else(|| CoreError::Config(format!("unknown session #{}", id.0)))
+    }
+
+    /// Ingests one batch of chunks — at most one chunk per session — pushing
+    /// every chunk through its session in parallel.
+    ///
+    /// Within a batch the sessions are independent, so the sweep is
+    /// deterministic; feeding the same session twice in one batch would make
+    /// its sample order scheduling-dependent and is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for an unknown session or a duplicated
+    /// session within the batch.
+    pub fn ingest(&self, feeds: &[(SessionId, &[f64])]) -> Result<()> {
+        let mut seen = vec![false; self.sessions.len()];
+        for (id, _) in feeds {
+            let slot = seen
+                .get_mut(id.0)
+                .ok_or_else(|| CoreError::Config(format!("unknown session #{}", id.0)))?;
+            if std::mem::replace(slot, true) {
+                return Err(CoreError::Config(format!(
+                    "session #{} fed twice in one batch",
+                    id.0
+                )));
+            }
+        }
+        self.par.map(feeds, |&(id, chunk)| {
+            let mut session = self.sessions[id.0].lock().expect("session poisoned");
+            session.stream.push_chunk(chunk);
+            session.drain();
+        });
+        Ok(())
+    }
+
+    /// Finishes every session in parallel: borders are drained and all
+    /// remaining beats emitted. Idempotent.
+    pub fn finish(&self) {
+        let ids: Vec<usize> = (0..self.sessions.len()).collect();
+        self.par.map(&ids, |&i| {
+            let mut session = self.sessions[i].lock().expect("session poisoned");
+            session.stream.finish();
+            session.drain();
+        });
+    }
+
+    /// The patient identifier of a session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for an unknown session.
+    pub fn patient_id(&self, id: SessionId) -> Result<u32> {
+        Ok(self
+            .session(id)?
+            .lock()
+            .expect("session poisoned")
+            .patient_id)
+    }
+
+    /// Copy of the outcomes a session has emitted so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for an unknown session.
+    pub fn outcomes(&self, id: SessionId) -> Result<Vec<BeatOutcome>> {
+        Ok(self
+            .session(id)?
+            .lock()
+            .expect("session poisoned")
+            .outcomes
+            .clone())
+    }
+
+    /// Total beats emitted across all sessions so far.
+    pub fn total_beats(&self) -> usize {
+        self.sessions
+            .iter()
+            .map(|s| s.lock().expect("session poisoned").outcomes.len())
+            .sum()
+    }
+
+    /// Labels one session's emitted beats against reference annotations
+    /// (two-pointer position matching within `tolerance` samples; unmatched
+    /// beats are ignored, as in the batch firmware report) and returns its
+    /// figures of merit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for an unknown session.
+    pub fn session_report(
+        &self,
+        id: SessionId,
+        annotations: &[Annotation],
+        tolerance: usize,
+    ) -> Result<EvaluationReport> {
+        let session = self.session(id)?.lock().expect("session poisoned");
+        Ok(report_for(&session.outcomes, annotations, tolerance))
+    }
+
+    /// Fleet-wide report: every listed session is labelled in parallel and
+    /// the per-session reports are merged **in the order given** via
+    /// [`EvaluationReport::merge`] — bit-identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for an unknown session.
+    pub fn merged_report(
+        &self,
+        truths: &[(SessionId, &[Annotation])],
+        tolerance: usize,
+    ) -> Result<EvaluationReport> {
+        for (id, _) in truths {
+            self.session(*id)?;
+        }
+        let reports = self.par.map(truths, |&(id, annotations)| {
+            let session = self.sessions[id.0].lock().expect("session poisoned");
+            report_for(&session.outcomes, annotations, tolerance)
+        });
+        let mut merged = EvaluationReport::new();
+        for report in &reports {
+            merged.merge(report);
+        }
+        Ok(merged)
+    }
+}
+
+/// Labels outcomes by matching their peak positions against annotations and
+/// accumulates the confusion counts.
+fn report_for(
+    outcomes: &[BeatOutcome],
+    annotations: &[Annotation],
+    tolerance: usize,
+) -> EvaluationReport {
+    let peaks: Vec<usize> = outcomes.iter().map(|o| o.peak).collect();
+    let matching = match_peaks(&peaks, annotations, tolerance);
+    let mut report = EvaluationReport::new();
+    for (outcome, matched) in outcomes.iter().zip(&matching.matched_annotation) {
+        if let Some(ai) = matched {
+            report.record(annotations[*ai].class, outcome.predicted);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use crate::pipeline::TrainedSystem;
+    use hbc_ecg::record::{EcgRecord, Lead};
+    use hbc_ecg::synthetic::SyntheticEcg;
+    use hbc_embedded::int_classifier::AlphaQ16;
+    use hbc_rp::PackedProjection;
+    use std::sync::OnceLock;
+
+    fn system() -> &'static TrainedSystem {
+        static SYSTEM: OnceLock<TrainedSystem> = OnceLock::new();
+        SYSTEM.get_or_init(|| TrainedSystem::train(&ExperimentConfig::quick()).expect("training"))
+    }
+
+    fn firmware() -> WbsnFirmware {
+        let system = system();
+        WbsnFirmware::new(
+            PackedProjection::from_matrix(&system.pc_downsampled.projection),
+            system.wbsn.classifier.clone(),
+            AlphaQ16::from_f64(system.pc_downsampled.alpha_train).expect("alpha in range"),
+            system.config.downsample,
+            hbc_ecg::beat::BeatWindow::PAPER,
+        )
+        .expect("firmware dimensions")
+    }
+
+    fn patient_record(seed: u64, beats: usize) -> EcgRecord {
+        let mut gen = SyntheticEcg::with_seed(seed);
+        let rhythm = gen.rhythm(beats, 0.1, 0.1);
+        gen.record(seed as u32, &rhythm, 1).expect("record")
+    }
+
+    #[test]
+    fn hub_matches_per_patient_batch_processing_for_any_thread_count() {
+        let fw = firmware();
+        let records: Vec<EcgRecord> = (0..3).map(|i| patient_record(100 + i, 40)).collect();
+        let tolerance = (0.06 * records[0].fs) as usize;
+
+        // Reference: the batch firmware on each record, labelled the same
+        // way the hub labels streams.
+        let mut reference = EvaluationReport::new();
+        for record in &records {
+            let report = fw.process_record(record).expect("batch");
+            let outcomes: Vec<BeatOutcome> = report.beats.clone();
+            reference.merge(&report_for(&outcomes, &record.annotations, tolerance));
+        }
+
+        for threads in [NonZeroUsize::new(1), NonZeroUsize::new(4)] {
+            let mut hub = StreamHub::with_threads(&fw, records[0].fs, threads);
+            let ids: Vec<SessionId> = records
+                .iter()
+                .map(|r| {
+                    let thresholds = hub
+                        .calibrate_thresholds(r.lead(Lead(0)).expect("lead"))
+                        .expect("calibrate");
+                    hub.add_patient(r.id, thresholds)
+                })
+                .collect();
+            // Stream every patient concurrently, one-second chunks.
+            let chunk = records[0].fs as usize;
+            let longest = records.iter().map(EcgRecord::len).max().expect("records");
+            let mut offset = 0;
+            while offset < longest {
+                let feeds: Vec<(SessionId, &[f64])> = records
+                    .iter()
+                    .zip(&ids)
+                    .filter_map(|(r, &id)| {
+                        let lead = r.lead(Lead(0)).expect("lead");
+                        (offset < lead.len())
+                            .then(|| (id, &lead[offset..(offset + chunk).min(lead.len())]))
+                    })
+                    .collect();
+                hub.ingest(&feeds).expect("ingest");
+                offset += chunk;
+            }
+            hub.finish();
+            hub.finish(); // idempotent
+
+            let truths: Vec<(SessionId, &[Annotation])> = records
+                .iter()
+                .zip(&ids)
+                .map(|(r, &id)| (id, r.annotations.as_slice()))
+                .collect();
+            let merged = hub.merged_report(&truths, tolerance).expect("report");
+            assert_eq!(merged, reference, "threads = {threads:?}");
+
+            // Per-session reports merge (in session order) to the same
+            // fleet-wide report.
+            let mut manual = EvaluationReport::new();
+            for &(id, anns) in &truths {
+                manual.merge(&hub.session_report(id, anns, tolerance).expect("session"));
+            }
+            assert_eq!(manual, merged);
+            assert_eq!(hub.num_sessions(), records.len());
+            assert_eq!(hub.total_beats(), merged.total());
+            assert_eq!(hub.patient_id(ids[0]).expect("known"), records[0].id);
+            assert!(!hub.outcomes(ids[0]).expect("known").is_empty());
+        }
+    }
+
+    #[test]
+    fn hub_rejects_bad_batches() {
+        let fw = firmware();
+        let mut hub = StreamHub::new(&fw, 360.0);
+        let thresholds = PeakThresholds {
+            first_scale: 1.0,
+            cross_scale: vec![1.0; 3],
+        };
+        let id = hub.add_patient(7, thresholds);
+        let chunk = [0.0f64; 16];
+        // Unknown session.
+        assert!(hub.ingest(&[(SessionId(9), &chunk)]).is_err());
+        // Duplicate session in one batch.
+        assert!(hub.ingest(&[(id, &chunk), (id, &chunk)]).is_err());
+        // Valid batch.
+        hub.ingest(&[(id, &chunk)]).expect("ok");
+        assert!(hub.outcomes(SessionId(3)).is_err());
+        assert!(hub.session_report(SessionId(3), &[], 10).is_err());
+        assert!(hub.patient_id(SessionId(3)).is_err());
+    }
+}

@@ -15,7 +15,11 @@
 //!   delineation of the P, QRS and T waves (onset / peak / end fiducial
 //!   points), combinable across three leads;
 //! * [`downsample`] / [`window`] — decimation and beat-window extraction
-//!   utilities shared by the PC and WBSN pipelines.
+//!   utilities shared by the PC and WBSN pipelines;
+//! * [`streaming`] — push-based, bounded-memory equivalents of the
+//!   conditioning chain (baseline filter, à-trous wavelet, R-peak scan,
+//!   decimation and beat windowing), bit-identical to the batch kernels and
+//!   the substrate of the online firmware in `hbc-embedded`.
 //!
 //! All algorithms are implemented both in `f64` (PC-side, training) and — for
 //! the blocks that run on the WBSN — in integer arithmetic, so that the
@@ -29,12 +33,17 @@ pub mod downsample;
 pub mod filter;
 pub mod peak;
 pub mod streaming;
+mod tape;
 pub mod wavelet;
 pub mod window;
 
 pub use delineation::{BeatFiducials, Delineator, FiducialPoint, WaveFiducials};
 pub use filter::MorphologicalFilter;
-pub use peak::{PeakDetector, PeakDetectorConfig};
+pub use peak::{PeakDetector, PeakDetectorConfig, PeakScanner, PeakThresholds};
+pub use streaming::{
+    StreamingBaselineFilter, StreamingBeatWindower, StreamingDecimator, StreamingPeakDetector,
+    StreamingWavelet,
+};
 pub use wavelet::DyadicWavelet;
 
 /// Errors produced by the DSP crate.

@@ -6,7 +6,24 @@
 //! scales; the R peak is then located at the zero crossing of the first-scale
 //! coefficients between the two extrema. A refractory period suppresses
 //! double detections inside a physiologically impossible interval.
+//!
+//! The scan itself is implemented once, as the incremental [`PeakScanner`]
+//! state machine consuming one multi-scale coefficient frame at a time from a
+//! bounded ring buffer. The batch [`PeakDetector::detect`] drives the scanner
+//! over a whole record; the streaming front-end
+//! ([`crate::streaming::StreamingPeakDetector`]) drives the *same* scanner
+//! one sample at a time, so the two paths agree by construction.
+//!
+//! Detection thresholds are derived from the RMS of the wavelet detail
+//! coefficients. The batch path computes them over the record it is given; an
+//! online node cannot know that quantity ahead of time, so the thresholds are
+//! factored out as [`PeakThresholds`] — calibrated once (e.g. over the first
+//! seconds of signal, or on the host before deployment) and then held fixed,
+//! exactly like the calibration phase of a real firmware.
 
+use std::collections::VecDeque;
+
+use crate::tape::Tape;
 use crate::wavelet::DyadicWavelet;
 use crate::{DspError, Result};
 
@@ -34,6 +51,20 @@ impl Default for PeakDetectorConfig {
             min_scales_agreeing: 3,
         }
     }
+}
+
+/// Detection thresholds, one per wavelet scale, derived from the coefficient
+/// RMS of a calibration signal (see [`PeakDetector::calibrate`]).
+///
+/// `first_scale` gates candidate extrema on scale 1; `cross_scale[s - 1]`
+/// (for scale `s ≥ 2`) is the level a coarser scale must exceed near the
+/// candidate pair to count as agreeing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeakThresholds {
+    /// Threshold on the first-scale coefficients.
+    pub first_scale: f64,
+    /// Thresholds for the cross-scale confirmation (scales 2..).
+    pub cross_scale: Vec<f64>,
 }
 
 /// Wavelet-based QRS / R-peak detector.
@@ -75,8 +106,66 @@ impl PeakDetector {
         &self.config
     }
 
+    /// Sampling frequency the detector was built for, in Hz.
+    pub fn fs(&self) -> f64 {
+        self.fs
+    }
+
+    /// Refractory period in samples.
+    pub fn refractory_samples(&self) -> usize {
+        (self.config.refractory_s * self.fs).round() as usize
+    }
+
+    /// Maximum span of a QRS modulus-maxima pair, in samples (~80 ms).
+    pub fn pair_window_samples(&self) -> usize {
+        (0.08 * self.fs).round() as usize
+    }
+
+    /// Derives fixed detection thresholds from the wavelet detail
+    /// coefficients of a calibration signal (the per-scale RMS scaled by the
+    /// configured threshold factor).
+    pub fn thresholds_from_details(&self, details: &[Vec<f64>]) -> PeakThresholds {
+        let rms = |d: &[f64]| (d.iter().map(|v| v * v).sum::<f64>() / d.len() as f64).sqrt();
+        PeakThresholds {
+            first_scale: self.config.threshold_factor * rms(&details[0]),
+            cross_scale: details
+                .iter()
+                .skip(1)
+                .map(|d| self.config.threshold_factor * rms(d))
+                .collect(),
+        }
+    }
+
+    /// Computes [`PeakThresholds`] from a calibration signal (typically the
+    /// baseline-filtered classification lead, or its first seconds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::SignalTooShort`] when the signal cannot support
+    /// the wavelet decomposition.
+    pub fn calibrate(&self, signal: &[f64]) -> Result<PeakThresholds> {
+        let wavelet = DyadicWavelet::with_scales(self.config.scales);
+        let details = wavelet.transform(signal)?;
+        Ok(self.thresholds_from_details(&details))
+    }
+
+    /// Creates the incremental scan state machine for these thresholds.
+    pub fn scanner(&self, thresholds: PeakThresholds) -> PeakScanner {
+        PeakScanner::new(
+            self.config.scales,
+            self.config.min_scales_agreeing,
+            thresholds,
+            self.refractory_samples(),
+            self.pair_window_samples(),
+        )
+    }
+
     /// Detects R peaks in `signal`, returning their sample indices in
     /// ascending order.
+    ///
+    /// Thresholds are calibrated over `signal` itself, then the incremental
+    /// [`PeakScanner`] consumes the coefficient frames in order — the same
+    /// state machine the streaming front-end drives sample by sample.
     ///
     /// # Errors
     ///
@@ -85,107 +174,309 @@ impl PeakDetector {
     pub fn detect(&self, signal: &[f64]) -> Result<Vec<usize>> {
         let wavelet = DyadicWavelet::with_scales(self.config.scales);
         let details = wavelet.transform(signal)?;
-        let first = &details[0];
-        let n = first.len();
+        let n = details[0].len();
         if n < 4 {
             return Err(DspError::SignalTooShort {
                 required: 4,
                 provided: n,
             });
         }
+        let thresholds = self.thresholds_from_details(&details);
+        Ok(self.detect_with_thresholds(signal, &details, thresholds))
+    }
 
-        // Detection threshold from the RMS of the first scale.
-        let rms = (first.iter().map(|v| v * v).sum::<f64>() / n as f64).sqrt();
-        let threshold = self.config.threshold_factor * rms;
-        let refractory = (self.config.refractory_s * self.fs).round() as usize;
-        // A QRS modulus-maxima pair spans at most ~80 ms.
-        let pair_window = (0.08 * self.fs).round() as usize;
-
-        let mut peaks: Vec<usize> = Vec::new();
-        let mut i = 1usize;
-        while i < n {
-            // Find a first-scale extremum exceeding the threshold.
-            if first[i].abs() < threshold || !is_local_extremum(first, i) {
-                i += 1;
-                continue;
+    /// Runs the scan over precomputed detail coefficients with explicit
+    /// thresholds (the deployment split: calibrate once, scan forever).
+    pub fn detect_with_thresholds(
+        &self,
+        signal: &[f64],
+        details: &[Vec<f64>],
+        thresholds: PeakThresholds,
+    ) -> Vec<usize> {
+        let mut scanner = self.scanner(thresholds);
+        let mut frame = vec![0.0; self.config.scales];
+        for (i, &s) in signal.iter().enumerate() {
+            for (f, d) in frame.iter_mut().zip(details) {
+                *f = d[i];
             }
-            // Look for an opposite-sign extremum within the pair window.
-            let sign = first[i].signum();
-            let end = (i + pair_window).min(n);
-            let mut partner: Option<usize> = None;
-            for j in (i + 1)..end {
-                if first[j].signum() == -sign
-                    && first[j].abs() >= 0.5 * threshold
-                    && is_local_extremum(first, j)
-                {
-                    partner = Some(j);
-                    break;
-                }
-            }
-            let Some(j) = partner else {
-                i += 1;
-                continue;
-            };
+            scanner.push(&frame, s);
+        }
+        scanner.finish();
+        let mut peaks = Vec::new();
+        while let Some(p) = scanner.pop_peak() {
+            peaks.push(p);
+        }
+        peaks
+    }
+}
 
-            // Cross-scale confirmation: enough coarser scales must show a
-            // significant response in the same neighbourhood.
-            let mut agreeing = 1usize; // scale 1 agrees by construction
-            for d in details.iter().skip(1) {
-                let lo = i.saturating_sub(pair_window);
-                let hi = (j + pair_window).min(n);
-                let local_max = d[lo..hi].iter().fold(0.0f64, |a, &b| a.max(b.abs()));
-                let scale_rms = (d.iter().map(|v| v * v).sum::<f64>() / n as f64).sqrt();
-                if local_max > self.config.threshold_factor * scale_rms {
-                    agreeing += 1;
-                }
-            }
-            if agreeing < self.config.min_scales_agreeing {
-                i += 1;
-                continue;
-            }
+/// Incremental R-peak scan over multi-scale wavelet coefficient frames.
+///
+/// The scanner consumes one frame per input sample — the detail coefficients
+/// of every scale at that index plus the (filtered) signal sample itself —
+/// and emits finalized peak positions. All state lives in bounded ring
+/// buffers: the history required is `refractory + 2 × pair_window + O(1)`
+/// samples, and a scan index is only processed once `2 × pair_window + 2`
+/// samples of lookahead are buffered (or the stream has been [`finished`]),
+/// at which point its decision is exactly the one the whole-record scan
+/// would take.
+///
+/// A detected peak is held back until it can no longer be displaced by a
+/// larger peak inside the refractory period, so the emission latency is
+/// bounded by `refractory + 2 × pair_window + 2` frames.
+///
+/// [`finished`]: PeakScanner::finish
+#[derive(Debug, Clone)]
+pub struct PeakScanner {
+    scales: usize,
+    min_scales_agreeing: usize,
+    thresholds: PeakThresholds,
+    refractory: usize,
+    pair_window: usize,
+    /// One tape per scale of detail coefficients.
+    details: Vec<Tape>,
+    /// The signal driving amplitude comparisons inside the refractory rule.
+    signal: Tape,
+    /// Frames received so far.
+    avail: usize,
+    /// Total stream length, once `finish` has been called.
+    n: Option<usize>,
+    /// Next scan index to process.
+    i: usize,
+    /// Most recent accepted peak, and whether it has been emitted.
+    last: Option<usize>,
+    last_emitted: bool,
+    /// Finalized peaks awaiting `pop_peak`.
+    out: VecDeque<usize>,
+}
 
-            // R peak = zero crossing of the first scale between the pair.
-            let zero = zero_crossing(first, i, j).unwrap_or((i + j) / 2);
+impl PeakScanner {
+    fn new(
+        scales: usize,
+        min_scales_agreeing: usize,
+        thresholds: PeakThresholds,
+        refractory: usize,
+        pair_window: usize,
+    ) -> Self {
+        assert_eq!(
+            thresholds.cross_scale.len(),
+            scales - 1,
+            "one cross-scale threshold per scale beyond the first"
+        );
+        PeakScanner {
+            scales,
+            min_scales_agreeing,
+            thresholds,
+            refractory,
+            pair_window,
+            details: vec![Tape::default(); scales],
+            signal: Tape::default(),
+            avail: 0,
+            n: None,
+            i: 1, // index 0 can never be a local extremum
+            last: None,
+            last_emitted: false,
+            out: VecDeque::new(),
+        }
+    }
 
-            if let Some(&last) = peaks.last() {
-                if zero < last + refractory {
-                    // Too close to the previous peak: keep the larger one.
-                    let last_amp = signal[last].abs();
-                    let this_amp = signal[zero].abs();
-                    if this_amp > last_amp {
-                        *peaks.last_mut().expect("non-empty") = zero;
+    /// Number of lookahead frames the scanner buffers before deciding a scan
+    /// index (away from the end of the stream).
+    pub fn lookahead(&self) -> usize {
+        2 * self.pair_window + 2
+    }
+
+    /// Feeds the coefficient frame of the next sample: `details[s]` is the
+    /// scale-`s` detail coefficient at this index, `signal` the (filtered)
+    /// input sample at the same index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `details` does not hold one coefficient per scale, or if
+    /// called after [`PeakScanner::finish`].
+    pub fn push(&mut self, details: &[f64], signal: f64) {
+        assert_eq!(details.len(), self.scales, "one coefficient per scale");
+        assert!(self.n.is_none(), "push after finish");
+        for (tape, &d) in self.details.iter_mut().zip(details) {
+            tape.push(d);
+        }
+        self.signal.push(signal);
+        self.avail += 1;
+        self.pump();
+    }
+
+    /// Declares the end of the stream: remaining scan indices are processed
+    /// with the end-of-record clamping of the batch scan, and the pending
+    /// peak (if any) is finalized.
+    pub fn finish(&mut self) {
+        if self.n.is_some() {
+            return;
+        }
+        self.n = Some(self.avail);
+        self.pump();
+        if let (Some(last), false) = (self.last, self.last_emitted) {
+            self.out.push_back(last);
+            self.last_emitted = true;
+        }
+    }
+
+    /// Next finalized peak position, in ascending order.
+    pub fn pop_peak(&mut self) -> Option<usize> {
+        self.out.pop_front()
+    }
+
+    fn pump(&mut self) {
+        loop {
+            match self.n {
+                Some(n) => {
+                    if self.i >= n {
+                        break;
                     }
-                    i = j + 1;
-                    continue;
+                }
+                None => {
+                    if self.avail < self.i + self.lookahead() {
+                        break;
+                    }
                 }
             }
-            peaks.push(zero);
-            i = j + 1;
+            // Once the scan passes `last + refractory`, every future
+            // candidate zero crossing lies at or beyond the scan index, so
+            // the pending peak can no longer be displaced: finalize it.
+            if let (Some(last), false) = (self.last, self.last_emitted) {
+                if self.i >= last + self.refractory {
+                    self.out.push_back(last);
+                    self.last_emitted = true;
+                }
+            }
+            self.step();
         }
-        Ok(peaks)
-    }
-}
-
-fn is_local_extremum(x: &[f64], i: usize) -> bool {
-    if i == 0 || i + 1 >= x.len() {
-        return false;
-    }
-    (x[i] >= x[i - 1] && x[i] >= x[i + 1]) || (x[i] <= x[i - 1] && x[i] <= x[i + 1])
-}
-
-/// Finds the zero crossing of `x` between indices `a` and `b` (exclusive),
-/// returning the index whose value is closest to zero around the sign change.
-fn zero_crossing(x: &[f64], a: usize, b: usize) -> Option<usize> {
-    for i in a..b {
-        if x[i].signum() != x[i + 1].signum() {
-            return Some(if x[i].abs() <= x[i + 1].abs() {
-                i
-            } else {
-                i + 1
-            });
+        // Bound the history: the scan looks back `pair_window` for the
+        // cross-scale window and one sample for the extremum test; the
+        // refractory amplitude comparison needs the signal at the pending
+        // peak.
+        let detail_keep = self.i.saturating_sub(self.pair_window + 2);
+        for tape in &mut self.details {
+            tape.trim(detail_keep);
         }
+        let pending = match (self.last, self.last_emitted) {
+            (Some(last), false) => last,
+            _ => self.i,
+        };
+        self.signal.trim(pending.min(self.i).saturating_sub(2));
     }
-    None
+
+    /// Effective stream length for clamping: unknown until `finish`, and the
+    /// lookahead guard guarantees unfinished scans never reach a clamp.
+    fn clamp_len(&self) -> usize {
+        self.n.unwrap_or(usize::MAX)
+    }
+
+    fn is_local_extremum(&self, i: usize) -> bool {
+        if i == 0 || i + 1 >= self.clamp_len() {
+            return false;
+        }
+        let first = &self.details[0];
+        let (a, b, c) = (first.get(i - 1), first.get(i), first.get(i + 1));
+        (b >= a && b >= c) || (b <= a && b <= c)
+    }
+
+    /// Finds the zero crossing of the first scale between `a` and `b`
+    /// (exclusive), returning the index whose value is closest to zero
+    /// around the sign change.
+    fn zero_crossing(&self, a: usize, b: usize) -> Option<usize> {
+        let first = &self.details[0];
+        for i in a..b {
+            if first.get(i).signum() != first.get(i + 1).signum() {
+                return Some(if first.get(i).abs() <= first.get(i + 1).abs() {
+                    i
+                } else {
+                    i + 1
+                });
+            }
+        }
+        None
+    }
+
+    /// Processes exactly one scan index — the body of the batch `while`
+    /// loop, with `i` advanced in place.
+    fn step(&mut self) {
+        let i = self.i;
+        let n = self.clamp_len();
+        let first = &self.details[0];
+        let threshold = self.thresholds.first_scale;
+
+        if first.get(i).abs() < threshold || !self.is_local_extremum(i) {
+            self.i += 1;
+            return;
+        }
+        // Look for an opposite-sign extremum within the pair window.
+        let sign = self.details[0].get(i).signum();
+        let end = (i + self.pair_window).min(n);
+        let mut partner: Option<usize> = None;
+        for j in (i + 1)..end {
+            if self.details[0].get(j).signum() == -sign
+                && self.details[0].get(j).abs() >= 0.5 * threshold
+                && self.is_local_extremum(j)
+            {
+                partner = Some(j);
+                break;
+            }
+        }
+        let Some(j) = partner else {
+            self.i += 1;
+            return;
+        };
+
+        // Cross-scale confirmation: enough coarser scales must show a
+        // significant response in the same neighbourhood.
+        let mut agreeing = 1usize; // scale 1 agrees by construction
+        for (d, &scale_threshold) in self
+            .details
+            .iter()
+            .skip(1)
+            .zip(&self.thresholds.cross_scale)
+        {
+            let lo = i.saturating_sub(self.pair_window);
+            let hi = (j + self.pair_window).min(n).min(self.avail);
+            let mut local_max = 0.0f64;
+            for k in lo..hi {
+                local_max = local_max.max(d.get(k).abs());
+            }
+            if local_max > scale_threshold {
+                agreeing += 1;
+            }
+        }
+        if agreeing < self.min_scales_agreeing {
+            self.i += 1;
+            return;
+        }
+
+        // R peak = zero crossing of the first scale between the pair.
+        let zero = self.zero_crossing(i, j).unwrap_or((i + j) / 2);
+
+        if let Some(last) = self.last {
+            if zero < last + self.refractory {
+                // Too close to the previous peak: keep the larger one. The
+                // pending peak cannot have been emitted yet (emission
+                // requires the scan index to have passed the refractory
+                // window, and `zero ≥ i`).
+                debug_assert!(!self.last_emitted, "displacing an emitted peak");
+                let last_amp = self.signal.get(last).abs();
+                let this_amp = self.signal.get(zero).abs();
+                if this_amp > last_amp {
+                    self.last = Some(zero);
+                }
+                self.i = j + 1;
+                return;
+            }
+        }
+        if let (Some(last), false) = (self.last, self.last_emitted) {
+            self.out.push_back(last);
+        }
+        self.last = Some(zero);
+        self.last_emitted = false;
+        self.i = j + 1;
+    }
 }
 
 #[cfg(test)]
@@ -301,10 +592,74 @@ mod tests {
     }
 
     #[test]
+    fn calibrated_thresholds_reproduce_detect() {
+        // Splitting detection into calibrate + scan must not change the
+        // result when the calibration signal is the record itself.
+        let mut gen = SyntheticEcg::with_seed(11).with_noise(NoiseModel::ambulatory());
+        let rhythm = gen.rhythm(25, 0.2, 0.1);
+        let record = gen.record(4, &rhythm, 1).expect("record");
+        let signal = record.lead(Lead(0)).expect("lead");
+        let detector = PeakDetector::new(record.fs);
+        let reference = detector.detect(signal).expect("detect");
+
+        let wavelet = DyadicWavelet::with_scales(detector.config().scales);
+        let details = wavelet.transform(signal).expect("transform");
+        let thresholds = detector.calibrate(signal).expect("calibrate");
+        let split = detector.detect_with_thresholds(signal, &details, thresholds);
+        assert_eq!(split, reference);
+    }
+
+    #[test]
+    fn scanner_is_insensitive_to_frame_batching() {
+        // The scanner consumes frames one at a time; feeding the same frames
+        // must give the same peaks as the batch driver regardless of how the
+        // caller groups its pushes around other work.
+        let mut gen = SyntheticEcg::with_seed(21).with_noise(NoiseModel::clean());
+        let record = gen.record(5, &[BeatClass::Normal; 12], 1).expect("record");
+        let signal = record.lead(Lead(0)).expect("lead");
+        let detector = PeakDetector::new(record.fs);
+        let reference = detector.detect(signal).expect("detect");
+
+        let wavelet = DyadicWavelet::with_scales(detector.config().scales);
+        let details = wavelet.transform(signal).expect("transform");
+        let thresholds = detector.thresholds_from_details(&details);
+        let mut scanner = detector.scanner(thresholds);
+        let mut frame = vec![0.0; detector.config().scales];
+        let mut peaks = Vec::new();
+        for (i, &s) in signal.iter().enumerate() {
+            for (f, d) in frame.iter_mut().zip(&details) {
+                *f = d[i];
+            }
+            scanner.push(&frame, s);
+            // Drain opportunistically mid-stream, as a firmware would.
+            while let Some(p) = scanner.pop_peak() {
+                peaks.push(p);
+            }
+        }
+        scanner.finish();
+        while let Some(p) = scanner.pop_peak() {
+            peaks.push(p);
+        }
+        assert_eq!(peaks, reference);
+    }
+
+    #[test]
     fn zero_crossing_helper_finds_sign_change() {
-        let x = [2.0, 1.0, 0.25, -0.5, -2.0];
-        assert_eq!(zero_crossing(&x, 0, 4), Some(2));
-        let y = [1.0, 2.0, 3.0];
-        assert_eq!(zero_crossing(&y, 0, 2), None);
+        let mut scanner = PeakDetector::new(360.0).scanner(PeakThresholds {
+            first_scale: f64::INFINITY,
+            cross_scale: vec![f64::INFINITY; 3],
+        });
+        for &v in &[2.0, 1.0, 0.25, -0.5, -2.0] {
+            scanner.push(&[v, 0.0, 0.0, 0.0], 0.0);
+        }
+        assert_eq!(scanner.zero_crossing(0, 4), Some(2));
+        let mut rising = PeakDetector::new(360.0).scanner(PeakThresholds {
+            first_scale: f64::INFINITY,
+            cross_scale: vec![f64::INFINITY; 3],
+        });
+        for &v in &[1.0, 2.0, 3.0] {
+            rising.push(&[v, 0.0, 0.0, 0.0], 0.0);
+        }
+        assert_eq!(rising.zero_crossing(0, 2), None);
     }
 }

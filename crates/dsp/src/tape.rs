@@ -1,0 +1,83 @@
+//! Bounded ring buffer over a suffix of an unbounded stream, addressed by
+//! absolute sample index — the storage primitive shared by the streaming
+//! operators (peak scanner, wavelet stages, beat windower). Centralising it
+//! keeps the delicate base/trim arithmetic in one place.
+
+use std::collections::VecDeque;
+
+/// A suffix window of a sample stream with absolute indexing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Tape {
+    buf: VecDeque<f64>,
+    base: usize,
+}
+
+impl Tape {
+    /// Appends the next sample of the stream.
+    pub(crate) fn push(&mut self, v: f64) {
+        self.buf.push_back(v);
+    }
+
+    /// Value at absolute stream index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` has been trimmed away or not yet been pushed.
+    pub(crate) fn get(&self, i: usize) -> f64 {
+        self.buf[i - self.base]
+    }
+
+    /// Absolute index of the oldest retained sample.
+    pub(crate) fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of samples ever pushed (one past the newest absolute index).
+    pub(crate) fn end(&self) -> usize {
+        self.base + self.buf.len()
+    }
+
+    /// Drops history before absolute index `keep_from`.
+    pub(crate) fn trim(&mut self, keep_from: usize) {
+        while self.base < keep_from && !self.buf.is_empty() {
+            self.buf.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Appends the retained samples `[lo, lo + len)` to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not fully retained.
+    pub(crate) fn extend_into(&self, lo: usize, len: usize, out: &mut Vec<f64>) {
+        let start = lo - self.base;
+        out.extend(self.buf.range(start..start + len));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_indexing_survives_trimming() {
+        let mut tape = Tape::default();
+        for i in 0..10 {
+            tape.push(i as f64);
+        }
+        assert_eq!(tape.base(), 0);
+        assert_eq!(tape.end(), 10);
+        tape.trim(4);
+        assert_eq!(tape.base(), 4);
+        assert_eq!(tape.end(), 10);
+        assert_eq!(tape.get(4), 4.0);
+        assert_eq!(tape.get(9), 9.0);
+        let mut out = vec![0.0];
+        tape.extend_into(5, 3, &mut out);
+        assert_eq!(out, vec![0.0, 5.0, 6.0, 7.0]);
+        // Trimming never advances past the retained data.
+        tape.trim(100);
+        assert_eq!(tape.base(), 10);
+    }
+}

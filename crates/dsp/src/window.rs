@@ -14,16 +14,33 @@ use crate::{DspError, Result};
 /// would extend outside the signal are silently skipped (matching the
 /// behaviour of an embedded ring-buffer implementation, which simply cannot
 /// serve them).
-pub fn windows_at_peaks(signal: &[f64], peaks: &[usize], window: BeatWindow) -> Vec<Beat> {
+///
+/// Each returned beat is paired with the index of the peak (in `peaks`) it
+/// was cut around. Because border peaks are skipped, beat index and peak
+/// index diverge; consumers that look up per-peak data (such as the
+/// annotation matching of [`match_peaks`]) must use the returned peak index,
+/// not the position of the beat in the output vector.
+pub fn windows_at_peaks(
+    signal: &[f64],
+    peaks: &[usize],
+    window: BeatWindow,
+    record_id: u32,
+) -> Vec<(usize, Beat)> {
     peaks
         .iter()
-        .filter_map(|&p| {
-            window.extract(signal, p).map(|samples| Beat {
-                samples,
-                class: BeatClass::Unknown,
-                peak_index: window.pre,
-                record_id: 0,
-                record_position: p,
+        .enumerate()
+        .filter_map(|(pi, &p)| {
+            window.extract(signal, p).map(|samples| {
+                (
+                    pi,
+                    Beat {
+                        samples,
+                        class: BeatClass::Unknown,
+                        peak_index: window.pre,
+                        record_id,
+                        record_position: p,
+                    },
+                )
             })
         })
         .collect()
@@ -56,27 +73,61 @@ impl PeakMatching {
 }
 
 /// Matches detected peaks against record annotations.
+///
+/// Both inputs are sorted by sample position, so the assignment is computed
+/// with a linear two-pointer sweep that maximises the number of matched
+/// pairs. (The previous greedy per-peak nearest-annotation search was
+/// order-dependent: an early peak could steal the annotation a later peak
+/// was strictly closer to, manufacturing a missed + spurious pair where a
+/// consistent assignment exists.) When the current peak sits within
+/// tolerance of two consecutive annotations, the sweep prefers the closer
+/// one exactly when doing so cannot cost a match — i.e. when no later peak
+/// can reach the annotation being passed over.
 pub fn match_peaks(peaks: &[usize], annotations: &[Annotation], tolerance: usize) -> PeakMatching {
+    debug_assert!(peaks.windows(2).all(|w| w[0] <= w[1]), "peaks sorted");
+    debug_assert!(
+        annotations.windows(2).all(|w| w[0].sample <= w[1].sample),
+        "annotations sorted"
+    );
     let mut matched_annotation = vec![None; peaks.len()];
-    let mut annotation_taken = vec![false; annotations.len()];
-    for (pi, &p) in peaks.iter().enumerate() {
-        let mut best: Option<(usize, usize)> = None; // (distance, annotation idx)
-        for (ai, a) in annotations.iter().enumerate() {
-            if annotation_taken[ai] {
+    let mut matched_count = 0usize;
+    let (mut pi, mut ai) = (0usize, 0usize);
+    while pi < peaks.len() && ai < annotations.len() {
+        let p = peaks[pi];
+        let a = annotations[ai].sample;
+        if p + tolerance < a {
+            // Peak lies left of every remaining annotation's reach: spurious.
+            pi += 1;
+            continue;
+        }
+        if a + tolerance < p {
+            // Annotation lies left of every remaining peak's reach: missed.
+            ai += 1;
+            continue;
+        }
+        // Compatible pair. Prefer the next annotation when it is strictly
+        // closer to this peak *and* the current annotation could not be
+        // matched by any later peak anyway (peaks are sorted, so if the next
+        // peak cannot reach the next annotation it cannot reach the current
+        // one either) — skipping is then free, never costing a match.
+        if let Some(next) = annotations.get(ai + 1) {
+            let d = p.abs_diff(a);
+            let d_next = p.abs_diff(next.sample);
+            let next_peak_reaches = peaks
+                .get(pi + 1)
+                .is_some_and(|&q| q.abs_diff(next.sample) <= tolerance);
+            if d_next < d && !next_peak_reaches {
+                ai += 1; // current annotation goes unmatched (missed)
                 continue;
             }
-            let d = p.abs_diff(a.sample);
-            if d <= tolerance && best.is_none_or(|(bd, _)| d < bd) {
-                best = Some((d, ai));
-            }
         }
-        if let Some((_, ai)) = best {
-            annotation_taken[ai] = true;
-            matched_annotation[pi] = Some(ai);
-        }
+        matched_annotation[pi] = Some(ai);
+        matched_count += 1;
+        pi += 1;
+        ai += 1;
     }
-    let missed = annotation_taken.iter().filter(|t| !**t).count();
-    let spurious = matched_annotation.iter().filter(|m| m.is_none()).count();
+    let missed = annotations.len() - matched_count;
+    let spurious = peaks.len() - matched_count;
     PeakMatching {
         matched_annotation,
         missed,
@@ -126,12 +177,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn windows_skip_out_of_range_peaks() {
+    fn windows_skip_out_of_range_peaks_but_keep_their_indices() {
         let signal: Vec<f64> = (0..1000).map(|i| i as f64).collect();
-        let beats = windows_at_peaks(&signal, &[10, 500, 990], BeatWindow::PAPER);
+        let beats = windows_at_peaks(&signal, &[10, 500, 990], BeatWindow::PAPER, 42);
         assert_eq!(beats.len(), 1);
-        assert_eq!(beats[0].record_position, 500);
-        assert_eq!(beats[0].samples.len(), 200);
+        let (peak_index, beat) = &beats[0];
+        // The surviving beat originates from peak #1, not #0: consumers that
+        // index per-peak tables must use this index.
+        assert_eq!(*peak_index, 1);
+        assert_eq!(beat.record_position, 500);
+        assert_eq!(beat.samples.len(), 200);
+        assert_eq!(beat.record_id, 42, "record identity is threaded through");
     }
 
     #[test]
@@ -163,6 +219,53 @@ mod tests {
         assert_eq!(m.spurious, 0);
         assert!((m.sensitivity(2) - 0.5).abs() < 1e-12);
         assert!((m.sensitivity(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_pointer_matching_does_not_let_an_early_peak_steal_a_later_peaks_annotation() {
+        // Greedy nearest-first matching fails here: peak 108 is closest to
+        // annotation 110 and would take it, leaving peak 112 unmatched and
+        // annotation 100 missed — a manufactured missed + spurious pair.
+        // The optimal assignment matches both: 108 → 100 (d = 8), 112 → 110
+        // (d = 2).
+        let annotations = vec![
+            Annotation::new(100, BeatClass::Normal),
+            Annotation::new(110, BeatClass::PrematureVentricular),
+        ];
+        let m = match_peaks(&[108, 112], &annotations, 10);
+        assert_eq!(m.matched_annotation, vec![Some(0), Some(1)]);
+        assert_eq!(m.missed, 0);
+        assert_eq!(m.spurious, 0);
+    }
+
+    #[test]
+    fn matching_prefers_the_closer_annotation_when_skipping_is_free() {
+        // Both annotations are within tolerance of the only peak; 96 is
+        // strictly closer and no later peak can rescue 90, so the sweep
+        // matches 96 and reports 90 as missed.
+        let annotations = vec![
+            Annotation::new(90, BeatClass::Normal),
+            Annotation::new(96, BeatClass::PrematureVentricular),
+        ];
+        let m = match_peaks(&[95], &annotations, 10);
+        assert_eq!(m.matched_annotation, vec![Some(1)]);
+        assert_eq!(m.missed, 1);
+        assert_eq!(m.spurious, 0);
+    }
+
+    #[test]
+    fn matching_does_not_skip_when_a_later_peak_needs_the_next_annotation() {
+        // Peak 104 is closer to annotation 105 than to 100, but peak 107
+        // can also reach 105; skipping 100 would trade one match for
+        // another, so the sweep keeps the order-consistent assignment.
+        let annotations = vec![
+            Annotation::new(100, BeatClass::Normal),
+            Annotation::new(105, BeatClass::Normal),
+        ];
+        let m = match_peaks(&[104, 107], &annotations, 5);
+        assert_eq!(m.matched_annotation, vec![Some(0), Some(1)]);
+        assert_eq!(m.missed, 0);
+        assert_eq!(m.spurious, 0);
     }
 
     #[test]

@@ -282,14 +282,20 @@ impl WbsnFirmware {
             .detect(&filtered)
             .map_err(|e| EmbeddedError::Dimension(e.to_string()))?;
 
-        // Ground-truth association for reporting.
+        // Ground-truth association for reporting. The matching is indexed by
+        // *peak*, and `windows_at_peaks` skips peaks too close to the record
+        // borders, so each beat carries the index of its originating peak —
+        // indexing the matching by beat position would shift every truth
+        // label after a skipped border peak.
         let tolerance = (0.06 * record.fs) as usize;
         let matching = match_peaks(&peaks, &record.annotations, tolerance);
 
-        // Pre-filter every delineation lead once (the always-on baseline does
-        // the same work, which is what the duty-cycle model accounts for).
+        // Pre-filter the remaining delineation leads once (the always-on
+        // baseline does the same work, which is what the duty-cycle model
+        // accounts for); lead 0 was already filtered for classification and
+        // is reused as the first delineation lead.
         let delineator = Delineator::new(record.fs);
-        let filtered_leads: Vec<Vec<f64>> = (0..record.num_leads())
+        let filtered_rest: Vec<Vec<f64>> = (1..record.num_leads())
             .map(|l| {
                 let signal = record.lead(Lead(l)).expect("lead index < num_leads");
                 filter.apply(signal).expect("same length as lead 0")
@@ -297,17 +303,18 @@ impl WbsnFirmware {
             .collect();
 
         // Stage 3-7 per beat.
-        let beats = windows_at_peaks(&filtered, &peaks, self.window);
+        let beats = windows_at_peaks(&filtered, &peaks, self.window, record.id);
         let mut outcomes = Vec::with_capacity(beats.len());
         let mut forwarded = 0usize;
         let mut scratch = BeatScratch::default();
-        for (i, beat) in beats.iter().enumerate() {
+        for (peak_index, beat) in &beats {
             let predicted = self.classify_window_with(&beat.samples, &mut scratch)?;
-            let truth = matching.matched_annotation[i].map(|a| record.annotations[a].class);
+            let truth =
+                matching.matched_annotation[*peak_index].map(|a| record.annotations[a].class);
             let delineated = predicted.is_abnormal();
             let fiducials_transmitted = if delineated {
                 forwarded += 1;
-                let lead_windows: Vec<Vec<f64>> = filtered_leads
+                let rest_windows: Vec<Vec<f64>> = filtered_rest
                     .iter()
                     .map(|l| {
                         self.window
@@ -315,7 +322,9 @@ impl WbsnFirmware {
                             .unwrap_or_else(|| beat.samples.clone())
                     })
                     .collect();
-                let refs: Vec<&[f64]> = lead_windows.iter().map(Vec::as_slice).collect();
+                let mut refs: Vec<&[f64]> = Vec::with_capacity(record.num_leads());
+                refs.push(&beat.samples);
+                refs.extend(rest_windows.iter().map(Vec::as_slice));
                 delineator
                     .delineate_multilead(&refs, self.window.pre)
                     .map(|f| f.count().max(1))

@@ -19,7 +19,11 @@
 //! * [`energy`] — the computation + wireless energy model of Section IV-E;
 //! * [`firmware`] — the complete embedded application of Figure 6: filtering,
 //!   peak detection and RP classification on one lead, triggering three-lead
-//!   delineation only for beats flagged pathological.
+//!   delineation only for beats flagged pathological;
+//! * [`streaming`] — the same application as a push-based stream processor
+//!   ([`StreamingFirmware`]): one ADC sample per `push`, bounded ring
+//!   buffers, zero steady-state allocation, bit-identical per-beat
+//!   classifications to the batch path.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,13 +37,15 @@ pub mod int_classifier;
 pub mod linear_mf;
 pub mod memory;
 pub mod platform;
+pub mod streaming;
 
 pub use energy::{EnergyModel, EnergyReport, TransmissionPolicy};
-pub use firmware::{BeatScratch, FirmwareReport, WbsnFirmware};
+pub use firmware::{BeatOutcome, BeatScratch, FirmwareReport, WbsnFirmware};
 pub use fixed::{AdcModel, Quantizer};
 pub use int_classifier::{IntegerNfc, MembershipKind};
 pub use linear_mf::{IntMembership, LinearizedMf, TriangularMf, MF_FULL_SCALE};
 pub use platform::{IcyHeartPlatform, StageCycles};
+pub use streaming::StreamingFirmware;
 
 /// Errors produced by the embedded crate.
 #[derive(Debug, Clone, PartialEq)]

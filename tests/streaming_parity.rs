@@ -1,0 +1,404 @@
+//! Parity suite for the online ingestion subsystem: the streaming firmware
+//! fed one sample at a time (or any other chunking) must reproduce the batch
+//! `WbsnFirmware::process_record` per-beat classifications, and the
+//! ground-truth alignment of the batch path must survive border peaks.
+//!
+//! Chunk-invariance property tests for the streaming operators live at the
+//! bottom: pushing a signal in arbitrary chunks yields outputs identical to
+//! a sample-at-a-time run, and the operators handle degenerate geometries
+//! (unit windows, streams shorter than the group delay) without panicking.
+
+use std::sync::OnceLock;
+
+use heartbeat_rp::config::ExperimentConfig;
+use heartbeat_rp::hbc_dsp::filter::MorphologicalFilter;
+use heartbeat_rp::hbc_dsp::peak::PeakDetector;
+use heartbeat_rp::hbc_dsp::streaming::{
+    ExtremumKind, SlidingExtremum, StreamingBaselineFilter, StreamingDecimator, StreamingWavelet,
+};
+use heartbeat_rp::hbc_dsp::wavelet::DyadicWavelet;
+use heartbeat_rp::hbc_ecg::beat::{BeatClass, BeatWindow};
+use heartbeat_rp::hbc_ecg::record::{Annotation, EcgRecord, Lead};
+use heartbeat_rp::hbc_ecg::synthetic::SyntheticEcg;
+use heartbeat_rp::hbc_embedded::int_classifier::AlphaQ16;
+use heartbeat_rp::hbc_embedded::streaming::StreamingFirmware;
+use heartbeat_rp::hbc_embedded::WbsnFirmware;
+use heartbeat_rp::hbc_rp::PackedProjection;
+use heartbeat_rp::pipeline::TrainedSystem;
+use proptest::prelude::*;
+
+fn trained_system() -> &'static TrainedSystem {
+    static SYSTEM: OnceLock<TrainedSystem> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        TrainedSystem::train(&ExperimentConfig::quick()).expect("training succeeds")
+    })
+}
+
+fn firmware() -> WbsnFirmware {
+    let system = trained_system();
+    WbsnFirmware::new(
+        PackedProjection::from_matrix(&system.pc_downsampled.projection),
+        system.wbsn.classifier.clone(),
+        AlphaQ16::from_f64(system.pc_downsampled.alpha_train).expect("alpha in range"),
+        system.config.downsample,
+        BeatWindow::PAPER,
+    )
+    .expect("firmware dimensions are consistent")
+}
+
+/// Runs the streaming firmware over `raw` in the given chunking and returns
+/// the emitted outcomes.
+fn run_streaming(
+    fw: &WbsnFirmware,
+    fs: f64,
+    raw: &[f64],
+    chunks: impl Iterator<Item = usize>,
+) -> Vec<heartbeat_rp::hbc_embedded::BeatOutcome> {
+    let filtered = MorphologicalFilter::for_sampling_rate(fs)
+        .apply(raw)
+        .expect("filter");
+    let thresholds = PeakDetector::new(fs)
+        .calibrate(&filtered)
+        .expect("calibrate");
+    let mut streaming = StreamingFirmware::new(fw, fs, thresholds);
+    let mut outcomes = Vec::new();
+    let mut offset = 0;
+    for chunk in chunks {
+        if offset >= raw.len() {
+            break;
+        }
+        let end = (offset + chunk.max(1)).min(raw.len());
+        streaming.push_chunk(&raw[offset..end]);
+        while let Some(o) = streaming.pop_outcome() {
+            outcomes.push(o);
+        }
+        offset = end;
+    }
+    if offset < raw.len() {
+        streaming.push_chunk(&raw[offset..]);
+    }
+    streaming.finish();
+    while let Some(o) = streaming.pop_outcome() {
+        outcomes.push(o);
+    }
+    outcomes
+}
+
+/// The acceptance bar of the PR: the streaming path reproduces the batch
+/// per-beat classifications for sample-at-a-time, ragged and whole-record
+/// chunkings alike.
+#[test]
+fn streaming_firmware_reproduces_process_record_for_any_chunking() {
+    let fw = firmware();
+    let mut gen = SyntheticEcg::with_seed(99);
+    let rhythm = gen.rhythm(120, 0.1, 0.08);
+    let record = gen.record(1, &rhythm, 3).expect("record generation");
+    let batch = fw.process_record(&record).expect("batch firmware run");
+    assert!(batch.beats.len() >= 100, "enough beats to compare");
+
+    let raw = record.lead(Lead(0)).expect("lead 0");
+    let chunkings: [(&str, Box<dyn Iterator<Item = usize>>); 4] = [
+        ("sample-at-a-time", Box::new(std::iter::repeat(1))),
+        ("odd 7-sample chunks", Box::new(std::iter::repeat(7))),
+        ("one-second chunks", Box::new(std::iter::repeat(360))),
+        ("whole record", Box::new(std::iter::once(raw.len()))),
+    ];
+    for (label, chunks) in chunkings {
+        let outcomes = run_streaming(&fw, record.fs, raw, chunks);
+        assert_eq!(
+            outcomes.len(),
+            batch.beats.len(),
+            "{label}: beat count differs from process_record"
+        );
+        for (s, b) in outcomes.iter().zip(&batch.beats) {
+            assert_eq!(s.peak, b.peak, "{label}: peak position differs");
+            assert_eq!(
+                s.predicted, b.predicted,
+                "{label}: predicted class differs at peak {}",
+                b.peak
+            );
+            assert_eq!(s.delineated, b.delineated, "{label}: gating differs");
+        }
+    }
+}
+
+/// Builds a record whose first annotated beat sits closer to the record
+/// start than `window.pre`, so its detected peak is skipped by the beat
+/// windower while remaining matchable to its annotation.
+fn record_with_border_beat() -> EcgRecord {
+    let fs = 360.0;
+    let positions: Vec<usize> = (0..8).map(|k| 60 + 400 * k).collect();
+    let n = positions.last().expect("non-empty") + 240;
+    let mut signal = vec![0.0f64; n];
+    for (i, &p) in positions.iter().enumerate() {
+        // A QRS-like biphasic deflection (sharper and larger for the
+        // "ventricular" first beat, narrow for the rest).
+        let (amp, width) = if i == 0 { (1.6, 0.016) } else { (1.1, 0.011) };
+        for (j, s) in signal.iter_mut().enumerate() {
+            let t = (j as f64 - p as f64) / fs;
+            let d = t / width;
+            *s += amp * (-0.5 * d * d).exp();
+            // Small discordant wave after the R peak, as real beats have.
+            let dt = (t - 0.12) / 0.04;
+            *s += -0.12 * amp * (-0.5 * dt * dt).exp();
+        }
+    }
+    let annotations: Vec<Annotation> = positions
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let class = if i == 0 {
+                BeatClass::PrematureVentricular
+            } else {
+                BeatClass::Normal
+            };
+            Annotation::new(p, class)
+        })
+        .collect();
+    EcgRecord::new(7, fs, vec![signal], annotations).expect("valid record")
+}
+
+/// Regression for the ground-truth misalignment: `windows_at_peaks` skips
+/// border peaks, so indexing the peak↔annotation matching by *beat* position
+/// shifted every truth label after a skipped peak — the first reported beat
+/// inherited the border beat's (abnormal) label, silently corrupting
+/// NDR/ARR. On the pre-fix code this test fails with the first in-window
+/// beat labelled `V` instead of `N`.
+#[test]
+fn ground_truth_labels_stay_aligned_across_skipped_border_peaks() {
+    let fw = firmware();
+    let record = record_with_border_beat();
+    let window = BeatWindow::PAPER;
+
+    // Preconditions that arm the regression: the detector must find the
+    // border beat, and that peak must be unservable by the windower.
+    let raw = record.lead(Lead(0)).expect("lead 0");
+    let filtered = MorphologicalFilter::for_sampling_rate(record.fs)
+        .apply(raw)
+        .expect("filter");
+    let peaks = PeakDetector::new(record.fs)
+        .detect(&filtered)
+        .expect("detect");
+    assert!(
+        peaks.first().is_some_and(|&p| p < window.pre),
+        "first detected peak {:?} must lie inside the left border",
+        peaks.first()
+    );
+
+    let report = fw.process_record(&record).expect("process");
+    assert_eq!(
+        report.beats.len(),
+        record.annotations.len() - 1,
+        "all but the border beat are windowed"
+    );
+    let tolerance = (0.06 * record.fs) as usize;
+    for beat in &report.beats {
+        let nearest = record
+            .annotations
+            .iter()
+            .min_by_key(|a| a.sample.abs_diff(beat.peak))
+            .expect("annotations exist");
+        assert!(
+            nearest.sample.abs_diff(beat.peak) <= tolerance,
+            "beat at {} has no nearby annotation",
+            beat.peak
+        );
+        assert_eq!(
+            beat.truth,
+            Some(nearest.class),
+            "beat at {} carries the label of a different annotation",
+            beat.peak
+        );
+    }
+    // The decisive instance: the first *windowed* beat is the normal beat
+    // near sample 460; with beat-indexed matching it inherited the border
+    // PVC's label.
+    assert_eq!(report.beats[0].truth, Some(BeatClass::Normal));
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-invariance and edge-case properties for the streaming operators.
+// ---------------------------------------------------------------------------
+
+fn synthetic_stretch(len: usize, seed_offset: u64) -> Vec<f64> {
+    let mut gen = SyntheticEcg::with_seed(1234 + seed_offset);
+    let rhythm = gen.rhythm(1 + len / 300, 0.2, 0.2);
+    let record = gen.record(9, &rhythm, 1).expect("record");
+    let mut signal = record.lead(Lead(0)).expect("lead").to_vec();
+    signal.truncate(len);
+    signal
+}
+
+/// Applies a chunking (cycled) to drive `push_chunk`-style ingestion.
+fn chunk_spans(total: usize, chunks: &[usize]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut offset = 0;
+    let mut k = 0;
+    while offset < total {
+        let len = chunks[k % chunks.len()].max(1);
+        let end = (offset + len).min(total);
+        spans.push((offset, end));
+        offset = end;
+        k += 1;
+    }
+    spans
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // The full streaming firmware emits an identical outcome stream for
+    // every partition of the input into chunks.
+    #[test]
+    fn firmware_outcome_stream_is_chunk_invariant(
+        chunks in prop::collection::vec(1usize..97, 1..12),
+        seed in 0u64..4,
+    ) {
+        let fw = firmware();
+        let mut gen = SyntheticEcg::with_seed(300 + seed);
+        let rhythm = gen.rhythm(24, 0.15, 0.1);
+        let record = gen.record(2, &rhythm, 1).expect("record");
+        let raw = record.lead(Lead(0)).expect("lead 0");
+
+        let reference = run_streaming(&fw, record.fs, raw, std::iter::repeat(1));
+        let spans = chunk_spans(raw.len(), &chunks);
+        let ragged = run_streaming(
+            &fw,
+            record.fs,
+            raw,
+            spans.iter().map(|(lo, hi)| hi - lo),
+        );
+        prop_assert_eq!(ragged.len(), reference.len());
+        for (a, b) in ragged.iter().zip(&reference) {
+            prop_assert_eq!(a.peak, b.peak);
+            prop_assert_eq!(a.predicted, b.predicted);
+            prop_assert_eq!(a.delineated, b.delineated);
+            prop_assert_eq!(a.fiducials_transmitted, b.fiducials_transmitted);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The streaming wavelet equals the batch transform bit for bit on
+    // arbitrary signal lengths (longer than the batch minimum), for any
+    // number of scales in use.
+    #[test]
+    fn streaming_wavelet_matches_batch_for_random_lengths(
+        len in 64usize..600,
+        scales in 1usize..5,
+        seed in 0u64..8,
+    ) {
+        let signal = synthetic_stretch(len, seed);
+        let batch = DyadicWavelet::with_scales(scales).transform(&signal);
+        prop_assert!(batch.is_ok() || signal.len() < 3 * (1 << (scales - 1)) + 1);
+        let Ok(batch) = batch else { return Ok(()); };
+
+        let mut streaming = StreamingWavelet::new(scales);
+        let mut got: Vec<Vec<f64>> = vec![Vec::new(); scales];
+        for &s in &signal {
+            streaming.push(s);
+            while let Some(frame) = streaming.pop_frame() {
+                for (acc, &d) in got.iter_mut().zip(frame.details) {
+                    acc.push(d);
+                }
+            }
+        }
+        streaming.finish();
+        while let Some(frame) = streaming.pop_frame() {
+            for (acc, &d) in got.iter_mut().zip(frame.details) {
+                acc.push(d);
+            }
+        }
+        for (scale, (g, b)) in got.iter().zip(&batch).enumerate() {
+            prop_assert_eq!(g.len(), b.len());
+            for (k, (x, y)) in g.iter().zip(b).enumerate() {
+                prop_assert_eq!(x, y, "scale {} index {}", scale, k);
+            }
+        }
+    }
+
+    // The streaming baseline filter equals the batch filter bit for bit for
+    // random signal lengths at and above the batch minimum.
+    #[test]
+    fn streaming_baseline_filter_matches_batch_for_random_lengths(
+        len in 191usize..1200,
+        seed in 0u64..8,
+    ) {
+        let signal = synthetic_stretch(len, seed);
+        let batch = MorphologicalFilter::for_sampling_rate(360.0)
+            .apply(&signal)
+            .expect("length at least the longest structuring element");
+        let mut streaming = StreamingBaselineFilter::for_sampling_rate(360.0);
+        let mut out = Vec::new();
+        for &s in &signal {
+            if let Some(v) = streaming.push(s) {
+                out.push(v);
+            }
+        }
+        streaming.finish_into(&mut out);
+        prop_assert_eq!(out.len(), batch.len());
+        for (k, (a, b)) in out.iter().zip(&batch).enumerate() {
+            prop_assert_eq!(a, b, "sample {}", k);
+        }
+    }
+
+    // Signals shorter than the group delay produce exactly one output per
+    // input at finish, without panicking — the edge the batch filter
+    // rejects outright.
+    #[test]
+    fn streaming_baseline_filter_survives_short_streams(len in 0usize..64) {
+        let signal = synthetic_stretch(len.max(1), 3);
+        let signal = &signal[..len.min(signal.len())];
+        let mut streaming = StreamingBaselineFilter::for_sampling_rate(360.0);
+        let mut out = Vec::new();
+        for &s in signal {
+            prop_assert_eq!(streaming.push(s), None);
+        }
+        streaming.finish_into(&mut out);
+        prop_assert_eq!(out.len(), signal.len());
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    // SlidingExtremum is exact against a naive window scan for any window
+    // size, including the degenerate window of one sample.
+    #[test]
+    fn sliding_extremum_matches_naive_for_any_window(
+        window in 1usize..80,
+        len in 1usize..300,
+        seed in 0u64..8,
+    ) {
+        let signal = synthetic_stretch(len, seed);
+        for kind in [ExtremumKind::Min, ExtremumKind::Max] {
+            let mut tracker = SlidingExtremum::new(kind, window);
+            for (i, &s) in signal.iter().enumerate() {
+                let got = tracker.push(s);
+                let lo = i.saturating_sub(window - 1);
+                let expected = signal[lo..=i]
+                    .iter()
+                    .copied()
+                    .reduce(match kind {
+                        ExtremumKind::Min => f64::min,
+                        ExtremumKind::Max => f64::max,
+                    })
+                    .expect("non-empty window");
+                prop_assert_eq!(got, expected, "index {}", i);
+            }
+        }
+    }
+
+    // Decimation through the streaming operator equals `step_by` for any
+    // factor and any chunking of the pushes.
+    #[test]
+    fn streaming_decimator_matches_step_by(
+        factor in 1usize..9,
+        len in 0usize..200,
+    ) {
+        let signal: Vec<f64> = (0..len).map(|i| i as f64 * 0.25).collect();
+        let mut dec = StreamingDecimator::new(factor);
+        let got: Vec<f64> = signal.iter().filter_map(|&s| dec.push(s)).collect();
+        let expected: Vec<f64> = signal.iter().copied().step_by(factor).collect();
+        prop_assert_eq!(got, expected);
+    }
+}
