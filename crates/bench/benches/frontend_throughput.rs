@@ -1,0 +1,379 @@
+//! Micro-benchmark: per-sample cost of the conditioning front-end kernels —
+//! the naive O(n·w) sliding-extremum scan against the O(n) monotone-deque
+//! kernel at the paper's structuring-element lengths, and the full
+//! baseline-removal + wavelet conditioning chain in its allocating and
+//! scratch-reused (`_into`) forms. Records the naive-vs-deque baseline in
+//! `BENCH_frontend.json` at the workspace root (next to
+//! `BENCH_projection.json`) so front-end kernel regressions are visible in
+//! review and gated in CI.
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hbc_dsp::filter::{dilate, erode, sliding_extreme_naive, ExtremumKind, MorphologicalFilter};
+use hbc_dsp::{DyadicWavelet, FrontendScratch};
+
+/// One minute of drifting synthetic ECG-like signal at `fs` Hz.
+fn test_signal(fs: f64) -> Vec<f64> {
+    let n = (60.0 * fs) as usize;
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / fs;
+            0.4 * (2.0 * std::f64::consts::PI * 0.25 * t).sin()
+                + 0.1 * (2.0 * std::f64::consts::PI * 7.0 * t).sin()
+                + if i % (fs as usize) < 8 { 1.0 } else { 0.0 }
+        })
+        .collect()
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    // The 250 Hz operating point of the reference filter: a 50-sample QRS
+    // element and a 133-sample beat element.
+    let fs = 250.0;
+    let filter = MorphologicalFilter::for_sampling_rate(fs);
+    let signal = test_signal(fs);
+    let wavelet = DyadicWavelet::new();
+    let mut scratch = FrontendScratch::default();
+    let mut out = Vec::new();
+    let mut details = Vec::new();
+
+    let mut group = c.benchmark_group("frontend_one_minute");
+    group.sample_size(10);
+    for window in [filter.qrs_element, filter.beat_element] {
+        group.bench_function(format!("erode_naive/w{window}"), |b| {
+            b.iter(|| sliding_extreme_naive(black_box(&signal), window, ExtremumKind::Min))
+        });
+        group.bench_function(format!("erode_deque/w{window}"), |b| {
+            b.iter(|| erode(black_box(&signal), window))
+        });
+    }
+    group.bench_function("baseline_filter_naive", |b| {
+        b.iter(|| filter.apply_naive(black_box(&signal)).expect("filter"))
+    });
+    group.bench_function("baseline_filter_deque", |b| {
+        b.iter(|| filter.apply(black_box(&signal)).expect("filter"))
+    });
+    group.bench_function("baseline_filter_deque_into", |b| {
+        b.iter(|| {
+            filter
+                .apply_into(black_box(&signal), &mut scratch, &mut out)
+                .expect("filter")
+        })
+    });
+    group.bench_function("wavelet_transform", |b| {
+        b.iter(|| wavelet.transform(black_box(&signal)).expect("transform"))
+    });
+    group.bench_function("wavelet_transform_into", |b| {
+        b.iter(|| {
+            wavelet
+                .transform_into(black_box(&signal), &mut scratch, &mut details)
+                .expect("transform")
+        })
+    });
+    group.bench_function("conditioning_chain_into", |b| {
+        b.iter(|| {
+            filter
+                .apply_into(black_box(&signal), &mut scratch, &mut out)
+                .expect("filter");
+            wavelet
+                .transform_into(&out, &mut scratch, &mut details)
+                .expect("transform");
+        })
+    });
+    group.finish();
+}
+
+/// Minimum per-iteration time of `f` in nanoseconds: iterations are
+/// calibrated until one sample lasts ≳2 ms, then the fastest of `samples`
+/// such runs is taken (min is the standard low-noise estimator for
+/// micro-kernels).
+fn min_ns_per_iter<F: FnMut()>(mut f: F, samples: usize) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if start.elapsed() >= Duration::from_millis(2) || iters >= 1 << 28 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+/// One row of the recorded baseline: an operator at one window length, naive
+/// vs deque, in nanoseconds per input *sample*.
+struct BaselineRow {
+    stage: &'static str,
+    window: usize,
+    naive_ns: f64,
+    deque_ns: f64,
+}
+
+/// Measures naive vs deque at the 250 Hz operating point and writes
+/// `BENCH_frontend.json` at the workspace root.
+///
+/// Opt-in via `HBC_BENCH_BASELINE=1`: the file is a checked-in reviewed
+/// baseline, so routine `cargo bench` runs (CI smoke included) must not
+/// silently overwrite it with numbers from an arbitrary host.
+fn baseline_json(_c: &mut Criterion) {
+    if std::env::var("HBC_BENCH_BASELINE").map_or(true, |v| v != "1") {
+        println!(
+            "baseline_json: skipped (set HBC_BENCH_BASELINE=1 to rewrite BENCH_frontend.json)"
+        );
+        return;
+    }
+    let samples = 9;
+    let fs = 250.0;
+    let filter = MorphologicalFilter::for_sampling_rate(fs);
+    let signal = test_signal(fs);
+    let n = signal.len() as f64;
+    let mut rows = Vec::new();
+    for window in [filter.qrs_element, filter.beat_element] {
+        rows.push(BaselineRow {
+            stage: "erode",
+            window,
+            naive_ns: min_ns_per_iter(
+                || {
+                    black_box(sliding_extreme_naive(
+                        black_box(&signal),
+                        window,
+                        ExtremumKind::Min,
+                    ));
+                },
+                samples,
+            ) / n,
+            deque_ns: min_ns_per_iter(
+                || {
+                    black_box(erode(black_box(&signal), window));
+                },
+                samples,
+            ) / n,
+        });
+        rows.push(BaselineRow {
+            stage: "dilate",
+            window,
+            naive_ns: min_ns_per_iter(
+                || {
+                    black_box(sliding_extreme_naive(
+                        black_box(&signal),
+                        window,
+                        ExtremumKind::Max,
+                    ));
+                },
+                samples,
+            ) / n,
+            deque_ns: min_ns_per_iter(
+                || {
+                    black_box(dilate(black_box(&signal), window));
+                },
+                samples,
+            ) / n,
+        });
+    }
+    // The full conditioning chain (8 morphology passes + baseline subtraction
+    // + 4-scale wavelet): naive-allocating versus deque + scratch reuse.
+    let wavelet = DyadicWavelet::new();
+    let mut scratch = FrontendScratch::default();
+    let mut filtered = Vec::new();
+    let mut details = Vec::new();
+    rows.push(BaselineRow {
+        stage: "conditioning_chain",
+        window: filter.beat_element,
+        naive_ns: min_ns_per_iter(
+            || {
+                let f = filter.apply_naive(black_box(&signal)).expect("filter");
+                black_box(wavelet.transform(&f).expect("transform"));
+            },
+            samples,
+        ) / n,
+        deque_ns: min_ns_per_iter(
+            || {
+                filter
+                    .apply_into(black_box(&signal), &mut scratch, &mut filtered)
+                    .expect("filter");
+                wavelet
+                    .transform_into(&filtered, &mut scratch, &mut details)
+                    .expect("transform");
+            },
+            samples,
+        ) / n,
+    });
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"frontend_throughput\",\n  \"units\": \"ns_per_sample\",\n  \
+         \"kernel\": \"monotone-deque sliding extremum (van Herk/Gil-Werman) + scratch-reused \
+         conditioning chain\",\n  \"operating_point\": \"250 Hz, one minute of signal\",\n  \
+         \"estimator\": \"min of 9 calibrated samples\",\n  \"results\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "baseline {:<18} w={:>3}  naive {:>8.2} ns/sample  deque {:>8.2} ns/sample  ({:.2}x)",
+            r.stage,
+            r.window,
+            r.naive_ns,
+            r.deque_ns,
+            r.naive_ns / r.deque_ns
+        );
+        json.push_str(&format!(
+            "    {{\"stage\": \"{}\", \"window\": {}, \"naive_ns\": {:.3}, \"deque_ns\": {:.3}, \
+             \"speedup\": {:.2}}}{}\n",
+            r.stage,
+            r.window,
+            r.naive_ns,
+            r.deque_ns,
+            r.naive_ns / r.deque_ns,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frontend.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Extracts `(stage, window, speedup)` triples from the checked-in
+/// `BENCH_frontend.json` (own format, so a hand-rolled scan suffices — the
+/// workspace has no JSON dependency).
+fn parse_baseline(json: &str) -> Vec<(String, usize, f64)> {
+    fn field(row: &str, name: &str) -> Option<f64> {
+        let tail = &row[row.find(&format!("\"{name}\":"))? + name.len() + 3..];
+        let tail = tail.trim_start();
+        let end = tail
+            .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+            .unwrap_or(tail.len());
+        tail[..end].parse().ok()
+    }
+    fn stage(row: &str) -> Option<String> {
+        let tail = &row[row.find("\"stage\":")? + 8..];
+        let open = tail.find('"')?;
+        let close = tail[open + 1..].find('"')?;
+        Some(tail[open + 1..open + 1 + close].to_string())
+    }
+    json.lines()
+        .filter(|l| l.contains("\"stage\":"))
+        .filter_map(|row| {
+            Some((
+                stage(row)?,
+                field(row, "window")? as usize,
+                field(row, "speedup")?,
+            ))
+        })
+        .collect()
+}
+
+/// Regression gate for the deque front-end kernel, run by the CI bench smoke
+/// job (`HBC_BENCH_REGRESSION=1`), using the same scheme as the projection
+/// gate: wall-clock nanoseconds do not transfer between hosts, so the gate
+/// checks the *naive-to-deque speedup ratio* — both sides measured on the
+/// same host, here and in the baseline — against the checked-in value with a
+/// generous noise margin (2× by default, `HBC_BENCH_MARGIN` to override). A
+/// kernel regression that erases the deque advantage fails the job.
+fn regression_gate(_c: &mut Criterion) {
+    if std::env::var("HBC_BENCH_REGRESSION").map_or(true, |v| v != "1") {
+        println!("regression_gate: skipped (set HBC_BENCH_REGRESSION=1 to enable)");
+        return;
+    }
+    let margin: f64 = std::env::var("HBC_BENCH_MARGIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frontend.json");
+    let json = std::fs::read_to_string(path).expect("checked-in BENCH_frontend.json");
+    let baseline = parse_baseline(&json);
+    assert!(
+        !baseline.is_empty(),
+        "no rows parsed from BENCH_frontend.json"
+    );
+
+    let samples = 5;
+    let fs = 250.0;
+    let filter = MorphologicalFilter::for_sampling_rate(fs);
+    let signal = test_signal(fs);
+    let wavelet = DyadicWavelet::new();
+    let mut scratch = FrontendScratch::default();
+    let mut filtered = Vec::new();
+    let mut details = Vec::new();
+    let mut failures = Vec::new();
+    for (stage, window, baseline_speedup) in baseline {
+        let kind = match stage.as_str() {
+            "erode" => Some(ExtremumKind::Min),
+            "dilate" => Some(ExtremumKind::Max),
+            _ => None,
+        };
+        let (naive_ns, deque_ns) = match kind {
+            Some(kind) => (
+                min_ns_per_iter(
+                    || {
+                        black_box(sliding_extreme_naive(black_box(&signal), window, kind));
+                    },
+                    samples,
+                ),
+                min_ns_per_iter(
+                    || match kind {
+                        ExtremumKind::Min => {
+                            black_box(erode(black_box(&signal), window));
+                        }
+                        ExtremumKind::Max => {
+                            black_box(dilate(black_box(&signal), window));
+                        }
+                    },
+                    samples,
+                ),
+            ),
+            None => (
+                min_ns_per_iter(
+                    || {
+                        let f = filter.apply_naive(black_box(&signal)).expect("filter");
+                        black_box(wavelet.transform(&f).expect("transform"));
+                    },
+                    samples,
+                ),
+                min_ns_per_iter(
+                    || {
+                        filter
+                            .apply_into(black_box(&signal), &mut scratch, &mut filtered)
+                            .expect("filter");
+                        wavelet
+                            .transform_into(&filtered, &mut scratch, &mut details)
+                            .expect("transform");
+                    },
+                    samples,
+                ),
+            ),
+        };
+        let speedup = naive_ns / deque_ns;
+        let floor = baseline_speedup / margin;
+        let verdict = if speedup >= floor { "ok" } else { "REGRESSION" };
+        println!(
+            "regression_gate {stage:<18} w={window:>3}  speedup {speedup:>6.2}x (baseline \
+             {baseline_speedup:.2}x, floor {floor:.2}x)  {verdict}"
+        );
+        if speedup < floor {
+            failures.push(format!(
+                "{stage} w={window}: speedup {speedup:.2}x below floor {floor:.2}x \
+                 (baseline {baseline_speedup:.2}x / margin {margin})"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "deque front-end kernel regressed:\n{}",
+        failures.join("\n")
+    );
+}
+
+criterion_group!(benches, bench_frontend, baseline_json, regression_gate);
+criterion_main!(benches);

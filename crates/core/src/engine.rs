@@ -21,9 +21,12 @@
 //! [`crate::pipeline::TrainedSystem`].
 
 use std::num::NonZeroUsize;
+use std::sync::Mutex;
 
+use hbc_dsp::FrontendScratch;
 use hbc_ecg::beat::{Beat, BeatClass, BeatWindow};
 use hbc_ecg::record::{EcgRecord, Lead};
+use hbc_embedded::firmware::{BeatScratch, FirmwareReport, WbsnFirmware};
 use hbc_embedded::int_classifier::AlphaQ16;
 use hbc_nfc::metrics::EvaluationReport;
 use hbc_nfc::FittedPipeline;
@@ -168,6 +171,41 @@ impl Engine {
             merged.merge(&record.report);
         }
         Ok(MultiRecordReport { per_record, merged })
+    }
+
+    /// Runs the complete Figure 6 firmware pipeline over many records
+    /// concurrently, one record per work item, returning the per-record
+    /// [`FirmwareReport`]s in input order (bit-identical to a sequential
+    /// pass — each record's outcome depends only on its own samples).
+    ///
+    /// The conditioning-chain and per-beat working sets are drawn from a
+    /// pool bounded by the worker count, so steady-state multi-record
+    /// processing reuses a few [`FrontendScratch`]/[`BeatScratch`] pairs
+    /// instead of re-allocating the front-end buffers per record.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in record order) processing error.
+    pub fn process_records(
+        &self,
+        firmware: &WbsnFirmware,
+        records: &[EcgRecord],
+    ) -> Result<Vec<FirmwareReport>> {
+        let pool: Mutex<Vec<(FrontendScratch, BeatScratch)>> = Mutex::new(Vec::new());
+        self.try_map(records, |record| {
+            let (mut frontend, mut beat) = pool
+                .lock()
+                .expect("scratch pool poisoned")
+                .pop()
+                .unwrap_or_default();
+            let report = firmware
+                .process_record_with(record, &mut frontend, &mut beat)
+                .map_err(crate::CoreError::Embedded);
+            pool.lock()
+                .expect("scratch pool poisoned")
+                .push((frontend, beat));
+            report
+        })
     }
 }
 
@@ -383,6 +421,41 @@ mod tests {
             let parallel = engine
                 .evaluate_beats(&system.wbsn, &system.dataset.test)
                 .expect("parallel evaluation");
+            assert_eq!(parallel, reference);
+        }
+    }
+
+    #[test]
+    fn process_records_is_bit_identical_for_any_thread_count() {
+        use hbc_ecg::synthetic::SyntheticEcg;
+        use hbc_embedded::int_classifier::AlphaQ16;
+        use hbc_rp::PackedProjection;
+
+        let system = system();
+        let firmware = WbsnFirmware::new(
+            PackedProjection::from_matrix(&system.pc_downsampled.projection),
+            system.wbsn.classifier.clone(),
+            AlphaQ16::from_f64(system.pc_downsampled.alpha_train).expect("alpha in range"),
+            system.config.downsample,
+            hbc_ecg::beat::BeatWindow::PAPER,
+        )
+        .expect("firmware dimensions");
+        let mut generator = SyntheticEcg::with_seed(41);
+        let records: Vec<EcgRecord> = (0..4)
+            .map(|i| {
+                let rhythm = generator.rhythm(30, 0.1, 0.1);
+                generator.record(300 + i, &rhythm, 2).expect("record")
+            })
+            .collect();
+
+        let reference: Vec<_> = records
+            .iter()
+            .map(|r| firmware.process_record(r).expect("sequential"))
+            .collect();
+        for engine in [Engine::sequential(), four_workers()] {
+            let parallel = engine
+                .process_records(&firmware, &records)
+                .expect("parallel");
             assert_eq!(parallel, reference);
         }
     }

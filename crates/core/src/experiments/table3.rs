@@ -14,7 +14,8 @@
 //! assumed — it is measured by running the trained WBSN classifier on the
 //! test split of the configured dataset.
 
-use hbc_embedded::cycles::{CycleModel, Workload};
+use hbc_dsp::MorphologicalFilter;
+use hbc_embedded::cycles::{morphology_model_speedup, CycleModel, Workload};
 use hbc_embedded::memory::MemoryModel;
 use hbc_embedded::platform::IcyHeartPlatform;
 
@@ -46,6 +47,12 @@ pub struct Table3Report {
     /// Memory overhead of the proposed system over the delineation-only
     /// system, in KB.
     pub memory_overhead_kib: f64,
+    /// Cost-model delta of the morphology stage: how many times cheaper the
+    /// shipped monotone-deque kernel is charged than the naive window scan
+    /// the model used before (and that a literal reading of the original
+    /// firmware loop would charge). Duty cycles above already reflect the
+    /// deque cost.
+    pub morphology_model_speedup: f64,
 }
 
 impl std::fmt::Display for Table3Report {
@@ -72,6 +79,12 @@ impl std::fmt::Display for Table3Report {
             100.0 * self.forwarded_fraction,
             100.0 * self.runtime_reduction,
             self.memory_overhead_kib
+        )?;
+        writeln!(
+            f,
+            "morphology charged at the O(n) deque-kernel cost ({:.0}x below the naive window \
+             scan; filtering duty cycles shrink accordingly vs the paper's firmware)",
+            self.morphology_model_speedup
         )?;
         Ok(())
     }
@@ -134,6 +147,10 @@ pub fn table3_runtime(config: &ExperimentConfig) -> Result<Table3Report> {
         forwarded_fraction,
         runtime_reduction: duty.runtime_reduction(),
         memory_overhead_kib: s3_mem.total_kib() - s2_mem.total_kib(),
+        morphology_model_speedup: morphology_model_speedup(
+            &MorphologicalFilter::for_sampling_rate(workload.fs),
+            &platform,
+        ),
     })
 }
 
@@ -194,8 +211,9 @@ mod tests {
     }
 
     #[test]
-    fn display_contains_every_row() {
-        let text = report().to_string();
+    fn display_contains_every_row_and_the_morphology_model_callout() {
+        let r = report();
+        let text = r.to_string();
         for name in [
             "RP-classifier",
             "RP + filtering + peak detection (1)",
@@ -204,5 +222,14 @@ mod tests {
         ] {
             assert!(text.contains(name), "missing row {name}");
         }
+        assert!(
+            text.contains("deque-kernel cost"),
+            "missing morphology model callout:\n{text}"
+        );
+        assert!(
+            r.morphology_model_speedup > 10.0,
+            "deque-vs-naive model delta {} should be an order of magnitude",
+            r.morphology_model_speedup
+        );
     }
 }

@@ -18,7 +18,7 @@ use std::num::NonZeroUsize;
 use std::sync::Mutex;
 
 use hbc_dsp::window::match_peaks;
-use hbc_dsp::{MorphologicalFilter, PeakDetector, PeakThresholds};
+use hbc_dsp::{FrontendScratch, MorphologicalFilter, PeakDetector, PeakThresholds};
 use hbc_ecg::record::Annotation;
 use hbc_embedded::firmware::BeatOutcome;
 use hbc_embedded::{StreamingFirmware, WbsnFirmware};
@@ -67,6 +67,22 @@ pub struct StreamHub<'fw> {
     fs: f64,
     par: Par,
     sessions: Vec<Mutex<PatientStream<'fw>>>,
+    /// Session-setup working sets: conditioning-chain scratch + filtered
+    /// buffer pairs, pooled so concurrent `calibrate_thresholds` calls
+    /// (calibration takes `&self`) each pop one, compute unlocked, and push
+    /// it back — the lock is held for the pop/push only, never across the
+    /// O(n) filter+wavelet work. The pool is bounded by the peak number of
+    /// concurrent calibrations. Sits alongside the per-session `BeatScratch`
+    /// the streaming firmware already owns.
+    calibration: Mutex<Vec<CalibrationScratch>>,
+}
+
+/// Buffers for one threshold calibration: the front-end scratch plus the
+/// baseline-filtered stretch the detector calibrates on.
+#[derive(Debug, Default)]
+struct CalibrationScratch {
+    frontend: FrontendScratch,
+    filtered: Vec<f64>,
 }
 
 impl<'fw> StreamHub<'fw> {
@@ -93,6 +109,7 @@ impl<'fw> StreamHub<'fw> {
             fs,
             par: Par::with_threads(threads),
             sessions: Vec::new(),
+            calibration: Mutex::new(Vec::new()),
         }
     }
 
@@ -111,8 +128,24 @@ impl<'fw> StreamHub<'fw> {
     /// Returns an error when the stretch is too short for the filter or the
     /// wavelet decomposition.
     pub fn calibrate_thresholds(&self, raw: &[f64]) -> Result<PeakThresholds> {
-        let filtered = MorphologicalFilter::for_sampling_rate(self.fs).apply(raw)?;
-        Ok(PeakDetector::new(self.fs).calibrate(&filtered)?)
+        let mut scratch = self
+            .calibration
+            .lock()
+            .expect("calibration pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        let CalibrationScratch { frontend, filtered } = &mut scratch;
+        let thresholds = MorphologicalFilter::for_sampling_rate(self.fs)
+            .apply_into(raw, frontend, filtered)
+            .map_err(CoreError::from)
+            .and_then(|()| {
+                Ok(PeakDetector::new(self.fs).calibrate_with_scratch(filtered, frontend)?)
+            });
+        self.calibration
+            .lock()
+            .expect("calibration pool poisoned")
+            .push(scratch);
+        thresholds
     }
 
     /// Registers a new patient session with fixed detection thresholds,

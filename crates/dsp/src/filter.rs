@@ -14,42 +14,205 @@
 //!    than the QRS complex removes the beats and keeps the drift,
 //! 2. a second pass with a longer element smooths the estimate,
 //! 3. the estimate is subtracted from the input.
+//!
+//! ## The deque kernel
+//!
+//! Every operator is a sliding-window extremum, computed here with the
+//! monotone-deque (van Herk / Gil–Werman style) kernel: a wedge of candidate
+//! indices whose values are monotone, so each sample enters the wedge once
+//! and leaves it at most once — O(n) total, ~[`DEQUE_COMPARISONS_PER_SAMPLE`]
+//! comparisons per sample *independent of the window length*, against the
+//! O(n·w) of the naive per-output window rescan (kept as
+//! [`sliding_extreme_naive`], the equivalence oracle and the pre-deque cost
+//! reference). It is the batch mirror of the streaming
+//! [`SlidingExtremum`](crate::streaming::SlidingExtremum) wedge, with the
+//! same clamped-border semantics, and since min/max are pure comparisons the
+//! two formulations are *exactly* equal — `tests/frontend_equivalence.rs`
+//! proptests this across window parities and border positions.
+//!
+//! ## Window normalisation
+//!
+//! A structuring element of `size` samples is centred on the output sample,
+//! which only has a symmetric meaning for odd `size`. The effective window is
+//! normalised in **one place** — [`effective_window`]: `2·(size/2) + 1`
+//! samples, so an even `size` yields a `size + 1`-sample window. Batch and
+//! streaming operators both derive their geometry from it and therefore
+//! agree for every parity.
 
+use std::collections::VecDeque;
+
+use crate::frontend::FrontendScratch;
 use crate::{DspError, Result};
 
+/// Which extremum a sliding-window morphological operator tracks. Shared
+/// with the streaming kernels (re-exported as
+/// `streaming::ExtremumKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtremumKind {
+    /// Sliding minimum (erosion).
+    Min,
+    /// Sliding maximum (dilation).
+    Max,
+}
+
+impl ExtremumKind {
+    /// Whether a retained wedge value still dominates an incoming one (ties
+    /// keep the earlier sample, like the streaming wedge).
+    #[inline]
+    pub(crate) fn dominates(self, kept: f64, incoming: f64) -> bool {
+        match self {
+            ExtremumKind::Min => kept <= incoming,
+            ExtremumKind::Max => kept >= incoming,
+        }
+    }
+}
+
+/// Number of erosion/dilation passes the baseline filter runs per input
+/// sample: 2 openings + 2 closings, each an erosion followed by a dilation.
+pub const MORPHOLOGY_PASSES: usize = 8;
+
+/// Amortised comparisons per input sample of one deque-kernel pass,
+/// independent of the structuring-element length: one wedge-domination test
+/// per push (each sample is popped at most once, amortising the pop loop to
+/// one extra comparison) plus one front-expiry test per output.
+pub const DEQUE_COMPARISONS_PER_SAMPLE: usize = 3;
+
+/// The effective (odd, centred) window of a structuring element of `size`
+/// samples: `2·(size/2) + 1`. This is the **single normalisation point** for
+/// the even-`size` asymmetry — an even `size` silently yields a
+/// `size + 1`-sample window — used by the batch deque kernel, the naive
+/// reference and the streaming operators alike, so all three agree for every
+/// window parity.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn effective_window(size: usize) -> usize {
+    assert!(size > 0, "structuring element must be non-empty");
+    2 * (size / 2) + 1
+}
+
 /// Flat-structuring-element erosion: each output sample is the minimum of the
-/// input over a window of `size` samples centred on it (edges are clamped).
+/// input over [`effective_window(size)`](effective_window) samples centred on
+/// it (edges are clamped).
 ///
 /// # Panics
 ///
 /// Panics if `size == 0`.
 pub fn erode(signal: &[f64], size: usize) -> Vec<f64> {
-    assert!(size > 0, "structuring element must be non-empty");
-    sliding_extreme(signal, size, f64::min, f64::INFINITY)
+    let mut out = Vec::new();
+    erode_into(signal, size, &mut FrontendScratch::default(), &mut out);
+    out
 }
 
 /// Flat-structuring-element dilation: each output sample is the maximum of
-/// the input over a window of `size` samples centred on it.
+/// the input over [`effective_window(size)`](effective_window) samples
+/// centred on it.
 ///
 /// # Panics
 ///
 /// Panics if `size == 0`.
 pub fn dilate(signal: &[f64], size: usize) -> Vec<f64> {
-    assert!(size > 0, "structuring element must be non-empty");
-    sliding_extreme(signal, size, f64::max, f64::NEG_INFINITY)
+    let mut out = Vec::new();
+    dilate_into(signal, size, &mut FrontendScratch::default(), &mut out);
+    out
 }
 
-fn sliding_extreme(
+/// [`erode`] against caller-owned scratch: `out` is cleared and refilled, and
+/// nothing is allocated once the scratch has grown to size.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn erode_into(signal: &[f64], size: usize, scratch: &mut FrontendScratch, out: &mut Vec<f64>) {
+    sliding_extreme_into(signal, size, ExtremumKind::Min, &mut scratch.wedge, out);
+}
+
+/// [`dilate`] against caller-owned scratch (see [`erode_into`]).
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn dilate_into(signal: &[f64], size: usize, scratch: &mut FrontendScratch, out: &mut Vec<f64>) {
+    sliding_extreme_into(signal, size, ExtremumKind::Max, &mut scratch.wedge, out);
+}
+
+/// The O(n) monotone-deque sliding extremum. The wedge holds indices whose
+/// values are monotone (front = current extremum); each index is pushed once
+/// and popped at most once, so the whole pass is O(n) with
+/// ~[`DEQUE_COMPARISONS_PER_SAMPLE`] comparisons per sample. Borders are
+/// clamped exactly like the naive reference: output `i` covers
+/// `[i−half, min(i+half+1, n))`.
+fn sliding_extreme_into(
     signal: &[f64],
     size: usize,
-    pick: fn(f64, f64) -> f64,
-    identity: f64,
-) -> Vec<f64> {
+    kind: ExtremumKind,
+    wedge: &mut VecDeque<usize>,
+    out: &mut Vec<f64>,
+) {
+    let half = effective_window(size) / 2;
     let n = signal.len();
+    out.clear();
+    wedge.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
-    let half = size / 2;
+    out.reserve(n);
+    for j in 0..n {
+        let incoming = signal[j];
+        while let Some(&back) = wedge.back() {
+            if kind.dominates(signal[back], incoming) {
+                break;
+            }
+            wedge.pop_back();
+        }
+        wedge.push_back(j);
+        if j >= half {
+            let centre = j - half;
+            emit_extremum(signal, centre, half, wedge, out);
+        }
+    }
+    // Right border: the window clamps at the signal end and shrinks, exactly
+    // like the naive reference (and the streaming operators' `finish` drain).
+    for centre in n.saturating_sub(half.min(n))..n {
+        emit_extremum(signal, centre, half, wedge, out);
+    }
+}
+
+/// Expires wedge entries left of `centre − half` and emits the front value.
+#[inline]
+fn emit_extremum(
+    signal: &[f64],
+    centre: usize,
+    half: usize,
+    wedge: &mut VecDeque<usize>,
+    out: &mut Vec<f64>,
+) {
+    while wedge.front().is_some_and(|&front| front + half < centre) {
+        wedge.pop_front();
+    }
+    let front = *wedge
+        .front()
+        .expect("window always covers its newest index");
+    out.push(signal[front]);
+}
+
+/// The naive O(n·w) sliding extremum: rescans the clamped window for every
+/// output sample. Kept as the equivalence oracle for the deque kernel
+/// (`tests/frontend_equivalence.rs`), the naive side of the
+/// `frontend_throughput` bench, and the pre-deque reference of the embedded
+/// cost model.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn sliding_extreme_naive(signal: &[f64], size: usize, kind: ExtremumKind) -> Vec<f64> {
+    let (pick, identity): (fn(f64, f64) -> f64, f64) = match kind {
+        ExtremumKind::Min => (f64::min, f64::INFINITY),
+        ExtremumKind::Max => (f64::max, f64::NEG_INFINITY),
+    };
+    let half = effective_window(size) / 2;
+    let n = signal.len();
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
         let lo = i.saturating_sub(half);
@@ -66,13 +229,39 @@ fn sliding_extreme(
 /// Morphological opening: erosion followed by dilation. Removes upward peaks
 /// narrower than the structuring element.
 pub fn open(signal: &[f64], size: usize) -> Vec<f64> {
-    dilate(&erode(signal, size), size)
+    let mut out = Vec::new();
+    open_into(signal, size, &mut FrontendScratch::default(), &mut out);
+    out
 }
 
 /// Morphological closing: dilation followed by erosion. Removes downward
 /// spikes narrower than the structuring element.
 pub fn close(signal: &[f64], size: usize) -> Vec<f64> {
-    erode(&dilate(signal, size), size)
+    let mut out = Vec::new();
+    close_into(signal, size, &mut FrontendScratch::default(), &mut out);
+    out
+}
+
+/// [`open`] against caller-owned scratch (see [`erode_into`]).
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn open_into(signal: &[f64], size: usize, scratch: &mut FrontendScratch, out: &mut Vec<f64>) {
+    let FrontendScratch { wedge, stage_a, .. } = scratch;
+    sliding_extreme_into(signal, size, ExtremumKind::Min, wedge, stage_a);
+    sliding_extreme_into(stage_a, size, ExtremumKind::Max, wedge, out);
+}
+
+/// [`close`] against caller-owned scratch (see [`erode_into`]).
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn close_into(signal: &[f64], size: usize, scratch: &mut FrontendScratch, out: &mut Vec<f64>) {
+    let FrontendScratch { wedge, stage_a, .. } = scratch;
+    sliding_extreme_into(signal, size, ExtremumKind::Max, wedge, stage_a);
+    sliding_extreme_into(stage_a, size, ExtremumKind::Min, wedge, out);
 }
 
 /// Baseline-wander removal filter built from morphological opening/closing.
@@ -108,6 +297,25 @@ impl MorphologicalFilter {
     /// Returns [`DspError::SignalTooShort`] when the signal is shorter than
     /// the longest structuring element.
     pub fn baseline(&self, signal: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.baseline_into(signal, &mut FrontendScratch::default(), &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::baseline`] against caller-owned scratch: the six intermediate
+    /// passes live in `scratch` and `out` receives the estimate, with no
+    /// allocation once the buffers have grown to size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::SignalTooShort`] when the signal is shorter than
+    /// the longest structuring element.
+    pub fn baseline_into(
+        &self,
+        signal: &[f64],
+        scratch: &mut FrontendScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         let required = self.beat_element.max(self.qrs_element);
         if signal.len() < required {
             return Err(DspError::SignalTooShort {
@@ -115,17 +323,60 @@ impl MorphologicalFilter {
                 provided: signal.len(),
             });
         }
-        // Stage 1: remove beats (opening then closing with the short element).
-        let stage1 = close(&open(signal, self.qrs_element), self.qrs_element);
-        // Stage 2: smooth with the long element (average of opening and
-        // closing to avoid the bias either one introduces alone).
-        let opened = open(&stage1, self.beat_element);
-        let closed = close(&stage1, self.beat_element);
-        Ok(opened
-            .iter()
-            .zip(&closed)
-            .map(|(a, b)| 0.5 * (a + b))
-            .collect())
+        let FrontendScratch {
+            wedge,
+            stage_a,
+            stage_b,
+            stage_c,
+            ..
+        } = scratch;
+        // Stage 1: remove beats (opening then closing with the short
+        // element); the four passes ping-pong between two buffers.
+        sliding_extreme_into(signal, self.qrs_element, ExtremumKind::Min, wedge, stage_a);
+        sliding_extreme_into(stage_a, self.qrs_element, ExtremumKind::Max, wedge, stage_b);
+        sliding_extreme_into(stage_b, self.qrs_element, ExtremumKind::Max, wedge, stage_a);
+        sliding_extreme_into(stage_a, self.qrs_element, ExtremumKind::Min, wedge, stage_b);
+        // Stage 2 on the stage-1 output (now in `stage_b`): opening into
+        // `stage_c`, then closing back into `stage_b` (its last read), and
+        // the average of the two to avoid the bias either one introduces
+        // alone — same expressions, same order as the allocating original.
+        sliding_extreme_into(
+            stage_b,
+            self.beat_element,
+            ExtremumKind::Min,
+            wedge,
+            stage_a,
+        );
+        sliding_extreme_into(
+            stage_a,
+            self.beat_element,
+            ExtremumKind::Max,
+            wedge,
+            stage_c,
+        );
+        sliding_extreme_into(
+            stage_b,
+            self.beat_element,
+            ExtremumKind::Max,
+            wedge,
+            stage_a,
+        );
+        sliding_extreme_into(
+            stage_a,
+            self.beat_element,
+            ExtremumKind::Min,
+            wedge,
+            stage_b,
+        );
+        out.clear();
+        out.reserve(signal.len());
+        out.extend(
+            stage_c
+                .iter()
+                .zip(stage_b.iter())
+                .map(|(a, b)| 0.5 * (a + b)),
+        );
+        Ok(())
     }
 
     /// Removes the baseline from `signal`, returning the corrected signal.
@@ -135,18 +386,88 @@ impl MorphologicalFilter {
     /// Returns [`DspError::SignalTooShort`] when the signal is shorter than
     /// the longest structuring element.
     pub fn apply(&self, signal: &[f64]) -> Result<Vec<f64>> {
-        let baseline = self.baseline(signal)?;
-        Ok(signal.iter().zip(&baseline).map(|(s, b)| s - b).collect())
+        let mut out = Vec::new();
+        self.apply_into(signal, &mut FrontendScratch::default(), &mut out)?;
+        Ok(out)
     }
 
-    /// Number of comparison operations the filter performs per input sample,
-    /// used by the platform cycle model of `hbc-embedded`.
+    /// [`Self::apply`] against caller-owned scratch (see
+    /// [`Self::baseline_into`]): bit-identical output, zero steady-state
+    /// allocation.
     ///
-    /// Each erosion/dilation costs one comparison per element of the
-    /// structuring window; the filter runs 4 passes with the short element
-    /// and 4 with the long one (2 openings + 2 closings).
+    /// # Errors
+    ///
+    /// Returns [`DspError::SignalTooShort`] when the signal is shorter than
+    /// the longest structuring element.
+    pub fn apply_into(
+        &self,
+        signal: &[f64],
+        scratch: &mut FrontendScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        self.baseline_into(signal, scratch, out)?;
+        for (corrected, &s) in out.iter_mut().zip(signal) {
+            *corrected = s - *corrected;
+        }
+        Ok(())
+    }
+
+    /// The naive (pre-deque) filter: every pass rescans its window. Kept as
+    /// the equivalence oracle — [`Self::apply`] must match it exactly — and
+    /// the naive side of the `frontend_throughput` bench.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::SignalTooShort`] when the signal is shorter than
+    /// the longest structuring element.
+    pub fn apply_naive(&self, signal: &[f64]) -> Result<Vec<f64>> {
+        let required = self.beat_element.max(self.qrs_element);
+        if signal.len() < required {
+            return Err(DspError::SignalTooShort {
+                required,
+                provided: signal.len(),
+            });
+        }
+        let naive = |signal: &[f64], size: usize, kind| sliding_extreme_naive(signal, size, kind);
+        let open = |signal: &[f64], size: usize| {
+            naive(
+                &naive(signal, size, ExtremumKind::Min),
+                size,
+                ExtremumKind::Max,
+            )
+        };
+        let close = |signal: &[f64], size: usize| {
+            naive(
+                &naive(signal, size, ExtremumKind::Max),
+                size,
+                ExtremumKind::Min,
+            )
+        };
+        let stage1 = close(&open(signal, self.qrs_element), self.qrs_element);
+        let opened = open(&stage1, self.beat_element);
+        let closed = close(&stage1, self.beat_element);
+        Ok(signal
+            .iter()
+            .zip(opened.iter().zip(&closed))
+            .map(|(s, (a, b))| s - 0.5 * (a + b))
+            .collect())
+    }
+
+    /// Comparison operations per input sample of the **shipped deque
+    /// kernel** — [`MORPHOLOGY_PASSES`] passes at
+    /// ~[`DEQUE_COMPARISONS_PER_SAMPLE`] amortised comparisons each,
+    /// independent of the structuring-element lengths. Used by the platform
+    /// cycle model of `hbc-embedded`.
     pub fn comparisons_per_sample(&self) -> usize {
-        4 * self.qrs_element + 4 * self.beat_element
+        MORPHOLOGY_PASSES * DEQUE_COMPARISONS_PER_SAMPLE
+    }
+
+    /// Comparison operations per input sample of the **naive window scan**
+    /// (one comparison per effective-window element per pass), the cost the
+    /// embedded model charged before the deque kernel shipped. Kept so
+    /// reports can call out the model delta.
+    pub fn naive_comparisons_per_sample(&self) -> usize {
+        4 * effective_window(self.qrs_element) + 4 * effective_window(self.beat_element)
     }
 }
 
@@ -205,6 +526,34 @@ mod tests {
         }
         assert_eq!(e[5], -3.0);
         assert_eq!(d[2], 5.0);
+    }
+
+    #[test]
+    fn deque_kernel_matches_naive_reference() {
+        let (_, signal) = synthetic_ecg_with_drift(700, 360.0);
+        for size in [1, 2, 3, 4, 7, 8, 31, 50, 132, 133, 699, 700, 1400] {
+            for kind in [ExtremumKind::Min, ExtremumKind::Max] {
+                let naive = sliding_extreme_naive(&signal, size, kind);
+                let deque = match kind {
+                    ExtremumKind::Min => erode(&signal, size),
+                    ExtremumKind::Max => dilate(&signal, size),
+                };
+                assert_eq!(deque, naive, "size {size}, {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn even_sizes_share_the_next_odd_effective_window() {
+        // The single normalisation point: size 2k and 2k+1 behave identically.
+        assert_eq!(effective_window(4), 5);
+        assert_eq!(effective_window(5), 5);
+        assert_eq!(effective_window(1), 1);
+        let (_, signal) = synthetic_ecg_with_drift(200, 360.0);
+        for even in [2usize, 4, 8, 72] {
+            assert_eq!(erode(&signal, even), erode(&signal, even + 1));
+            assert_eq!(dilate(&signal, even), dilate(&signal, even + 1));
+        }
     }
 
     #[test]
@@ -270,10 +619,37 @@ mod tests {
     }
 
     #[test]
+    fn apply_matches_the_naive_reference_and_scratch_reuse_is_transparent() {
+        let fs = 360.0;
+        let (_, noisy) = synthetic_ecg_with_drift(2000, fs);
+        let filter = MorphologicalFilter::for_sampling_rate(fs);
+        let naive = filter.apply_naive(&noisy).expect("long enough");
+        let deque = filter.apply(&noisy).expect("long enough");
+        assert_eq!(deque, naive, "deque chain must equal the naive chain");
+        // One scratch reused across calls (different signals) stays exact.
+        let mut scratch = FrontendScratch::default();
+        let mut out = Vec::new();
+        for n in [2000, 1500, 1999] {
+            filter
+                .apply_into(&noisy[..n], &mut scratch, &mut out)
+                .expect("long enough");
+            assert_eq!(out, filter.apply_naive(&noisy[..n]).expect("long enough"));
+        }
+    }
+
+    #[test]
     fn too_short_signal_is_an_error() {
         let filter = MorphologicalFilter::for_sampling_rate(360.0);
         let r = filter.apply(&[0.0; 10]);
         assert!(matches!(r, Err(DspError::SignalTooShort { .. })));
+        assert!(matches!(
+            filter.apply_naive(&[0.0; 10]),
+            Err(DspError::SignalTooShort { .. })
+        ));
+        assert!(matches!(
+            filter.baseline(&[0.0; 10]),
+            Err(DspError::SignalTooShort { .. })
+        ));
     }
 
     #[test]
@@ -281,7 +657,14 @@ mod tests {
         let f = MorphologicalFilter::default();
         assert_eq!(f.qrs_element, 72);
         assert_eq!(f.beat_element, 191);
-        assert!(f.comparisons_per_sample() > 0);
+        // The deque cost is window-independent; the naive reference scales
+        // with the effective windows.
+        assert_eq!(
+            f.comparisons_per_sample(),
+            MORPHOLOGY_PASSES * DEQUE_COMPARISONS_PER_SAMPLE
+        );
+        assert_eq!(f.naive_comparisons_per_sample(), 4 * 73 + 4 * 191);
+        assert!(f.naive_comparisons_per_sample() > 10 * f.comparisons_per_sample());
     }
 
     #[test]
@@ -302,5 +685,12 @@ mod tests {
     fn empty_signal_yields_empty_output() {
         assert!(erode(&[], 3).is_empty());
         assert!(dilate(&[], 3).is_empty());
+        assert!(sliding_extreme_naive(&[], 3, ExtremumKind::Min).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "structuring element must be non-empty")]
+    fn zero_size_panics() {
+        erode(&[0.0; 4], 0);
     }
 }

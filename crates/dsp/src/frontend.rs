@@ -1,0 +1,74 @@
+//! Reusable working buffers for the batch conditioning front-end.
+//!
+//! The conditioning chain — morphological baseline removal
+//! ([`crate::filter`]) followed by the à-trous wavelet decomposition
+//! ([`crate::wavelet`]) — dominates record-processing time, and its naive
+//! formulation allocated a fresh `Vec` per operator pass. A
+//! [`FrontendScratch`] owns every intermediate the chain needs (the monotone
+//! wedge of the deque morphology kernel, the morphology stage buffers, the
+//! wavelet approximation ping-pong pair and the detail planes of the peak
+//! detector), so the `_into` variants of the front-end —
+//! [`crate::filter::erode_into`] and friends,
+//! [`MorphologicalFilter::apply_into`](crate::filter::MorphologicalFilter::apply_into),
+//! [`DyadicWavelet::transform_into`](crate::wavelet::DyadicWavelet::transform_into)
+//! and
+//! [`PeakDetector::detect_with_scratch`](crate::peak::PeakDetector::detect_with_scratch)
+//! — allocate nothing once the buffers have grown to size
+//! (`tests/frontend_alloc.rs` counts allocations to enforce this).
+//!
+//! ## Ownership and threading rules
+//!
+//! A scratch belongs to **one worker at a time**: the buffers carry no
+//! results between calls (every `_into` clears its outputs first) but are
+//! freely clobbered by each call, so sharing one scratch across threads is a
+//! data race by construction and is prevented by `&mut` in the API. The
+//! established pattern (mirroring `BeatScratch` in `hbc-embedded`):
+//!
+//! * batch loops hold one scratch for the whole loop
+//!   (`WbsnFirmware::process_record` reuses one across every lead of the
+//!   record);
+//! * parallel drivers keep a pool bounded by the worker count
+//!   (`hbc_core::engine::Engine::process_records`);
+//! * long-lived services own one per session or guard one with a lock
+//!   (`hbc_core::stream::StreamHub` calibration).
+
+use std::collections::VecDeque;
+
+/// Scratch buffers for the allocation-free conditioning front-end.
+///
+/// `Default`-constructed empty; every buffer grows to its steady-state size
+/// on first use and is then reused. See the module docs for ownership rules.
+#[derive(Debug, Clone, Default)]
+pub struct FrontendScratch {
+    /// Monotone wedge of the deque sliding-extremum kernel (sample indices).
+    pub(crate) wedge: VecDeque<usize>,
+    /// Morphology stage buffers (erosion/dilation intermediates).
+    pub(crate) stage_a: Vec<f64>,
+    /// Second morphology stage buffer.
+    pub(crate) stage_b: Vec<f64>,
+    /// Third morphology stage buffer (the opening of the smoothing stage
+    /// must outlive the closing that shares its input).
+    pub(crate) stage_c: Vec<f64>,
+    /// Wavelet approximation buffer (current scale input).
+    pub(crate) approx: Vec<f64>,
+    /// Wavelet approximation buffer (next scale), swapped with `approx`.
+    pub(crate) approx_next: Vec<f64>,
+    /// Per-scale wavelet detail planes (peak-detection path).
+    pub(crate) details: Vec<Vec<f64>>,
+    /// One multi-scale coefficient frame (peak-detection scan).
+    pub(crate) frame: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_starts_empty_and_is_cloneable() {
+        let scratch = FrontendScratch::default();
+        assert!(scratch.wedge.is_empty());
+        assert!(scratch.stage_a.is_empty());
+        let clone = scratch.clone();
+        assert!(clone.details.is_empty());
+    }
+}

@@ -6,7 +6,9 @@
 //! (reference [1] of the paper):
 //!
 //! * [`filter`] — **morphological filtering** removing baseline wander and
-//!   motion artefacts with erosion/dilation (opening/closing) operators;
+//!   motion artefacts with erosion/dilation (opening/closing) operators,
+//!   computed by an O(n) monotone-deque kernel with allocation-free `_into`
+//!   variants over a shared [`FrontendScratch`];
 //! * [`wavelet`] — an **à-trous dyadic wavelet transform** (quadratic-spline
 //!   mother wavelet) producing the four scales the peak detector works on;
 //! * [`peak`] — the **R-peak detector**: maximum–minimum pairs across scales
@@ -31,6 +33,7 @@
 pub mod delineation;
 pub mod downsample;
 pub mod filter;
+pub mod frontend;
 pub mod peak;
 pub mod streaming;
 mod tape;
@@ -38,7 +41,8 @@ pub mod wavelet;
 pub mod window;
 
 pub use delineation::{BeatFiducials, Delineator, FiducialPoint, WaveFiducials};
-pub use filter::MorphologicalFilter;
+pub use filter::{ExtremumKind, MorphologicalFilter};
+pub use frontend::FrontendScratch;
 pub use peak::{PeakDetector, PeakDetectorConfig, PeakScanner, PeakThresholds};
 pub use streaming::{
     StreamingBaselineFilter, StreamingBeatWindower, StreamingDecimator, StreamingPeakDetector,

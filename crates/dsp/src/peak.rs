@@ -23,6 +23,7 @@
 
 use std::collections::VecDeque;
 
+use crate::frontend::FrontendScratch;
 use crate::tape::Tape;
 use crate::wavelet::DyadicWavelet;
 use crate::{DspError, Result};
@@ -144,9 +145,32 @@ impl PeakDetector {
     /// Returns [`DspError::SignalTooShort`] when the signal cannot support
     /// the wavelet decomposition.
     pub fn calibrate(&self, signal: &[f64]) -> Result<PeakThresholds> {
+        self.calibrate_with_scratch(signal, &mut FrontendScratch::default())
+    }
+
+    /// [`Self::calibrate`] against caller-owned scratch: the wavelet detail
+    /// planes live in `scratch` and are reused across calls, so repeated
+    /// calibrations (e.g. per-session start-up in a serving hub) do not
+    /// re-allocate the decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::SignalTooShort`] when the signal cannot support
+    /// the wavelet decomposition.
+    pub fn calibrate_with_scratch(
+        &self,
+        signal: &[f64],
+        scratch: &mut FrontendScratch,
+    ) -> Result<PeakThresholds> {
         let wavelet = DyadicWavelet::with_scales(self.config.scales);
-        let details = wavelet.transform(signal)?;
-        Ok(self.thresholds_from_details(&details))
+        // The detail planes live in the scratch too; take them out so the
+        // scratch can be threaded into the transform (plain moves, no
+        // allocation).
+        let mut details = std::mem::take(&mut scratch.details);
+        let transformed = wavelet.transform_into(signal, scratch, &mut details);
+        let thresholds = transformed.map(|()| self.thresholds_from_details(&details));
+        scratch.details = details;
+        thresholds
     }
 
     /// Creates the incremental scan state machine for these thresholds.
@@ -172,17 +196,44 @@ impl PeakDetector {
     /// Returns [`DspError::SignalTooShort`] when the signal cannot support the
     /// wavelet decomposition.
     pub fn detect(&self, signal: &[f64]) -> Result<Vec<usize>> {
+        self.detect_with_scratch(signal, &mut FrontendScratch::default())
+    }
+
+    /// [`Self::detect`] against caller-owned scratch: the wavelet
+    /// decomposition and the scan frame are computed into reused scratch
+    /// buffers, so record-processing loops pay no per-record transform
+    /// allocation. (The scanner's own bounded ring buffers and the returned
+    /// peak vector still allocate — they are small and peak-count-bound, not
+    /// signal-length-bound.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::SignalTooShort`] when the signal cannot support
+    /// the wavelet decomposition.
+    pub fn detect_with_scratch(
+        &self,
+        signal: &[f64],
+        scratch: &mut FrontendScratch,
+    ) -> Result<Vec<usize>> {
         let wavelet = DyadicWavelet::with_scales(self.config.scales);
-        let details = wavelet.transform(signal)?;
-        let n = details[0].len();
-        if n < 4 {
-            return Err(DspError::SignalTooShort {
-                required: 4,
-                provided: n,
-            });
-        }
-        let thresholds = self.thresholds_from_details(&details);
-        Ok(self.detect_with_thresholds(signal, &details, thresholds))
+        let mut details = std::mem::take(&mut scratch.details);
+        let transformed = wavelet.transform_into(signal, scratch, &mut details);
+        let result = transformed.and_then(|()| {
+            let n = details[0].len();
+            if n < 4 {
+                return Err(DspError::SignalTooShort {
+                    required: 4,
+                    provided: n,
+                });
+            }
+            let thresholds = self.thresholds_from_details(&details);
+            let mut frame = std::mem::take(&mut scratch.frame);
+            let peaks = self.scan_details(signal, &details, thresholds, &mut frame);
+            scratch.frame = frame;
+            Ok(peaks)
+        });
+        scratch.details = details;
+        result
     }
 
     /// Runs the scan over precomputed detail coefficients with explicit
@@ -193,13 +244,26 @@ impl PeakDetector {
         details: &[Vec<f64>],
         thresholds: PeakThresholds,
     ) -> Vec<usize> {
+        self.scan_details(signal, details, thresholds, &mut Vec::new())
+    }
+
+    /// The shared scan loop: drives the incremental [`PeakScanner`] over the
+    /// coefficient planes, assembling one frame at a time into `frame`.
+    fn scan_details(
+        &self,
+        signal: &[f64],
+        details: &[Vec<f64>],
+        thresholds: PeakThresholds,
+        frame: &mut Vec<f64>,
+    ) -> Vec<usize> {
         let mut scanner = self.scanner(thresholds);
-        let mut frame = vec![0.0; self.config.scales];
+        frame.clear();
+        frame.resize(self.config.scales, 0.0);
         for (i, &s) in signal.iter().enumerate() {
             for (f, d) in frame.iter_mut().zip(details) {
                 *f = d[i];
             }
-            scanner.push(&frame, s);
+            scanner.push(frame, s);
         }
         scanner.finish();
         let mut peaks = Vec::new();

@@ -41,14 +41,7 @@ use hbc_ecg::beat::BeatWindow;
 use crate::peak::{PeakDetector, PeakScanner, PeakThresholds};
 use crate::tape::Tape;
 
-/// Which extremum a [`SlidingExtremum`] tracks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ExtremumKind {
-    /// Sliding minimum (erosion).
-    Min,
-    /// Sliding maximum (dilation).
-    Max,
-}
+pub use crate::filter::ExtremumKind;
 
 /// Sliding-window extremum over the last `window` pushed samples, computed in
 /// O(1) amortised time with a monotone wedge.
@@ -78,10 +71,9 @@ impl SlidingExtremum {
     }
 
     fn dominates(&self, kept: f64, incoming: f64) -> bool {
-        match self.kind {
-            ExtremumKind::Min => kept <= incoming,
-            ExtremumKind::Max => kept >= incoming,
-        }
+        // The same tie-keeps-the-earlier rule as the batch deque kernel of
+        // `crate::filter`, which mirrors this wedge.
+        self.kind.dominates(kept, incoming)
     }
 
     fn expire(&mut self) {
@@ -148,12 +140,14 @@ struct Morph {
 
 impl Morph {
     fn new(kind: ExtremumKind, size: usize) -> Self {
-        // The batch operator uses a window of `2*(size/2) + 1` centred
-        // samples; the streaming window matches that.
-        let half = size / 2;
+        // Both the batch and the streaming operator derive their geometry
+        // from the single even-`size` normalisation point, so an even
+        // structuring element yields the same `size + 1`-sample window on
+        // both paths.
+        let window = crate::filter::effective_window(size);
         Morph {
-            extremum: SlidingExtremum::new(kind, 2 * half + 1),
-            delay: half,
+            extremum: SlidingExtremum::new(kind, window),
+            delay: window / 2,
             seen: 0,
             emitted: 0,
         }
@@ -944,6 +938,39 @@ mod tests {
         }
         assert_eq!(eroded, batch_eroded);
         assert_eq!(dilated, batch_dilated);
+    }
+
+    #[test]
+    fn even_structuring_elements_pin_batch_and_streaming_to_one_semantics() {
+        // The even-`size` asymmetry is normalised in exactly one place
+        // (`filter::effective_window`): an even element behaves as the next
+        // odd one, identically on the batch and streaming paths.
+        let signal = test_signal(400);
+        for even in [2usize, 4, 24, 72] {
+            let batch_even = erode(&signal, even);
+            assert_eq!(batch_even, erode(&signal, even + 1), "size {even}");
+            let mut erosion = StreamingErosion::new(even);
+            let mut dilation = StreamingDilation::new(even);
+            assert_eq!(erosion.delay(), even / 2);
+            let mut eroded = Vec::new();
+            let mut dilated = Vec::new();
+            for &s in &signal {
+                eroded.extend(erosion.push(s));
+                dilated.extend(dilation.push(s));
+            }
+            while let Some(v) = erosion.finish_one() {
+                eroded.push(v);
+            }
+            while let Some(v) = dilation.finish_one() {
+                dilated.push(v);
+            }
+            assert_eq!(eroded, batch_even, "streaming erosion, size {even}");
+            assert_eq!(
+                dilated,
+                dilate(&signal, even),
+                "streaming dilation, size {even}"
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! additions on the WBSN; the floating-point implementation below is used for
 //! training and verification, and `hbc-embedded` meters its integer cost.
 
+use crate::frontend::FrontendScratch;
 use crate::{DspError, Result};
 
 /// Number of dyadic scales used by the peak detector of the paper.
@@ -64,20 +65,49 @@ impl DyadicWavelet {
     /// Returns [`DspError::SignalTooShort`] when the input is shorter than
     /// [`Self::minimum_length`].
     pub fn transform(&self, signal: &[f64]) -> Result<Vec<Vec<f64>>> {
+        let mut details = Vec::with_capacity(self.scales);
+        self.transform_into(signal, &mut FrontendScratch::default(), &mut details)?;
+        Ok(details)
+    }
+
+    /// [`Self::transform`] against caller-owned scratch: the approximation
+    /// cascade ping-pongs between two scratch buffers and `details` is
+    /// resized/cleared in place, so repeated transforms allocate nothing once
+    /// every buffer has grown to size. The filter expressions and their
+    /// evaluation order are identical to [`Self::transform`], so the
+    /// coefficients agree bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::SignalTooShort`] when the input is shorter than
+    /// [`Self::minimum_length`].
+    pub fn transform_into(
+        &self,
+        signal: &[f64],
+        scratch: &mut FrontendScratch,
+        details: &mut Vec<Vec<f64>>,
+    ) -> Result<()> {
         if signal.len() < self.minimum_length() {
             return Err(DspError::SignalTooShort {
                 required: self.minimum_length(),
                 provided: signal.len(),
             });
         }
-        let mut details = Vec::with_capacity(self.scales);
-        let mut approx: Vec<f64> = signal.to_vec();
-        for scale in 0..self.scales {
+        details.resize_with(self.scales, Vec::new);
+        let FrontendScratch {
+            approx,
+            approx_next,
+            ..
+        } = scratch;
+        approx.clear();
+        approx.extend_from_slice(signal);
+        for (scale, detail) in details.iter_mut().enumerate() {
             let spacing = 1usize << scale;
-            details.push(high_pass(&approx, spacing));
-            approx = low_pass(&approx, spacing);
+            high_pass_into(approx, spacing, detail);
+            low_pass_into(approx, spacing, approx_next);
+            std::mem::swap(approx, approx_next);
         }
-        Ok(details)
+        Ok(())
     }
 }
 
@@ -88,24 +118,25 @@ impl Default for DyadicWavelet {
 }
 
 /// High-pass (detail) filter `g = 2·[1, −1]` with à-trous spacing, symmetric
-/// border handling.
-fn high_pass(signal: &[f64], spacing: usize) -> Vec<f64> {
+/// border handling. `out` is cleared and refilled.
+fn high_pass_into(signal: &[f64], spacing: usize, out: &mut Vec<f64>) {
     let n = signal.len();
-    let mut out = Vec::with_capacity(n);
+    out.clear();
+    out.reserve(n);
     for i in 0..n {
         let a = signal[reflect(i as isize + spacing as isize, n)];
         let b = signal[i];
         out.push(2.0 * (a - b));
     }
-    out
 }
 
 /// Low-pass (smoothing) filter `h = (1/8)·[1, 3, 3, 1]` with à-trous spacing,
-/// symmetric border handling.
-fn low_pass(signal: &[f64], spacing: usize) -> Vec<f64> {
+/// symmetric border handling. `out` is cleared and refilled.
+fn low_pass_into(signal: &[f64], spacing: usize, out: &mut Vec<f64>) {
     let n = signal.len();
     let s = spacing as isize;
-    let mut out = Vec::with_capacity(n);
+    out.clear();
+    out.reserve(n);
     for i in 0..n {
         let i = i as isize;
         let x0 = signal[reflect(i - s, n)];
@@ -114,7 +145,6 @@ fn low_pass(signal: &[f64], spacing: usize) -> Vec<f64> {
         let x3 = signal[reflect(i + 2 * s, n)];
         out.push((x0 + 3.0 * x1 + 3.0 * x2 + x3) / 8.0);
     }
-    out
 }
 
 /// Reflects an index into `[0, n)` (symmetric border extension).
@@ -198,6 +228,28 @@ mod tests {
                 "scale {scale} extremum at {argmax}, too far from the edge"
             );
         }
+    }
+
+    #[test]
+    fn transform_into_matches_transform_bit_for_bit() {
+        let w = DyadicWavelet::new();
+        let signal: Vec<f64> = (0..300)
+            .map(|i| (i as f64 * 0.11).sin() + 0.3 * (i as f64 * 0.031).cos())
+            .collect();
+        let reference = w.transform(&signal).expect("long enough");
+        // One scratch and one details buffer reused across calls, including a
+        // scale-count change in between (the buffers must resize correctly).
+        let mut scratch = FrontendScratch::default();
+        let mut details = Vec::new();
+        for scales in [4, 2, 4] {
+            let w = DyadicWavelet::with_scales(scales);
+            w.transform_into(&signal, &mut scratch, &mut details)
+                .expect("long enough");
+            assert_eq!(details.len(), scales);
+            let fresh = w.transform(&signal).expect("long enough");
+            assert_eq!(details, fresh, "scales = {scales}");
+        }
+        assert_eq!(details, reference);
     }
 
     #[test]

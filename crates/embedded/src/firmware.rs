@@ -17,7 +17,7 @@
 //! consumes, and the duty-cycle report of the platform model.
 
 use hbc_dsp::window::{match_peaks, windows_at_peaks};
-use hbc_dsp::{Delineator, MorphologicalFilter, PeakDetector};
+use hbc_dsp::{Delineator, FrontendScratch, MorphologicalFilter, PeakDetector};
 use hbc_ecg::beat::{BeatClass, BeatWindow};
 use hbc_ecg::record::{EcgRecord, Lead};
 use hbc_rp::PackedProjection;
@@ -45,7 +45,7 @@ pub struct BeatOutcome {
 }
 
 /// Aggregate report of one processed record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FirmwareReport {
     /// Per-beat outcomes in temporal order.
     pub beats: Vec<BeatOutcome>,
@@ -268,18 +268,48 @@ impl WbsnFirmware {
     /// Returns [`EmbeddedError::Dimension`] when the record has no leads or is
     /// too short for the conditioning front-end.
     pub fn process_record(&self, record: &EcgRecord) -> Result<FirmwareReport> {
+        self.process_record_with(
+            record,
+            &mut FrontendScratch::default(),
+            &mut BeatScratch::default(),
+        )
+    }
+
+    /// [`Self::process_record`] against caller-owned scratch buffers: the
+    /// conditioning front-end (morphological filter of every lead + wavelet
+    /// peak detection) runs its intermediates — wedge, stage buffers,
+    /// wavelet planes — through `frontend` and the per-beat classification
+    /// stages through `beat`, so multi-record drivers (the evaluation
+    /// engine, sweeps) reuse both working sets across records. The filtered
+    /// per-lead output signals themselves are still per-record `Vec`s: they
+    /// must outlive the scratch borrows (windowing and delineation read them
+    /// for the whole record), so one O(n) allocation per lead per record
+    /// remains. Output is identical to [`Self::process_record`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddedError::Dimension`] when the record has no leads or is
+    /// too short for the conditioning front-end.
+    pub fn process_record_with(
+        &self,
+        record: &EcgRecord,
+        frontend: &mut FrontendScratch,
+        beat_scratch: &mut BeatScratch,
+    ) -> Result<FirmwareReport> {
         let lead0 = record
             .lead(Lead(0))
             .map_err(|e| EmbeddedError::Dimension(e.to_string()))?;
 
-        // Stage 1-2: filtering + peak detection on the classification lead.
+        // Stage 1-2: filtering + peak detection on the classification lead,
+        // all intermediates living in the shared frontend scratch.
         let filter = MorphologicalFilter::for_sampling_rate(record.fs);
-        let filtered = filter
-            .apply(lead0)
+        let mut filtered = Vec::with_capacity(lead0.len());
+        filter
+            .apply_into(lead0, frontend, &mut filtered)
             .map_err(|e| EmbeddedError::Dimension(e.to_string()))?;
         let detector = PeakDetector::new(record.fs);
         let peaks = detector
-            .detect(&filtered)
+            .detect_with_scratch(&filtered, frontend)
             .map_err(|e| EmbeddedError::Dimension(e.to_string()))?;
 
         // Ground-truth association for reporting. The matching is indexed by
@@ -298,7 +328,11 @@ impl WbsnFirmware {
         let filtered_rest: Vec<Vec<f64>> = (1..record.num_leads())
             .map(|l| {
                 let signal = record.lead(Lead(l)).expect("lead index < num_leads");
-                filter.apply(signal).expect("same length as lead 0")
+                let mut lead = Vec::with_capacity(signal.len());
+                filter
+                    .apply_into(signal, frontend, &mut lead)
+                    .expect("same length as lead 0");
+                lead
             })
             .collect();
 
@@ -306,9 +340,8 @@ impl WbsnFirmware {
         let beats = windows_at_peaks(&filtered, &peaks, self.window, record.id);
         let mut outcomes = Vec::with_capacity(beats.len());
         let mut forwarded = 0usize;
-        let mut scratch = BeatScratch::default();
         for (peak_index, beat) in &beats {
-            let predicted = self.classify_window_with(&beat.samples, &mut scratch)?;
+            let predicted = self.classify_window_with(&beat.samples, beat_scratch)?;
             let truth =
                 matching.matched_annotation[*peak_index].map(|a| record.annotations[a].class);
             let delineated = predicted.is_abnormal();

@@ -1,0 +1,97 @@
+//! Allocation gate for the scratch-reused conditioning front-end: once the
+//! [`FrontendScratch`] buffers have grown to size, repeated runs of the full
+//! conditioning chain (morphological baseline removal + à-trous wavelet +
+//! peak-detection transform) must perform **zero** heap allocations for the
+//! filter/wavelet stages.
+//!
+//! This lives in its own test binary on purpose: the gate counts allocations
+//! through a global counting allocator, and any concurrently running test in
+//! the same process would pollute the counter. Keep this file to a single
+//! `#[test]`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use heartbeat_rp::hbc_dsp::filter::MorphologicalFilter;
+use heartbeat_rp::hbc_dsp::wavelet::DyadicWavelet;
+use heartbeat_rp::hbc_dsp::FrontendScratch;
+
+/// Counts every allocation (alloc + realloc) made through the global
+/// allocator; deallocations are not counted — the gate is about acquiring
+/// memory in steady state, not about balance.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn conditioning_chain_allocates_nothing_in_steady_state() {
+    let fs = 250.0;
+    let filter = MorphologicalFilter::for_sampling_rate(fs);
+    let wavelet = DyadicWavelet::new();
+    let n = (60.0 * fs) as usize;
+    let signal: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 / fs;
+            0.4 * (2.0 * std::f64::consts::PI * 0.25 * t).sin()
+                + if i % (fs as usize) < 8 { 1.0 } else { 0.0 }
+        })
+        .collect();
+
+    let mut scratch = FrontendScratch::default();
+    let mut filtered = Vec::new();
+    let mut details = Vec::new();
+    let chain =
+        |scratch: &mut FrontendScratch, filtered: &mut Vec<f64>, details: &mut Vec<Vec<f64>>| {
+            filter
+                .apply_into(&signal, scratch, filtered)
+                .expect("long enough");
+            wavelet
+                .transform_into(filtered, scratch, details)
+                .expect("long enough");
+        };
+
+    // Warm-up: every buffer grows to its steady-state size.
+    chain(&mut scratch, &mut filtered, &mut details);
+    chain(&mut scratch, &mut filtered, &mut details);
+
+    let before = allocations();
+    for _ in 0..16 {
+        chain(&mut scratch, &mut filtered, &mut details);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "scratch-reused conditioning chain allocated {} times in steady state",
+        after - before
+    );
+
+    // Sanity: the outputs are still the real thing, not stale buffers.
+    assert_eq!(filtered.len(), signal.len());
+    assert_eq!(details.len(), wavelet.scales);
+    assert!(details.iter().all(|d| d.len() == signal.len()));
+    assert_eq!(filtered, filter.apply(&signal).expect("long enough"));
+}

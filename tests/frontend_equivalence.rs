@@ -1,0 +1,301 @@
+//! Equivalence suite for the O(n) conditioning front-end.
+//!
+//! The monotone-deque sliding-extremum kernel behind
+//! `hbc_dsp::filter::{erode, dilate, open, close}` must be indistinguishable
+//! from the naive O(n·w) window rescan (`sliding_extreme_naive`) for every
+//! window parity and border position — min/max are pure comparisons, so the
+//! equality is exact, not approximate — and the allocation-free `_into`
+//! variants must agree bit for bit with their allocating counterparts across
+//! the full conditioning chain (morphological baseline removal + à-trous
+//! wavelet). The capstone test reconstructs the *pre-deque* record pipeline
+//! from the naive kernels and checks `WbsnFirmware::process_record` against
+//! it beat by beat: per-beat classifications, ground-truth labels and the
+//! NDR/ARR figures of merit are bit-identical.
+//!
+//! (The zero-steady-state-allocation gate lives in `tests/frontend_alloc.rs`
+//! — it needs a counting global allocator and therefore a test binary of its
+//! own.)
+
+use std::sync::OnceLock;
+
+use heartbeat_rp::config::ExperimentConfig;
+use heartbeat_rp::hbc_dsp::filter::{
+    close, close_into, dilate, dilate_into, effective_window, erode, erode_into, open, open_into,
+    sliding_extreme_naive, ExtremumKind, MorphologicalFilter,
+};
+use heartbeat_rp::hbc_dsp::streaming::{StreamingDilation, StreamingErosion};
+use heartbeat_rp::hbc_dsp::wavelet::DyadicWavelet;
+use heartbeat_rp::hbc_dsp::window::{match_peaks, windows_at_peaks};
+use heartbeat_rp::hbc_dsp::{FrontendScratch, PeakDetector};
+use heartbeat_rp::hbc_ecg::beat::BeatWindow;
+use heartbeat_rp::hbc_ecg::record::Lead;
+use heartbeat_rp::hbc_ecg::synthetic::SyntheticEcg;
+use heartbeat_rp::hbc_embedded::int_classifier::AlphaQ16;
+use heartbeat_rp::hbc_embedded::{BeatScratch, WbsnFirmware};
+use heartbeat_rp::hbc_rp::PackedProjection;
+use heartbeat_rp::pipeline::TrainedSystem;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-ECG signal of `n` samples: drift + ripple + spikes,
+/// parameterised by a seed so proptest explores different waveforms.
+fn signal(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let noise = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            let t = i as f64 * 0.017;
+            (t * 1.3).sin()
+                + 0.25 * (t * 9.1).cos()
+                + 0.2 * noise
+                + if i % 97 < 3 { 2.5 } else { 0.0 }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Deque kernel == naive rescan for every window parity and for signals
+    // short enough that the borders dominate.
+    #[test]
+    fn deque_kernel_matches_naive_for_all_parities_and_borders(
+        n in 1usize..=400,
+        size in 1usize..=150,
+        seed in any::<u64>(),
+    ) {
+        let x = signal(n, seed);
+        let eroded = erode(&x, size);
+        let dilated = dilate(&x, size);
+        prop_assert_eq!(&eroded, &sliding_extreme_naive(&x, size, ExtremumKind::Min),
+            "erode, n={}, size={}", n, size);
+        prop_assert_eq!(&dilated, &sliding_extreme_naive(&x, size, ExtremumKind::Max),
+            "dilate, n={}, size={}", n, size);
+        // Even sizes are normalised to the next odd effective window, in one
+        // place, on both kernels.
+        prop_assert_eq!(effective_window(size), 2 * (size / 2) + 1);
+        if size.is_multiple_of(2) {
+            prop_assert_eq!(&eroded, &erode(&x, size + 1));
+            prop_assert_eq!(&dilated, &dilate(&x, size + 1));
+        }
+    }
+
+    // The `_into` variants reuse one scratch across wildly different
+    // geometries and still agree bit for bit with the allocating paths.
+    #[test]
+    fn into_variants_match_allocating_variants_bit_for_bit(
+        n in 1usize..=300,
+        size in 1usize..=80,
+        seed in any::<u64>(),
+    ) {
+        // One scratch shared by every call — stale state from a previous
+        // (differently-sized) call must never leak into the next output.
+        static SCRATCH: OnceLock<std::sync::Mutex<FrontendScratch>> = OnceLock::new();
+        let scratch = SCRATCH.get_or_init(|| std::sync::Mutex::new(FrontendScratch::default()));
+        let scratch = &mut *scratch.lock().expect("scratch lock");
+
+        let x = signal(n, seed);
+        let mut out = Vec::new();
+        erode_into(&x, size, scratch, &mut out);
+        prop_assert_eq!(&out, &erode(&x, size));
+        dilate_into(&x, size, scratch, &mut out);
+        prop_assert_eq!(&out, &dilate(&x, size));
+        open_into(&x, size, scratch, &mut out);
+        prop_assert_eq!(&out, &open(&x, size));
+        close_into(&x, size, scratch, &mut out);
+        prop_assert_eq!(&out, &close(&x, size));
+    }
+
+    // The full baseline filter: deque chain == naive chain == `_into` chain,
+    // for arbitrary element geometries (both parities, qrs ≶ beat).
+    #[test]
+    fn baseline_filter_matches_naive_chain_for_all_element_geometries(
+        n in 60usize..=400,
+        qrs in 1usize..=40,
+        beat in 1usize..=60,
+        seed in any::<u64>(),
+    ) {
+        let filter = MorphologicalFilter {
+            qrs_element: qrs,
+            beat_element: beat,
+        };
+        let x = signal(n, seed);
+        let naive = filter.apply_naive(&x).expect("long enough");
+        let deque = filter.apply(&x).expect("long enough");
+        prop_assert_eq!(&deque, &naive, "qrs={}, beat={}, n={}", qrs, beat, n);
+        let mut scratch = FrontendScratch::default();
+        let mut out = Vec::new();
+        filter.apply_into(&x, &mut scratch, &mut out).expect("long enough");
+        prop_assert_eq!(&out, &naive);
+        filter.baseline_into(&x, &mut scratch, &mut out).expect("long enough");
+        prop_assert_eq!(&out, &filter.baseline(&x).expect("long enough"));
+    }
+
+    // Wavelet: `transform_into` == `transform` bit for bit, across scale
+    // counts, with one reused scratch and details buffer.
+    #[test]
+    fn wavelet_transform_into_matches_transform(
+        n in 50usize..=400,
+        scales in 1usize..=5,
+        seed in any::<u64>(),
+    ) {
+        let w = DyadicWavelet::with_scales(scales);
+        let x = signal(n.max(w.minimum_length()), seed);
+        let reference = w.transform(&x).expect("long enough");
+        let mut scratch = FrontendScratch::default();
+        let mut details = Vec::new();
+        w.transform_into(&x, &mut scratch, &mut details).expect("long enough");
+        prop_assert_eq!(&details, &reference, "scales={}", scales);
+    }
+
+    // Streaming erosion/dilation == batch deque kernel == naive reference,
+    // pinned for *both* window parities (the even-`size` normalisation is
+    // shared, so all three paths see the same effective window).
+    #[test]
+    fn streaming_and_batch_morphology_share_even_size_semantics(
+        n in 1usize..=300,
+        size in 1usize..=60,
+        seed in any::<u64>(),
+    ) {
+        let x = signal(n, seed);
+        let batch_eroded = erode(&x, size);
+        let batch_dilated = dilate(&x, size);
+        let mut erosion = StreamingErosion::new(size);
+        let mut dilation = StreamingDilation::new(size);
+        prop_assert_eq!(erosion.delay(), effective_window(size) / 2);
+        let mut eroded = Vec::new();
+        let mut dilated = Vec::new();
+        for &s in &x {
+            eroded.extend(erosion.push(s));
+            dilated.extend(dilation.push(s));
+        }
+        while let Some(v) = erosion.finish_one() {
+            eroded.push(v);
+        }
+        while let Some(v) = dilation.finish_one() {
+            dilated.push(v);
+        }
+        prop_assert_eq!(&eroded, &batch_eroded, "size={}, n={}", size, n);
+        prop_assert_eq!(&dilated, &batch_dilated, "size={}, n={}", size, n);
+    }
+}
+
+fn trained_system() -> &'static TrainedSystem {
+    static SYSTEM: OnceLock<TrainedSystem> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        TrainedSystem::train(&ExperimentConfig::quick()).expect("training succeeds")
+    })
+}
+
+fn firmware() -> WbsnFirmware {
+    let system = trained_system();
+    WbsnFirmware::new(
+        PackedProjection::from_matrix(&system.pc_downsampled.projection),
+        system.wbsn.classifier.clone(),
+        AlphaQ16::from_f64(system.pc_downsampled.alpha_train).expect("alpha in range"),
+        system.config.downsample,
+        BeatWindow::PAPER,
+    )
+    .expect("firmware dimensions are consistent")
+}
+
+/// The acceptance bar of the PR: `process_record` (now running the deque
+/// kernel + scratch reuse) is bit-identical to the *pre-change* pipeline,
+/// reconstructed here from the naive kernels: naive filter → peak detection
+/// → peak/annotation matching → windowing → per-beat classification.
+#[test]
+fn process_record_is_bit_identical_to_the_naive_front_end_reconstruction() {
+    let fw = firmware();
+    let mut gen = SyntheticEcg::with_seed(77);
+    let rhythm = gen.rhythm(80, 0.12, 0.12);
+    let record = gen.record(50, &rhythm, 2).expect("record generation");
+
+    let mut frontend = FrontendScratch::default();
+    let mut beat_scratch = BeatScratch::default();
+    let report = fw
+        .process_record_with(&record, &mut frontend, &mut beat_scratch)
+        .expect("firmware run");
+    assert!(report.beats.len() >= 60, "enough beats to compare");
+    // The scratch entry point and the plain one agree exactly.
+    assert_eq!(
+        report,
+        fw.process_record(&record).expect("firmware run"),
+        "process_record and process_record_with must agree"
+    );
+
+    // Pre-change reconstruction: naive O(n·w) filter, allocating transform.
+    let lead0 = record.lead(Lead(0)).expect("lead 0");
+    let filter = MorphologicalFilter::for_sampling_rate(record.fs);
+    let filtered = filter.apply_naive(lead0).expect("filter");
+    let detector = PeakDetector::new(record.fs);
+    let peaks = detector.detect(&filtered).expect("peaks");
+    let tolerance = (0.06 * record.fs) as usize;
+    let matching = match_peaks(&peaks, &record.annotations, tolerance);
+    let beats = windows_at_peaks(&filtered, &peaks, fw.window, record.id);
+
+    assert_eq!(report.beats.len(), beats.len(), "beat count must match");
+    for ((peak_index, beat), outcome) in beats.iter().zip(&report.beats) {
+        let predicted = fw.classify_window(&beat.samples).expect("classify");
+        let truth = matching.matched_annotation[*peak_index].map(|a| record.annotations[a].class);
+        assert_eq!(outcome.peak, beat.record_position, "peak position");
+        assert_eq!(outcome.predicted, predicted, "per-beat classification");
+        assert_eq!(outcome.truth, truth, "ground-truth label");
+    }
+
+    // The figures of merit derive from the per-beat outcomes; recompute them
+    // from the reconstruction and require exact equality.
+    let (mut discarded, mut normals, mut recognised, mut abnormals) = (0usize, 0, 0, 0);
+    for ((peak_index, beat), _) in beats.iter().zip(&report.beats) {
+        let predicted = fw.classify_window(&beat.samples).expect("classify");
+        match matching.matched_annotation[*peak_index].map(|a| record.annotations[a].class) {
+            Some(heartbeat_rp::hbc_ecg::beat::BeatClass::Normal) => {
+                normals += 1;
+                if predicted == heartbeat_rp::hbc_ecg::beat::BeatClass::Normal {
+                    discarded += 1;
+                }
+            }
+            Some(t) if t.is_abnormal() => {
+                abnormals += 1;
+                if predicted.is_abnormal() {
+                    recognised += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(normals > 0 && abnormals > 0, "both classes represented");
+    let ndr = discarded as f64 / normals as f64;
+    let arr = recognised as f64 / abnormals as f64;
+    assert_eq!(report.ndr(), ndr, "NDR must be bit-identical");
+    assert_eq!(report.arr(), arr, "ARR must be bit-identical");
+}
+
+/// Scratch-carried state never leaks across records: interleaving records of
+/// different lengths and sampling rates through one scratch pair reproduces
+/// fresh-scratch runs exactly.
+#[test]
+fn scratch_reuse_across_heterogeneous_records_is_transparent() {
+    let fw = firmware();
+    let mut gen = SyntheticEcg::with_seed(123);
+    let records = [
+        gen.record(1, &gen.clone().rhythm(40, 0.1, 0.1), 1)
+            .expect("record"),
+        gen.record(2, &gen.clone().rhythm(25, 0.2, 0.05), 3)
+            .expect("record"),
+        gen.record(3, &gen.clone().rhythm(55, 0.05, 0.15), 2)
+            .expect("record"),
+    ];
+    let mut frontend = FrontendScratch::default();
+    let mut beat_scratch = BeatScratch::default();
+    for _round in 0..2 {
+        for record in &records {
+            let reused = fw
+                .process_record_with(record, &mut frontend, &mut beat_scratch)
+                .expect("reused-scratch run");
+            let fresh = fw.process_record(record).expect("fresh run");
+            assert_eq!(reused, fresh, "record {}", record.id);
+        }
+    }
+}
