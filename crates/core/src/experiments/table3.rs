@@ -15,7 +15,9 @@
 //! test split of the configured dataset.
 
 use hbc_dsp::MorphologicalFilter;
-use hbc_embedded::cycles::{morphology_model_speedup, CycleModel, Workload};
+use hbc_embedded::cycles::{
+    delineation_model_speedup, morphology_model_speedup, CycleModel, Workload,
+};
 use hbc_embedded::memory::MemoryModel;
 use hbc_embedded::platform::IcyHeartPlatform;
 
@@ -53,6 +55,13 @@ pub struct Table3Report {
     /// firmware loop would charge). Duty cycles above already reflect the
     /// deque cost.
     pub morphology_model_speedup: f64,
+    /// Cost-model delta of the MMD delineation stage: how many times cheaper
+    /// the wedge-kernel charge is than the naive per-output window rescan
+    /// the model used before. Duty cycles above already reflect the wedge
+    /// cost, which is why the modelled run-time reduction sits below the
+    /// paper's 63 % (the always-on delineator got cheaper in absolute
+    /// terms, shrinking the relative benefit of gating it).
+    pub delineation_model_speedup: f64,
 }
 
 impl std::fmt::Display for Table3Report {
@@ -85,6 +94,13 @@ impl std::fmt::Display for Table3Report {
             "morphology charged at the O(n) deque-kernel cost ({:.0}x below the naive window \
              scan; filtering duty cycles shrink accordingly vs the paper's firmware)",
             self.morphology_model_speedup
+        )?;
+        writeln!(
+            f,
+            "MMD delineation charged at the wedge-kernel cost ({:.1}x below the naive rescan; \
+             the always-on delineator gets cheaper, so the modelled gating benefit sits below \
+             the paper's 63 %)",
+            self.delineation_model_speedup
         )?;
         Ok(())
     }
@@ -149,6 +165,11 @@ pub fn table3_runtime(config: &ExperimentConfig) -> Result<Table3Report> {
         memory_overhead_kib: s3_mem.total_kib() - s2_mem.total_kib(),
         morphology_model_speedup: morphology_model_speedup(
             &MorphologicalFilter::for_sampling_rate(workload.fs),
+            &platform,
+        ),
+        delineation_model_speedup: delineation_model_speedup(
+            workload.delineation_window,
+            &hbc_embedded::cycles::delineation_scales(workload.fs),
             &platform,
         ),
     })
@@ -227,9 +248,18 @@ mod tests {
             "missing morphology model callout:\n{text}"
         );
         assert!(
+            text.contains("wedge-kernel cost"),
+            "missing delineation model callout:\n{text}"
+        );
+        assert!(
             r.morphology_model_speedup > 10.0,
             "deque-vs-naive model delta {} should be an order of magnitude",
             r.morphology_model_speedup
+        );
+        assert!(
+            r.delineation_model_speedup > 3.0,
+            "wedge-vs-naive delineation delta {} should be substantial",
+            r.delineation_model_speedup
         );
     }
 }

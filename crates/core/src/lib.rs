@@ -57,7 +57,7 @@ pub mod stream;
 pub use config::{ExperimentConfig, Scale};
 pub use engine::{BeatEvaluator, Engine, EngineConfig, MultiRecordReport};
 pub use pipeline::{TrainedSystem, WbsnPipeline, WbsnScratch};
-pub use stream::{SessionId, StreamHub};
+pub use stream::{SessionId, SessionReport, StreamHub};
 
 // Re-export the substrate crates so downstream users need a single
 // dependency.

@@ -28,6 +28,12 @@ use hbc_par::Par;
 use crate::{CoreError, Result};
 
 /// Handle of one patient session inside a [`StreamHub`].
+///
+/// Slots freed by [`StreamHub::close_session`] are reused by later
+/// [`StreamHub::add_patient`] calls, so a handle is only meaningful until its
+/// session is closed — a stale handle afterwards either errors (slot still
+/// free) or aliases the new occupant. Serving layers that need to detect
+/// stale handles (e.g. the network gateway) keep their own wire-level ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SessionId(usize);
 
@@ -35,6 +41,32 @@ impl SessionId {
     /// Position of the session in the hub (also its merge order).
     pub fn index(&self) -> usize {
         self.0
+    }
+}
+
+/// Everything a closed session leaves behind: identity, the complete outcome
+/// stream and the session counters. Produced by [`StreamHub::close_session`];
+/// figures of merit become available once ground truth is supplied to
+/// [`SessionReport::labelled`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Patient identifier the session was registered with.
+    pub patient_id: u32,
+    /// Every beat outcome the session emitted, in temporal order.
+    pub outcomes: Vec<BeatOutcome>,
+    /// Raw samples the session ingested.
+    pub samples_pushed: usize,
+    /// Beats forwarded to the delineation stage.
+    pub forwarded_beats: usize,
+}
+
+impl SessionReport {
+    /// Labels the session's beats against reference annotations (two-pointer
+    /// position matching within `tolerance` samples, unmatched beats ignored
+    /// — the same convention as [`StreamHub::session_report`]) and returns
+    /// the figures of merit.
+    pub fn labelled(&self, annotations: &[Annotation], tolerance: usize) -> EvaluationReport {
+        report_for(&self.outcomes, annotations, tolerance)
     }
 }
 
@@ -66,7 +98,11 @@ pub struct StreamHub<'fw> {
     firmware: &'fw WbsnFirmware,
     fs: f64,
     par: Par,
-    sessions: Vec<Mutex<PatientStream<'fw>>>,
+    /// Session slots. A closed session leaves a `None` hole whose index is
+    /// queued on the free list and handed to the next [`Self::add_patient`].
+    sessions: Vec<Mutex<Option<PatientStream<'fw>>>>,
+    /// Indices of free slots, reused LIFO.
+    free: Vec<usize>,
     /// Session-setup working sets: conditioning-chain scratch + filtered
     /// buffer pairs, pooled so concurrent `calibrate_thresholds` calls
     /// (calibration takes `&self`) each pop one, compute unlocked, and push
@@ -109,13 +145,20 @@ impl<'fw> StreamHub<'fw> {
             fs,
             par: Par::with_threads(threads),
             sessions: Vec::new(),
+            free: Vec::new(),
             calibration: Mutex::new(Vec::new()),
         }
     }
 
-    /// Number of registered sessions.
+    /// Number of session slots (active sessions plus reusable holes left by
+    /// closed ones) — the upper bound a caller may have handles for.
     pub fn num_sessions(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Number of sessions currently live (slots not yet closed).
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.len() - self.free.len()
     }
 
     /// Derives per-patient detection thresholds from a raw calibration
@@ -149,21 +192,61 @@ impl<'fw> StreamHub<'fw> {
     }
 
     /// Registers a new patient session with fixed detection thresholds,
-    /// returning its handle. Session order is merge order.
+    /// returning its handle. Slots freed by [`Self::close_session`] are
+    /// reused (most recently freed first); otherwise a new slot is appended.
+    /// Slot order is merge order.
     pub fn add_patient(&mut self, patient_id: u32, thresholds: PeakThresholds) -> SessionId {
-        let id = SessionId(self.sessions.len());
-        self.sessions.push(Mutex::new(PatientStream {
+        let session = PatientStream {
             patient_id,
             stream: StreamingFirmware::new(self.firmware, self.fs, thresholds),
             outcomes: Vec::new(),
-        }));
-        id
+        };
+        match self.free.pop() {
+            Some(index) => {
+                *self.sessions[index].lock().expect("session poisoned") = Some(session);
+                SessionId(index)
+            }
+            None => {
+                self.sessions.push(Mutex::new(Some(session)));
+                SessionId(self.sessions.len() - 1)
+            }
+        }
     }
 
-    fn session(&self, id: SessionId) -> Result<&Mutex<PatientStream<'fw>>> {
+    /// Closes one session: its stream is finished (borders drained, all
+    /// remaining beats emitted), the complete outcome history is returned as
+    /// a [`SessionReport`], and the slot is freed for reuse by the next
+    /// [`Self::add_patient`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for an unknown or already-closed
+    /// session.
+    pub fn close_session(&mut self, id: SessionId) -> Result<SessionReport> {
+        let mut slot = self.session(id)?.lock().expect("session poisoned");
+        let mut session = slot
+            .take()
+            .ok_or_else(|| CoreError::Config(format!("session #{} already closed", id.0)))?;
+        drop(slot);
+        session.stream.finish();
+        session.drain();
+        self.free.push(id.0);
+        Ok(SessionReport {
+            patient_id: session.patient_id,
+            samples_pushed: session.stream.samples_pushed(),
+            forwarded_beats: session.stream.forwarded_beats(),
+            outcomes: session.outcomes,
+        })
+    }
+
+    fn session(&self, id: SessionId) -> Result<&Mutex<Option<PatientStream<'fw>>>> {
         self.sessions
             .get(id.0)
             .ok_or_else(|| CoreError::Config(format!("unknown session #{}", id.0)))
+    }
+
+    fn closed(id: SessionId) -> CoreError {
+        CoreError::Config(format!("session #{} is closed", id.0))
     }
 
     /// Ingests one batch of chunks — at most one chunk per session — pushing
@@ -175,8 +258,8 @@ impl<'fw> StreamHub<'fw> {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Config`] for an unknown session or a duplicated
-    /// session within the batch.
+    /// Returns [`CoreError::Config`] for an unknown or closed session or a
+    /// duplicated session within the batch.
     pub fn ingest(&self, feeds: &[(SessionId, &[f64])]) -> Result<()> {
         let mut seen = vec![false; self.sessions.len()];
         for (id, _) in feeds {
@@ -189,23 +272,36 @@ impl<'fw> StreamHub<'fw> {
                     id.0
                 )));
             }
+            if self
+                .session(*id)?
+                .lock()
+                .expect("session poisoned")
+                .is_none()
+            {
+                return Err(Self::closed(*id));
+            }
         }
         self.par.map(feeds, |&(id, chunk)| {
-            let mut session = self.sessions[id.0].lock().expect("session poisoned");
+            let mut slot = self.sessions[id.0].lock().expect("session poisoned");
+            // Checked above; `ingest` takes `&self` and closing needs
+            // `&mut self`, so the slot cannot vanish during the sweep.
+            let session = slot.as_mut().expect("session closed mid-ingest");
             session.stream.push_chunk(chunk);
             session.drain();
         });
         Ok(())
     }
 
-    /// Finishes every session in parallel: borders are drained and all
-    /// remaining beats emitted. Idempotent.
+    /// Finishes every live session in parallel: borders are drained and all
+    /// remaining beats emitted. Idempotent; closed slots are skipped.
     pub fn finish(&self) {
         let ids: Vec<usize> = (0..self.sessions.len()).collect();
         self.par.map(&ids, |&i| {
-            let mut session = self.sessions[i].lock().expect("session poisoned");
-            session.stream.finish();
-            session.drain();
+            let mut slot = self.sessions[i].lock().expect("session poisoned");
+            if let Some(session) = slot.as_mut() {
+                session.stream.finish();
+                session.drain();
+            }
         });
     }
 
@@ -213,34 +309,44 @@ impl<'fw> StreamHub<'fw> {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Config`] for an unknown session.
+    /// Returns [`CoreError::Config`] for an unknown or closed session.
     pub fn patient_id(&self, id: SessionId) -> Result<u32> {
-        Ok(self
-            .session(id)?
-            .lock()
-            .expect("session poisoned")
-            .patient_id)
+        let slot = self.session(id)?.lock().expect("session poisoned");
+        Ok(slot.as_ref().ok_or_else(|| Self::closed(id))?.patient_id)
     }
 
     /// Copy of the outcomes a session has emitted so far.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Config`] for an unknown session.
+    /// Returns [`CoreError::Config`] for an unknown or closed session.
     pub fn outcomes(&self, id: SessionId) -> Result<Vec<BeatOutcome>> {
-        Ok(self
-            .session(id)?
-            .lock()
-            .expect("session poisoned")
-            .outcomes
-            .clone())
+        self.outcomes_since(id, 0)
     }
 
-    /// Total beats emitted across all sessions so far.
+    /// Copy of the outcomes a session has emitted from index `from` onwards —
+    /// the incremental form serving layers poll between ingest batches (each
+    /// call clones only the tail the caller has not seen yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for an unknown or closed session.
+    pub fn outcomes_since(&self, id: SessionId, from: usize) -> Result<Vec<BeatOutcome>> {
+        let slot = self.session(id)?.lock().expect("session poisoned");
+        let session = slot.as_ref().ok_or_else(|| Self::closed(id))?;
+        Ok(session.outcomes[from.min(session.outcomes.len())..].to_vec())
+    }
+
+    /// Total beats emitted across all live sessions so far.
     pub fn total_beats(&self) -> usize {
         self.sessions
             .iter()
-            .map(|s| s.lock().expect("session poisoned").outcomes.len())
+            .map(|s| {
+                s.lock()
+                    .expect("session poisoned")
+                    .as_ref()
+                    .map_or(0, |session| session.outcomes.len())
+            })
             .sum()
     }
 
@@ -251,14 +357,15 @@ impl<'fw> StreamHub<'fw> {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Config`] for an unknown session.
+    /// Returns [`CoreError::Config`] for an unknown or closed session.
     pub fn session_report(
         &self,
         id: SessionId,
         annotations: &[Annotation],
         tolerance: usize,
     ) -> Result<EvaluationReport> {
-        let session = self.session(id)?.lock().expect("session poisoned");
+        let slot = self.session(id)?.lock().expect("session poisoned");
+        let session = slot.as_ref().ok_or_else(|| Self::closed(id))?;
         Ok(report_for(&session.outcomes, annotations, tolerance))
     }
 
@@ -268,17 +375,25 @@ impl<'fw> StreamHub<'fw> {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Config`] for an unknown session.
+    /// Returns [`CoreError::Config`] for an unknown or closed session.
     pub fn merged_report(
         &self,
         truths: &[(SessionId, &[Annotation])],
         tolerance: usize,
     ) -> Result<EvaluationReport> {
         for (id, _) in truths {
-            self.session(*id)?;
+            if self
+                .session(*id)?
+                .lock()
+                .expect("session poisoned")
+                .is_none()
+            {
+                return Err(Self::closed(*id));
+            }
         }
         let reports = self.par.map(truths, |&(id, annotations)| {
-            let session = self.sessions[id.0].lock().expect("session poisoned");
+            let slot = self.sessions[id.0].lock().expect("session poisoned");
+            let session = slot.as_ref().expect("session closed mid-report");
             report_for(&session.outcomes, annotations, tolerance)
         });
         let mut merged = EvaluationReport::new();
@@ -407,6 +522,63 @@ mod tests {
             assert_eq!(hub.patient_id(ids[0]).expect("known"), records[0].id);
             assert!(!hub.outcomes(ids[0]).expect("known").is_empty());
         }
+    }
+
+    #[test]
+    fn close_session_returns_the_full_history_and_frees_the_slot() {
+        let fw = firmware();
+        let record = patient_record(300, 40);
+        let tolerance = (0.06 * record.fs) as usize;
+        let mut hub = StreamHub::with_threads(&fw, record.fs, NonZeroUsize::new(2));
+        let lead = record.lead(Lead(0)).expect("lead");
+        let thresholds = hub.calibrate_thresholds(lead).expect("calibrate");
+        let keep = hub.add_patient(1, thresholds.clone());
+        let id = hub.add_patient(record.id, thresholds.clone());
+        assert_eq!(hub.active_sessions(), 2);
+
+        // Stream in chunks, draining incrementally like the gateway does.
+        let mut seen = 0usize;
+        for chunk in lead.chunks(997) {
+            hub.ingest(&[(id, chunk)]).expect("ingest");
+            seen += hub.outcomes_since(id, seen).expect("tail").len();
+        }
+        let report = hub.close_session(id).expect("close");
+        assert_eq!(report.patient_id, record.id);
+        assert_eq!(report.samples_pushed, lead.len());
+        assert!(report.outcomes.len() >= seen);
+        assert_eq!(
+            report.forwarded_beats,
+            report.outcomes.iter().filter(|o| o.delineated).count()
+        );
+
+        // The closed session's history equals the batch-labelled reference.
+        let batch = fw.process_record(&record).expect("batch");
+        let reference = report_for(&batch.beats, &record.annotations, tolerance);
+        assert_eq!(report.labelled(&record.annotations, tolerance), reference);
+
+        // The slot is freed and every accessor now rejects the stale handle.
+        assert_eq!(hub.active_sessions(), 1);
+        assert_eq!(hub.num_sessions(), 2);
+        assert!(hub.ingest(&[(id, &lead[..8])]).is_err());
+        assert!(hub.outcomes(id).is_err());
+        assert!(hub.outcomes_since(id, 0).is_err());
+        assert!(hub.patient_id(id).is_err());
+        assert!(hub
+            .session_report(id, &record.annotations, tolerance)
+            .is_err());
+        assert!(hub
+            .merged_report(&[(id, &record.annotations)], tolerance)
+            .is_err());
+        assert!(hub.close_session(id).is_err(), "double close must error");
+        hub.finish(); // must skip the hole without panicking
+
+        // Index reuse: the next patient takes the freed slot.
+        let reused = hub.add_patient(9, thresholds);
+        assert_eq!(reused.index(), id.index());
+        assert_eq!(hub.active_sessions(), 2);
+        assert_eq!(hub.patient_id(reused).expect("live"), 9);
+        assert_eq!(hub.patient_id(keep).expect("live"), 1);
+        assert!(hub.outcomes(reused).expect("live").is_empty());
     }
 
     #[test]

@@ -12,8 +12,19 @@
 //! derivative-like operator computable with comparisons only. Wave onsets and
 //! ends appear as MMD maxima surrounding a wave peak; the wave peak itself is
 //! the extremum of the filtered signal between them.
+//!
+//! Like the morphological baseline filter, the per-sample window scans of the
+//! operator are sliding extrema, so [`Delineator::mmd`] runs on the same
+//! monotone-wedge kernel ([`SlidingExtremum`]) as the rest of the front-end:
+//! the trailing maximum is one forward pass with a `s + 1`-sample wedge, the
+//! leading minimum one backward pass, O(n) total and independent of the
+//! scale. The original per-output rescans are kept as
+//! [`Delineator::mmd_naive`] — the equivalence oracle (min/max are pure
+//! comparisons, so the two are *exactly* equal) and the pre-deque reference
+//! of the embedded cycle model.
 
 use crate::filter::moving_average;
+use crate::streaming::{ExtremumKind, SlidingExtremum};
 use crate::{DspError, Result};
 
 /// One fiducial point: a sample index inside the analysed window, or absent
@@ -92,8 +103,40 @@ impl Delineator {
         self.fs
     }
 
-    /// Computes the MMD of `signal` at the given scale.
+    /// Computes the MMD of `signal` at the given scale with the monotone-
+    /// wedge kernel: the trailing maximum `max(x[i−s..=i])` is a forward
+    /// [`SlidingExtremum`] pass over the last `s + 1` samples (the wedge
+    /// warm-up reproduces the left clamping), the leading minimum
+    /// `min(x[i..=i+s])` the same pass over the reversed signal. Two O(n)
+    /// passes regardless of the scale, bit-identical to
+    /// [`Self::mmd_naive`].
     pub fn mmd(signal: &[f64], scale: usize) -> Vec<f64> {
+        let n = signal.len();
+        let mut out = vec![0.0; n];
+        if n == 0 || scale == 0 {
+            return out;
+        }
+        let mut trailing_max = SlidingExtremum::new(ExtremumKind::Max, scale + 1);
+        for (i, &x) in signal.iter().enumerate() {
+            // After this push the wedge covers the last `min(i, s) + 1`
+            // samples: exactly the clamped window `[i − s, i]`.
+            out[i] = trailing_max.push(x);
+        }
+        let mut leading_min = SlidingExtremum::new(ExtremumKind::Min, scale + 1);
+        for (i, &x) in signal.iter().enumerate().rev() {
+            // Walking right-to-left, the trailing window of the reversed
+            // stream is the clamped leading window `[i, i + s]`. Summed in
+            // the oracle's association order, (max + min) − 2x.
+            out[i] = (out[i] + leading_min.push(x)) - 2.0 * x;
+        }
+        out
+    }
+
+    /// The naive per-output window rescan of the MMD operator — O(n·s).
+    /// Kept as the equivalence oracle for [`Self::mmd`] and as the cost the
+    /// embedded cycle model charged before the deque port (see
+    /// `hbc_embedded::cycles::naive_delineation_ops_per_beat_per_lead`).
+    pub fn mmd_naive(signal: &[f64], scale: usize) -> Vec<f64> {
         let n = signal.len();
         let mut out = vec![0.0; n];
         if n == 0 || scale == 0 {
@@ -303,6 +346,46 @@ mod tests {
     fn mmd_of_constant_signal_is_zero() {
         let mmd = Delineator::mmd(&[2.0; 64], 5);
         assert!(mmd.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn deque_mmd_is_bit_identical_to_the_naive_scan() {
+        // Real beat morphology plus adversarial shapes (plateaus for tie
+        // handling, monotone ramps for one-sided wedges), across scales
+        // including degenerate (0), window-sized and over-length ones.
+        let beat = clean_beat(BeatClass::Normal);
+        let mut plateau = vec![0.0; 97];
+        for (i, v) in plateau.iter_mut().enumerate() {
+            *v = [1.0, 1.0, -2.0, 0.5, 0.5, 0.5][i % 6];
+        }
+        let ramp: Vec<f64> = (0..64).map(|i| i as f64 * 0.25 - 4.0).collect();
+        for signal in [beat.samples.as_slice(), &plateau, &ramp, &[], &[3.0]] {
+            for scale in [0usize, 1, 2, 3, 7, 21, 36, 50, 96, 97, 200] {
+                assert_eq!(
+                    Delineator::mmd(signal, scale),
+                    Delineator::mmd_naive(signal, scale),
+                    "n = {}, scale = {scale}",
+                    signal.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_beats_keep_deque_and_naive_mmd_identical() {
+        // Noise exercises tie-free dense orderings; several beats and both
+        // delineation scales of the 360 Hz operating point.
+        let d = Delineator::new(360.0);
+        for seed in 0..4 {
+            let beat = SyntheticEcg::with_seed(seed).beat(BeatClass::PrematureVentricular);
+            for scale in [d.qrs_scale, d.wave_scale] {
+                assert_eq!(
+                    Delineator::mmd(&beat.samples, scale),
+                    Delineator::mmd_naive(&beat.samples, scale),
+                    "seed {seed}, scale {scale}"
+                );
+            }
+        }
     }
 
     #[test]

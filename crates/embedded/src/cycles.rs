@@ -126,22 +126,84 @@ pub fn nfc_ops_per_beat(classifier: &IntegerNfc) -> OperationCounts {
 }
 
 /// Operation mix of the MMD delineation of one beat on one lead
-/// (`window` samples analysed at `scales` morphological scales).
+/// (`window` samples analysed at `scales` morphological scales), charged at
+/// the cost of the **shipped monotone-wedge kernel**
+/// (`hbc_dsp::Delineator::mmd`): two deque passes per scale (trailing max,
+/// leading min) at ~`DEQUE_COMPARISONS_PER_SAMPLE` amortised comparisons per
+/// sample each, *independent of the scale length*, plus the three-term
+/// combine — against a full `s`-sample max and min rescan per output sample
+/// for the naive operator the model charged before (kept as
+/// [`naive_delineation_ops_per_beat_per_lead`]).
 pub fn delineation_ops_per_beat_per_lead(window: usize, scales: &[usize]) -> OperationCounts {
     let window = window as u64;
-    let scale_sum: u64 = scales.iter().map(|&s| s as u64).sum();
+    // One trailing-max and one leading-min wedge pass per scale.
+    let passes = 2 * scales.len() as u64;
+    let compares = hbc_dsp::filter::DEQUE_COMPARISONS_PER_SAMPLE as u64 * passes * window;
     OperationCounts {
-        // MMD: a max over `s` samples and a min over `s` samples per output
-        // sample per scale.
-        compares: 2 * window * scale_sum / scales.len().max(1) as u64 * scales.len() as u64
-            / scales.len().max(1) as u64
-            + 2 * window * scale_sum / scales.len().max(1) as u64,
+        compares,
+        // Each wedge comparison reads one buffered sample.
+        loads: compares,
+        // Wedge push + output write per pass.
+        stores: 2 * passes * window,
+        // The (max + min) − 2·x combine per output sample per scale (the
+        // doubling is a shift/add on the integer core).
         adds: 3 * window * scales.len() as u64,
-        loads: 2 * window * scales.len() as u64 + window,
-        stores: window * scales.len() as u64,
-        branches: window * scales.len() as u64,
+        branches: compares,
         muls: 0,
     }
+}
+
+/// Operation mix of the MMD delineation under the **naive per-output window
+/// rescan** (`hbc_dsp::Delineator::mmd_naive`: a max over `s` samples and a
+/// min over `s` samples per output sample per scale) — the cost the model
+/// charged before the delineator was ported to the wedge kernel, expressed
+/// with the same memory-traffic convention as
+/// [`naive_filtering_ops_per_sample`]: every rescan comparison loads the
+/// sample it compares. Kept as the reference point for the model-delta
+/// callout in the Table III report.
+pub fn naive_delineation_ops_per_beat_per_lead(window: usize, scales: &[usize]) -> OperationCounts {
+    let window = window as u64;
+    let scale_sum: u64 = scales.iter().map(|&s| s as u64).sum();
+    // A `s + 1`-sample max and a `s + 1`-sample min rescan per output
+    // sample per scale (clamped windows make the borders slightly cheaper;
+    // charged at the interior cost like the naive morphology model).
+    let compares = 2 * window * scale_sum;
+    OperationCounts {
+        compares,
+        loads: compares,
+        adds: 3 * window * scales.len() as u64,
+        stores: window * scales.len() as u64,
+        branches: compares / 4,
+        muls: 0,
+    }
+}
+
+/// How many times cheaper the wedge MMD delineation is charged than the
+/// naive window rescan on `platform`, per analysed beat — the second model
+/// delta the Table III report calls out (alongside
+/// [`morphology_model_speedup`]).
+pub fn delineation_model_speedup(
+    window: usize,
+    scales: &[usize],
+    platform: &IcyHeartPlatform,
+) -> f64 {
+    let naive = platform.cycles(&naive_delineation_ops_per_beat_per_lead(window, scales));
+    let deque = platform.cycles(&delineation_ops_per_beat_per_lead(window, scales));
+    if deque == 0 {
+        return 1.0;
+    }
+    naive as f64 / deque as f64
+}
+
+/// The three MMD analysis scales (in samples) the delineation stage runs at
+/// a given sampling rate — 60, 100 and 140 ms, as in the reference
+/// delineator. Shared by the duty-cycle model and the Table III report.
+pub fn delineation_scales(fs: f64) -> [usize; 3] {
+    [
+        (0.06 * fs) as usize,
+        (0.10 * fs) as usize,
+        (0.14 * fs) as usize,
+    ]
 }
 
 /// Parameters describing the workload the duty-cycle model is evaluated on.
@@ -242,11 +304,7 @@ impl CycleModel {
         let filtering = self.platform.cycles(&filtering_ops_per_sample(&filter)) as f64
             * workload.fs
             * workload.delineation_leads as f64;
-        let scales = [
-            (0.06 * workload.fs) as usize,
-            (0.10 * workload.fs) as usize,
-            (0.14 * workload.fs) as usize,
-        ];
+        let scales = delineation_scales(workload.fs);
         let per_beat_per_lead = self.platform.cycles(&delineation_ops_per_beat_per_lead(
             workload.delineation_window,
             &scales,
@@ -375,9 +433,40 @@ mod tests {
         assert!(report.subsystem2 > report.subsystem1);
         assert!(report.subsystem3 < report.subsystem2);
         let reduction = report.runtime_reduction();
+        // The paper reports 63 % against naive kernels. With both morphology
+        // and MMD charged at the wedge-kernel cost, the always-on delineator
+        // is far cheaper in absolute terms, so the *relative* benefit of
+        // gating it shrinks in the model (~35 % here) — the gating ordering
+        // (asserted above) is what the paper's conclusion rests on, and the
+        // Table III report calls out both model deltas explicitly.
         assert!(
-            reduction > 0.4 && reduction < 0.8,
-            "run-time reduction {reduction} should be in the band around the paper's 63 %"
+            reduction > 0.25 && reduction < 0.6,
+            "run-time reduction {reduction} outside the wedge-charged band"
+        );
+    }
+
+    #[test]
+    fn wedge_delineation_is_charged_far_below_the_naive_scan() {
+        // The second model delta the Table III report calls out: at 360 Hz
+        // the naive MMD rescans ~2·s samples per output sample per scale
+        // while the wedge charge is scale-independent.
+        let platform = IcyHeartPlatform::paper();
+        let scales = [21, 36, 50];
+        let speedup = delineation_model_speedup(200, &scales, &platform);
+        assert!(
+            speedup > 3.0,
+            "wedge-vs-naive delineation model speedup {speedup} should be substantial"
+        );
+        // The wedge charge does not grow with the scale lengths; the naive
+        // one does.
+        let coarse = [42, 72, 100];
+        assert_eq!(
+            platform.cycles(&delineation_ops_per_beat_per_lead(200, &scales)),
+            platform.cycles(&delineation_ops_per_beat_per_lead(200, &coarse))
+        );
+        assert!(
+            platform.cycles(&naive_delineation_ops_per_beat_per_lead(200, &coarse))
+                > platform.cycles(&naive_delineation_ops_per_beat_per_lead(200, &scales))
         );
     }
 

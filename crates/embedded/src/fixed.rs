@@ -53,17 +53,35 @@ impl AdcModel {
         out
     }
 
+    /// Quantises one millivolt sample to its ADC code — **the** transfer
+    /// function of this front-end (round-to-nearest, saturating at the
+    /// rails). Every quantisation path, including the wire protocol of
+    /// `hbc-net`, routes through here so the firmware and the network can
+    /// never disagree bit-wise.
+    #[inline]
+    pub fn quantize_sample(&self, mv: f64) -> i32 {
+        let half = (1i64 << (self.bits - 1)) as f64;
+        (mv / self.full_scale_mv * half)
+            .round()
+            .clamp(-half, half - 1.0) as i32
+    }
+
+    /// Millivolt value of one ADC code — the exact inverse step of
+    /// [`Self::quantize_sample`] in `f64` (codes are small integers, the
+    /// scale a power-of-two quotient), so quantise → dequantise → quantise
+    /// is the identity on codes.
+    #[inline]
+    pub fn dequantize_sample(&self, code: i32) -> f64 {
+        let half = (1i64 << (self.bits - 1)) as f64;
+        f64::from(code) * self.full_scale_mv / half
+    }
+
     /// Allocation-free [`Self::quantize_samples`]: clears `out` and refills it
     /// with one code per sample, reusing the buffer's capacity (the per-beat
     /// hot paths call this with a scratch vector).
     pub fn quantize_samples_into(&self, samples: &[f64], out: &mut Vec<i32>) {
-        let half = (1i64 << (self.bits - 1)) as f64;
         out.clear();
-        out.extend(samples.iter().map(|&s| {
-            (s / self.full_scale_mv * half)
-                .round()
-                .clamp(-half, half - 1.0) as i32
-        }));
+        out.extend(samples.iter().map(|&s| self.quantize_sample(s)));
     }
 }
 

@@ -1,0 +1,356 @@
+//! The blocking node-side client: what a WBSN node (or a test harness)
+//! speaks to the gateway.
+//!
+//! [`NodeClient`] multiplexes any number of sessions over one TCP
+//! connection. Sending respects the gateway's credit grants: when a
+//! session's credit is exhausted, [`NodeClient::send_mv`] blocks — reading
+//! and dispatching incoming frames (outcomes, credit, reports) — until the
+//! gateway returns credit. That is the sender half of the flow-control
+//! contract: a slow gateway (or a gateway back-pressured by this client not
+//! reading fast enough) stalls the sender instead of growing buffers on
+//! either side.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use hbc_embedded::firmware::BeatOutcome;
+
+use crate::proto::{
+    quantize_mv_into, Frame, FrameDecoder, WireReport, MAX_SAMPLES_PER_FRAME, PROTOCOL_VERSION,
+};
+use crate::NetError;
+
+/// Client-side view of one open session.
+#[derive(Debug, Default)]
+struct ClientSession {
+    credit: usize,
+    next_seq: u32,
+    outcomes: Vec<BeatOutcome>,
+    report: Option<WireReport>,
+}
+
+/// Summary returned by [`NodeClient::close_session`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSummary {
+    /// Every beat outcome the gateway streamed back, in temporal order.
+    pub outcomes: Vec<BeatOutcome>,
+    /// The gateway's final counters for the session.
+    pub report: WireReport,
+}
+
+/// Blocking client for the gateway protocol.
+#[derive(Debug)]
+pub struct NodeClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    sessions: HashMap<u32, ClientSession>,
+    /// Session ids acknowledged but not yet claimed by `open_session`.
+    opened: Vec<u32>,
+    /// Fatal [`Frame::Deny`] received from the gateway, if any.
+    denied: Option<String>,
+}
+
+impl NodeClient {
+    /// Connects and performs the hello handshake.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, protocol errors or a version mismatch.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = NodeClient {
+            stream,
+            decoder: FrameDecoder::new(),
+            sessions: HashMap::new(),
+            opened: Vec::new(),
+            denied: None,
+        };
+        client.send_frame(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        let hello = client.wait_frame(|f| matches!(f, Frame::Hello { .. }))?;
+        match hello {
+            Frame::Hello { version } if version == PROTOCOL_VERSION => Ok(client),
+            Frame::Hello { version } => Err(NetError::State(format!(
+                "gateway speaks protocol version {version}, this client {PROTOCOL_VERSION}"
+            ))),
+            _ => unreachable!("wait_frame matched Hello"),
+        }
+    }
+
+    /// Opens a session and blocks until the gateway acknowledges it,
+    /// returning the wire session id.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket/protocol errors or a [`Frame::Deny`].
+    pub fn open_session(
+        &mut self,
+        patient_id: u32,
+        fs: f64,
+        calib_len: u32,
+    ) -> Result<u32, NetError> {
+        self.send_frame(&Frame::OpenSession {
+            patient_id,
+            fs_millihertz: (fs * 1000.0).round() as u32,
+            calib_len,
+        })?;
+        while self.opened.is_empty() {
+            self.read_and_dispatch()?;
+        }
+        Ok(self.opened.remove(0))
+    }
+
+    /// Remaining credit of a session, in samples.
+    pub fn credit(&self, session: u32) -> usize {
+        self.sessions.get(&session).map_or(0, |s| s.credit)
+    }
+
+    /// Outcomes received so far for a session (kept until the session is
+    /// closed).
+    pub fn outcomes(&self, session: u32) -> &[BeatOutcome] {
+        self.sessions
+            .get(&session)
+            .map_or(&[], |s| s.outcomes.as_slice())
+    }
+
+    /// Drains whatever frames the gateway has already sent, without
+    /// blocking. Useful between sends to keep outcome buffers fresh.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket/protocol errors or a [`Frame::Deny`].
+    pub fn pump(&mut self) -> Result<(), NetError> {
+        self.stream.set_nonblocking(true)?;
+        let result = self.read_available();
+        self.stream.set_nonblocking(false)?;
+        result?;
+        self.dispatch_buffered()
+    }
+
+    /// Streams millivolt samples into a session, quantising to wire ADC
+    /// codes and splitting into protocol-sized frames. Blocks while the
+    /// session is out of credit.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket/protocol errors or a [`Frame::Deny`].
+    pub fn send_mv(&mut self, session: u32, samples_mv: &[f64]) -> Result<(), NetError> {
+        let mut codes = Vec::new();
+        quantize_mv_into(samples_mv, &mut codes);
+        self.send_adc(session, &codes)
+    }
+
+    /// Streams raw ADC codes into a session (see [`Self::send_mv`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket/protocol errors or a [`Frame::Deny`].
+    pub fn send_adc(&mut self, session: u32, codes: &[i16]) -> Result<(), NetError> {
+        let mut rest = codes;
+        while !rest.is_empty() {
+            self.pump()?;
+            let s = self.session(session)?;
+            if s.report.is_some() {
+                // The gateway ended the session (eviction) while samples
+                // were still queued here: no more credit will ever arrive.
+                return Err(NetError::State(format!(
+                    "session {session} was ended by the gateway mid-send \
+                     (final report received; drain it with wait_session_end)"
+                )));
+            }
+            let credit = s.credit;
+            if credit == 0 {
+                // Out of credit: block until the gateway grants more.
+                self.read_and_dispatch()?;
+                continue;
+            }
+            let n = rest.len().min(credit).min(MAX_SAMPLES_PER_FRAME);
+            let (chunk, tail) = rest.split_at(n);
+            let s = self.session_mut(session)?;
+            let seq = s.next_seq;
+            s.next_seq += 1;
+            s.credit -= n;
+            self.send_frame(&Frame::Samples {
+                session,
+                seq,
+                samples: chunk.to_vec(),
+            })?;
+            rest = tail;
+        }
+        Ok(())
+    }
+
+    /// Closes a session and blocks for the gateway's final
+    /// [`Frame::Report`], returning every outcome received plus the report.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket/protocol errors or a [`Frame::Deny`].
+    pub fn close_session(&mut self, session: u32) -> Result<SessionSummary, NetError> {
+        self.session(session)?;
+        self.send_frame(&Frame::CloseSession { session })?;
+        while self.session(session)?.report.is_none() {
+            self.read_and_dispatch()?;
+        }
+        let s = self.sessions.remove(&session).expect("checked above");
+        Ok(SessionSummary {
+            outcomes: s.outcomes,
+            report: s.report.expect("loop above"),
+        })
+    }
+
+    /// Waits for a session to end without asking for it — e.g. for the
+    /// gateway's idle eviction — returning the final summary.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket/protocol errors or a [`Frame::Deny`].
+    pub fn wait_session_end(&mut self, session: u32) -> Result<SessionSummary, NetError> {
+        while self.session(session)?.report.is_none() {
+            self.read_and_dispatch()?;
+        }
+        let s = self.sessions.remove(&session).expect("checked above");
+        Ok(SessionSummary {
+            outcomes: s.outcomes,
+            report: s.report.expect("loop above"),
+        })
+    }
+
+    fn session(&self, session: u32) -> Result<&ClientSession, NetError> {
+        self.sessions
+            .get(&session)
+            .ok_or_else(|| NetError::State(format!("unknown session {session}")))
+    }
+
+    fn session_mut(&mut self, session: u32) -> Result<&mut ClientSession, NetError> {
+        self.sessions
+            .get_mut(&session)
+            .ok_or_else(|| NetError::State(format!("unknown session {session}")))
+    }
+
+    fn send_frame(&mut self, frame: &Frame) -> Result<(), NetError> {
+        let bytes = frame.encode();
+        self.stream.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Blocking read of at least one byte, then dispatch of every complete
+    /// frame.
+    fn read_and_dispatch(&mut self) -> Result<(), NetError> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(self
+                        .denied
+                        .take()
+                        .map_or(NetError::Closed, NetError::Denied))
+                }
+                Ok(n) => {
+                    self.decoder.feed(&buf[..n]);
+                    break;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.dispatch_buffered()
+    }
+
+    /// Nonblocking read of everything currently available.
+    fn read_available(&mut self) -> Result<(), NetError> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(self
+                        .denied
+                        .take()
+                        .map_or(NetError::Closed, NetError::Denied))
+                }
+                Ok(n) => self.decoder.feed(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn dispatch_buffered(&mut self) -> Result<(), NetError> {
+        while let Some(frame) = self.decoder.next_frame()? {
+            self.dispatch(frame)?;
+        }
+        Ok(())
+    }
+
+    fn wait_frame(&mut self, want: impl Fn(&Frame) -> bool) -> Result<Frame, NetError> {
+        loop {
+            while let Some(frame) = self.decoder.next_frame()? {
+                if want(&frame) {
+                    return Ok(frame);
+                }
+                self.dispatch(frame)?;
+            }
+            let mut buf = [0u8; 16 * 1024];
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(self
+                        .denied
+                        .take()
+                        .map_or(NetError::Closed, NetError::Denied))
+                }
+                Ok(n) => self.decoder.feed(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn dispatch(&mut self, frame: Frame) -> Result<(), NetError> {
+        match frame {
+            Frame::SessionOpened { session, credit } => {
+                self.sessions.insert(
+                    session,
+                    ClientSession {
+                        credit: credit as usize,
+                        ..ClientSession::default()
+                    },
+                );
+                self.opened.push(session);
+            }
+            Frame::Credit { session, grant } => {
+                if let Some(s) = self.sessions.get_mut(&session) {
+                    s.credit += grant as usize;
+                }
+            }
+            Frame::Outcomes { session, outcomes } => {
+                if let Some(s) = self.sessions.get_mut(&session) {
+                    for o in outcomes {
+                        s.outcomes.push(o.to_outcome().ok_or(NetError::State(
+                            "gateway sent an out-of-protocol class code".into(),
+                        ))?);
+                    }
+                }
+            }
+            Frame::Report { session, report } => {
+                if let Some(s) = self.sessions.get_mut(&session) {
+                    s.report = Some(report);
+                }
+            }
+            Frame::Deny { message } => {
+                self.denied = Some(message.clone());
+                return Err(NetError::Denied(message));
+            }
+            Frame::Hello { .. } => {
+                return Err(NetError::State("unexpected Hello after handshake".into()))
+            }
+            Frame::OpenSession { .. } | Frame::Samples { .. } | Frame::CloseSession { .. } => {
+                return Err(NetError::State("gateway sent a client-only frame".into()))
+            }
+        }
+        Ok(())
+    }
+}

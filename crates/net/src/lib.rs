@@ -1,0 +1,109 @@
+//! # hbc-net — the TCP ingestion gateway
+//!
+//! The streaming subsystem of `hbc-core` (the [`StreamHub`]) multiplexes
+//! per-patient classification sessions in-process; this crate makes it
+//! reachable over real sockets, turning the reproduction into a
+//! network-facing monitoring service, with **zero dependencies beyond
+//! `std`** (nonblocking `TcpListener`/`TcpStream`), consistent with the
+//! offline policy of `crates/compat`. Four layers:
+//!
+//! * [`proto`] — the versioned binary **wire protocol**: length-prefixed
+//!   frames with a CRC-32 trailer and a pure incremental [`FrameDecoder`],
+//!   testable without sockets;
+//! * [`session`] — the **session manager** driving the full lifecycle
+//!   (handshake → threshold calibration from the first `calib_len` samples
+//!   → streaming → drain → final report), including idle eviction;
+//! * [`server`] — the single-threaded nonblocking **reactor**
+//!   ([`Gateway`]): polls sockets, enforces **credit-based flow control**
+//!   (bounded per-session sample budget; slow consumers stall senders
+//!   instead of ballooning memory) and batches ready chunks into
+//!   [`StreamHub::ingest`] so decode and classification fan out over
+//!   `hbc-par`;
+//! * [`client`] — the blocking [`NodeClient`] used by tests and the
+//!   `telemetry_gateway` example.
+//!
+//! Per-beat outcomes received over the socket are **bit-identical** to the
+//! batch `process_record` pipeline for any packetization — the network
+//! boundary extends the chunk-invariance guarantee of the streaming
+//! subsystem (`tests/net_loopback.rs` proves it end to end).
+//!
+//! [`StreamHub`]: hbc_core::StreamHub
+//! [`StreamHub::ingest`]: hbc_core::StreamHub::ingest
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::{NodeClient, SessionSummary};
+pub use proto::{Frame, FrameDecoder, ProtoError, WireOutcome, WireReport, PROTOCOL_VERSION};
+pub use server::{Gateway, GatewayConfig, GatewayStats, OverflowPolicy};
+
+/// Errors surfaced by the networking crate.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport error.
+    Io(std::io::Error),
+    /// Wire-protocol violation.
+    Proto(ProtoError),
+    /// The gateway refused the connection or a request.
+    Denied(String),
+    /// The peer closed the connection.
+    Closed,
+    /// Local misuse (unknown session, handshake ordering, …).
+    State(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Proto(e) => write!(f, "protocol error: {e}"),
+            NetError::Denied(m) => write!(f, "denied by the gateway: {m}"),
+            NetError::Closed => write!(f, "connection closed by the peer"),
+            NetError::State(m) => write!(f, "invalid state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Proto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<ProtoError> for NetError {
+    fn from(e: ProtoError) -> Self {
+        NetError::Proto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format_clearly() {
+        assert!(NetError::Closed.to_string().contains("closed"));
+        assert!(NetError::Denied("busy".into()).to_string().contains("busy"));
+        assert!(NetError::State("nope".into()).to_string().contains("nope"));
+        let e = NetError::from(ProtoError::UnknownTag(9));
+        assert!(e.to_string().contains("tag"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = NetError::from(std::io::Error::other("x"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

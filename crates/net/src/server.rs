@@ -1,0 +1,822 @@
+//! The gateway reactor: a single-threaded nonblocking TCP server that
+//! terminates node connections and feeds the [`StreamHub`].
+//!
+//! ## Reactor
+//!
+//! [`Gateway::poll`] runs one sweep: accept pending connections, read every
+//! socket until it would block, decode and handle frames, promote sessions
+//! whose calibration stretch is complete, batch at most one pending chunk
+//! per session into a single [`StreamHub::ingest`] call (so decode and
+//! classification still fan out over `hbc-par`), forward freshly classified
+//! beats, grant credit, evict idle sessions and flush write buffers.
+//! [`Gateway::run`] loops `poll` until a shutdown flag flips, then reports
+//! [`GatewayStats`].
+//!
+//! ## Credit-based flow control
+//!
+//! Every session holds a **credit budget** of `credit_budget` samples — the
+//! most it may have sent but not yet had consumed by the hub. The budget is
+//! granted in full at [`Frame::SessionOpened`]; as the hub consumes buffered
+//! samples the gateway returns [`Frame::Credit`] grants. A compliant sender
+//! therefore stalls when the gateway falls behind instead of ballooning its
+//! buffers; a sender that overruns its credit hits the configurable
+//! [`OverflowPolicy`]. Back-pressure composes through the write side too:
+//! while a connection's outbox exceeds `max_outbox_bytes` (a slow *reader*),
+//! the gateway stops consuming that connection's sessions — so no new
+//! outcomes are produced, no credit is granted, and the sender stalls at its
+//! budget while other sessions keep flowing. Gateway-side memory per session
+//! stays bounded by the budget plus one in-flight chunk.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use hbc_core::StreamHub;
+use hbc_embedded::WbsnFirmware;
+
+use crate::proto::{
+    Frame, FrameDecoder, WireOutcome, WireReport, MAX_SAMPLES_PER_FRAME, PROTOCOL_VERSION,
+};
+use crate::session::{SessionManager, SessionPhase};
+
+/// What the gateway does to a sender that overruns its credit budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Send [`Frame::Deny`] and drop the connection (default: an overrun is
+    /// a protocol violation).
+    Disconnect,
+    /// Accept up to the budget and silently drop the excess samples (the
+    /// session's stream develops a gap; its own results degrade, nobody
+    /// else's do).
+    DropExcess,
+}
+
+/// Tunables of the gateway reactor.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Per-session credit budget in samples: the most a sender may have in
+    /// flight (sent but not yet consumed by the hub).
+    pub credit_budget: usize,
+    /// Write-buffer cap per connection; beyond it the gateway stops
+    /// consuming that connection's sessions (slow-reader back-pressure).
+    pub max_outbox_bytes: usize,
+    /// Sessions without any frame for longer than this are evicted (drained,
+    /// reported, freed).
+    pub idle_timeout: Duration,
+    /// Credit-overrun policy.
+    pub overflow: OverflowPolicy,
+    /// Most samples one session feeds into the hub per reactor sweep; keeps
+    /// single sweeps short so no session can monopolise the reactor.
+    pub max_ingest_per_poll: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            credit_budget: 1 << 16,
+            max_outbox_bytes: 256 * 1024,
+            idle_timeout: Duration::from_secs(30),
+            overflow: OverflowPolicy::Disconnect,
+            max_ingest_per_poll: 8192,
+        }
+    }
+}
+
+/// Counters the reactor maintains; returned by [`Gateway::run`] and readable
+/// any time via [`Gateway::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames decoded from clients.
+    pub frames_in: u64,
+    /// Frames sent to clients.
+    pub frames_out: u64,
+    /// Samples accepted into session buffers.
+    pub samples_in: u64,
+    /// Samples discarded without entering a session buffer: overflow
+    /// truncation under [`OverflowPolicy::DropExcess`], plus stragglers
+    /// racing an asynchronous session end (eviction) under either policy.
+    pub samples_dropped: u64,
+    /// Beat outcomes forwarded to clients.
+    pub beats_out: u64,
+    /// Sessions opened.
+    pub sessions_opened: u64,
+    /// Sessions closed by request.
+    pub sessions_closed: u64,
+    /// Sessions evicted by the idle timeout.
+    pub sessions_evicted: u64,
+    /// Connections denied (handshake, protocol or credit violations).
+    pub denials: u64,
+    /// Largest number of samples ever buffered for a single session — the
+    /// bounded-memory witness: for compliant senders it never exceeds
+    /// [`GatewayConfig::credit_budget`].
+    pub peak_buffered_samples: usize,
+}
+
+struct Connection {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    outbox: Vec<u8>,
+    sent: usize,
+    greeted: bool,
+    /// Outbox still flushing, no further reads; reaped once drained.
+    closing: bool,
+    /// Socket gone; reaped immediately.
+    dead: bool,
+}
+
+impl Connection {
+    fn queued(&self) -> usize {
+        self.outbox.len() - self.sent
+    }
+}
+
+/// The TCP ingestion gateway: owns the listener, the connections and the
+/// [`StreamHub`] every session streams into.
+pub struct Gateway<'fw> {
+    listener: TcpListener,
+    hub: StreamHub<'fw>,
+    fs_millihertz: u32,
+    config: GatewayConfig,
+    conns: Vec<Option<Connection>>,
+    sessions: SessionManager,
+    stats: GatewayStats,
+    /// Reused per-sweep scratch listing the sessions with a staged chunk.
+    staged: Vec<u32>,
+}
+
+impl<'fw> Gateway<'fw> {
+    /// Binds the gateway and prepares a hub serving `firmware` sessions at
+    /// sampling rate `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        firmware: &'fw WbsnFirmware,
+        fs: f64,
+        config: GatewayConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Gateway {
+            listener,
+            hub: StreamHub::new(firmware, fs),
+            fs_millihertz: (fs * 1000.0).round() as u32,
+            config,
+            conns: Vec::new(),
+            sessions: SessionManager::new(),
+            stats: GatewayStats::default(),
+            staged: Vec::new(),
+        })
+    }
+
+    /// The address the gateway listens on (use with port 0 binds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &GatewayStats {
+        &self.stats
+    }
+
+    /// Live wire sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Runs the reactor until `shutdown` flips, then returns the final
+    /// counters. Sleeps briefly on idle sweeps instead of spinning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors; per-connection errors only drop the
+    /// affected connection.
+    pub fn run(mut self, shutdown: &AtomicBool) -> std::io::Result<GatewayStats> {
+        while !shutdown.load(Ordering::Acquire) {
+            if !self.poll()? {
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        }
+        Ok(self.stats)
+    }
+
+    /// One reactor sweep; returns whether any progress was made (bytes
+    /// moved, frames handled, samples ingested).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors.
+    pub fn poll(&mut self) -> std::io::Result<bool> {
+        let mut progress = self.accept_new()?;
+        for idx in 0..self.conns.len() {
+            progress |= self.service_reads(idx);
+        }
+        progress |= self.ingest_sweep();
+        progress |= self.forward_outcomes_and_credit();
+        self.evict_idle();
+        self.reap();
+        for idx in 0..self.conns.len() {
+            progress |= self.flush(idx);
+        }
+        Ok(progress)
+    }
+
+    fn accept_new(&mut self) -> std::io::Result<bool> {
+        let mut accepted = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(true)?;
+                    let _ = stream.set_nodelay(true);
+                    let conn = Connection {
+                        stream,
+                        decoder: FrameDecoder::new(),
+                        outbox: Vec::new(),
+                        sent: 0,
+                        greeted: false,
+                        closing: false,
+                        dead: false,
+                    };
+                    let slot = self.conns.iter().position(Option::is_none);
+                    match slot {
+                        Some(i) => self.conns[i] = Some(conn),
+                        None => self.conns.push(Some(conn)),
+                    }
+                    self.stats.connections += 1;
+                    accepted = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(accepted)
+    }
+
+    /// Reads one connection until it would block (bounded per sweep) and
+    /// handles every complete frame.
+    fn service_reads(&mut self, idx: usize) -> bool {
+        const READ_BUDGET: usize = 256 * 1024;
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return false;
+        };
+        if conn.closing || conn.dead {
+            return false;
+        }
+        let mut buf = [0u8; 16 * 1024];
+        let mut taken = 0usize;
+        let mut eof = false;
+        while taken < READ_BUDGET {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.decoder.feed(&buf[..n]);
+                    taken += n;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        let mut frames = Vec::new();
+        let mut violation = None;
+        loop {
+            match conn.decoder.next_frame() {
+                Ok(Some(frame)) => frames.push(frame),
+                Ok(None) => break,
+                Err(e) => {
+                    violation = Some(format!("protocol error: {e}"));
+                    break;
+                }
+            }
+        }
+        let progress = taken > 0 || !frames.is_empty();
+        self.stats.frames_in += frames.len() as u64;
+        for frame in frames {
+            // A denial ends the conversation: one Deny goes out and the
+            // rest of the batch is dropped, instead of one Deny per
+            // already-buffered frame.
+            if self.conns[idx].as_ref().is_none_or(|c| c.closing || c.dead) {
+                break;
+            }
+            self.handle_frame(idx, frame);
+        }
+        if let Some(message) = violation {
+            self.deny(idx, &message);
+        }
+        if eof {
+            // EOF only closes the peer's *write* side (a client may
+            // half-close after its last frame and still read replies), so
+            // frames that arrived with it were handled above and the
+            // connection now drains its outbox before being reaped.
+            if let Some(conn) = self.conns[idx].as_mut() {
+                conn.closing = true;
+            }
+        }
+        progress
+    }
+
+    /// Queues a frame on a connection's outbox.
+    fn send(&mut self, idx: usize, frame: &Frame) {
+        if let Some(conn) = self.conns[idx].as_mut() {
+            if !conn.dead {
+                frame.encode_into(&mut conn.outbox);
+                self.stats.frames_out += 1;
+            }
+        }
+    }
+
+    /// Sends [`Frame::Deny`] and marks the connection for a flush-then-close.
+    fn deny(&mut self, idx: usize, message: &str) {
+        self.stats.denials += 1;
+        self.send(
+            idx,
+            &Frame::Deny {
+                message: message.to_string(),
+            },
+        );
+        if let Some(conn) = self.conns[idx].as_mut() {
+            conn.closing = true;
+        }
+    }
+
+    fn handle_frame(&mut self, idx: usize, frame: Frame) {
+        let greeted = self.conns[idx].as_ref().is_some_and(|c| c.greeted);
+        if !greeted {
+            match frame {
+                Frame::Hello { version } if version == PROTOCOL_VERSION => {
+                    if let Some(conn) = self.conns[idx].as_mut() {
+                        conn.greeted = true;
+                    }
+                    self.send(
+                        idx,
+                        &Frame::Hello {
+                            version: PROTOCOL_VERSION,
+                        },
+                    );
+                }
+                Frame::Hello { version } => {
+                    self.deny(idx, &format!("unsupported protocol version {version}"));
+                }
+                _ => self.deny(idx, "expected Hello first"),
+            }
+            return;
+        }
+        match frame {
+            Frame::Hello { .. } => self.deny(idx, "duplicate Hello"),
+            Frame::OpenSession {
+                patient_id,
+                fs_millihertz,
+                calib_len,
+            } => self.open_session(idx, patient_id, fs_millihertz, calib_len),
+            Frame::Samples {
+                session,
+                seq,
+                samples,
+            } => self.accept_samples(idx, session, seq, &samples),
+            Frame::CloseSession { session } => {
+                if self.sessions.get(session).is_some_and(|s| s.conn == idx) {
+                    self.close_wire_session(session, false);
+                } else if self.sessions.is_retired(session) {
+                    // Ends are asynchronous (idle eviction): a compliant
+                    // client can race its close against the gateway's
+                    // Report. The session is gone and reported; ignore.
+                } else {
+                    self.deny(idx, &format!("close of unknown session {session}"));
+                }
+            }
+            // Server-only frames arriving at the server are violations.
+            Frame::SessionOpened { .. }
+            | Frame::Credit { .. }
+            | Frame::Outcomes { .. }
+            | Frame::Report { .. } => self.deny(idx, "client sent a gateway-only frame"),
+            Frame::Deny { message } => {
+                // A client may announce why it is leaving; drop it politely.
+                let _ = message;
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    conn.closing = true;
+                }
+            }
+        }
+    }
+
+    fn open_session(&mut self, idx: usize, patient_id: u32, fs_millihertz: u32, calib_len: u32) {
+        if fs_millihertz != self.fs_millihertz {
+            self.deny(
+                idx,
+                &format!(
+                    "sampling rate {fs_millihertz} mHz does not match the gateway's {}",
+                    self.fs_millihertz
+                ),
+            );
+            return;
+        }
+        let calib_len = calib_len as usize;
+        if calib_len == 0 || calib_len > self.config.credit_budget {
+            self.deny(
+                idx,
+                &format!(
+                    "calibration length {calib_len} outside (0, {}]",
+                    self.config.credit_budget
+                ),
+            );
+            return;
+        }
+        let wire_id = self
+            .sessions
+            .open(idx, patient_id, calib_len, Instant::now());
+        self.stats.sessions_opened += 1;
+        self.send(
+            idx,
+            &Frame::SessionOpened {
+                session: wire_id,
+                credit: self.config.credit_budget as u32,
+            },
+        );
+    }
+
+    fn accept_samples(&mut self, idx: usize, session: u32, seq: u32, samples: &[i16]) {
+        let budget = self.config.credit_budget;
+        let overflow = self.config.overflow;
+        let Some(s) = self.sessions.get_mut(session) else {
+            if self.sessions.is_retired(session) {
+                // Samples racing an asynchronous end (eviction): the sender
+                // has a Report on the wire telling it to stop; drop the
+                // stragglers, keep the connection.
+                self.stats.samples_dropped += samples.len() as u64;
+            } else {
+                self.deny(idx, &format!("samples for unknown session {session}"));
+            }
+            return;
+        };
+        if s.conn != idx {
+            self.deny(
+                idx,
+                &format!("session {session} belongs to another connection"),
+            );
+            return;
+        }
+        if seq != s.next_seq {
+            let expected = s.next_seq;
+            self.deny(
+                idx,
+                &format!("sample frame gap: got seq {seq}, expected {expected}"),
+            );
+            return;
+        }
+        if samples.len() > MAX_SAMPLES_PER_FRAME {
+            self.deny(idx, "sample frame exceeds MAX_SAMPLES_PER_FRAME");
+            return;
+        }
+        s.next_seq += 1;
+        s.last_activity = Instant::now();
+        let room = budget.saturating_sub(s.buffered());
+        let accepted = if samples.len() > room {
+            match overflow {
+                OverflowPolicy::Disconnect => {
+                    self.deny(
+                        idx,
+                        &format!(
+                            "credit exceeded: {} samples in flight + {} sent > budget {budget}",
+                            budget - room,
+                            samples.len()
+                        ),
+                    );
+                    return;
+                }
+                OverflowPolicy::DropExcess => {
+                    self.stats.samples_dropped += (samples.len() - room) as u64;
+                    room
+                }
+            }
+        } else {
+            samples.len()
+        };
+        let s = self.sessions.get_mut(session).expect("checked above");
+        let adc = crate::proto::wire_adc();
+        s.pending.extend(
+            samples[..accepted]
+                .iter()
+                .map(|&c| adc.dequantize_sample(i32::from(c))),
+        );
+        s.samples_received += accepted as u64;
+        self.stats.samples_in += accepted as u64;
+        self.stats.peak_buffered_samples = self.stats.peak_buffered_samples.max(s.buffered());
+    }
+
+    /// Promotes sessions whose calibration stretch is complete, then feeds
+    /// at most one pending chunk per session into the hub with a single
+    /// parallel [`StreamHub::ingest`] call.
+    fn ingest_sweep(&mut self) -> bool {
+        // Promotion: derive thresholds from the first `calib_len` samples
+        // and create the hub session; the stretch stays in `pending` and is
+        // replayed into the stream, like a node's start-up phase.
+        for wire_id in self.sessions.ids() {
+            let Some(s) = self.sessions.get_mut(wire_id) else {
+                continue;
+            };
+            let SessionPhase::Calibrating { calib_len } = s.phase else {
+                continue;
+            };
+            if s.pending.len() < calib_len {
+                continue;
+            }
+            match self.hub.calibrate_thresholds(&s.pending[..calib_len]) {
+                Ok(thresholds) => {
+                    let hub = self.hub.add_patient(s.patient_id, thresholds);
+                    let s = self.sessions.get_mut(wire_id).expect("still live");
+                    s.phase = SessionPhase::Streaming { hub };
+                }
+                Err(_) => {
+                    // A degenerate calibration stretch is a per-session
+                    // failure: end *this* session with an empty Report
+                    // (its samples counter tells the client how much was
+                    // consumed for nothing) and leave the connection's
+                    // other sessions untouched.
+                    let conn = s.conn;
+                    let samples = s.samples_received;
+                    self.sessions.remove(wire_id);
+                    self.send(
+                        conn,
+                        &Frame::Report {
+                            session: wire_id,
+                            report: WireReport {
+                                beats: 0,
+                                forwarded: 0,
+                                samples,
+                            },
+                        },
+                    );
+                    self.stats.sessions_closed += 1;
+                }
+            }
+        }
+
+        // Stage one chunk per session. Sessions on connections whose outbox
+        // is over the cap are skipped: no consumption, no credit — the
+        // slow-reader stall.
+        let now = Instant::now();
+        let Gateway {
+            hub,
+            sessions,
+            conns,
+            config,
+            staged,
+            ..
+        } = self;
+        staged.clear();
+        for wire_id in sessions.ids() {
+            let s = sessions.get_mut(wire_id).expect("listed");
+            if s.hub_id().is_none() || s.pending.is_empty() {
+                continue;
+            }
+            let writable = conns[s.conn]
+                .as_ref()
+                .is_some_and(|c| !c.dead && c.queued() <= config.max_outbox_bytes);
+            if !writable {
+                continue;
+            }
+            let take = s.pending.len().min(config.max_ingest_per_poll);
+            s.chunk.clear();
+            s.chunk.extend(s.pending.drain(..take));
+            s.consumed_since_grant += take;
+            // Consumption counts as activity: a compliant sender stalled on
+            // credit (because this gateway is the slow side) must not be
+            // idle-evicted while its buffer is still being drained.
+            s.last_activity = now;
+            staged.push(wire_id);
+        }
+        if staged.is_empty() {
+            return false;
+        }
+        let feeds: Vec<(hbc_core::SessionId, &[f64])> = staged
+            .iter()
+            .map(|&wire_id| {
+                let s = sessions.get(wire_id).expect("staged");
+                (s.hub_id().expect("streaming"), s.chunk.as_slice())
+            })
+            .collect();
+        hub.ingest(&feeds)
+            .expect("staged sessions are live, unique hub sessions");
+        true
+    }
+
+    /// Forwards freshly classified beats and grants credit for consumed
+    /// samples.
+    fn forward_outcomes_and_credit(&mut self) -> bool {
+        let mut progress = false;
+        for wire_id in self.sessions.ids() {
+            let Some(s) = self.sessions.get(wire_id) else {
+                continue;
+            };
+            let conn = s.conn;
+            let Some(hub_id) = s.hub_id() else {
+                continue;
+            };
+            let fresh = self
+                .hub
+                .outcomes_since(hub_id, s.outcomes_sent)
+                .expect("streaming sessions are live in the hub");
+            let grant = s.consumed_since_grant;
+            if !fresh.is_empty() {
+                let outcomes: Vec<WireOutcome> =
+                    fresh.iter().map(WireOutcome::from_outcome).collect();
+                let n = outcomes.len();
+                self.send(
+                    conn,
+                    &Frame::Outcomes {
+                        session: wire_id,
+                        outcomes,
+                    },
+                );
+                let s = self.sessions.get_mut(wire_id).expect("live");
+                s.outcomes_sent += n;
+                self.stats.beats_out += n as u64;
+                progress = true;
+            }
+            if grant > 0 {
+                let under_cap = self.conns[conn]
+                    .as_ref()
+                    .is_some_and(|c| !c.dead && c.queued() <= self.config.max_outbox_bytes);
+                if under_cap {
+                    self.send(
+                        conn,
+                        &Frame::Credit {
+                            session: wire_id,
+                            grant: grant as u32,
+                        },
+                    );
+                    let s = self.sessions.get_mut(wire_id).expect("live");
+                    s.consumed_since_grant = 0;
+                    progress = true;
+                }
+            }
+        }
+        progress
+    }
+
+    fn evict_idle(&mut self) {
+        for wire_id in self
+            .sessions
+            .idle_ids(Instant::now(), self.config.idle_timeout)
+        {
+            self.close_wire_session(wire_id, true);
+        }
+    }
+
+    /// Ends a wire session: flushes its buffer into the hub, closes the hub
+    /// session, sends any unforwarded beats plus the final report, and
+    /// forgets it.
+    fn close_wire_session(&mut self, wire_id: u32, evicted: bool) {
+        let Some(mut s) = self.sessions.remove(wire_id) else {
+            return;
+        };
+        // A close can arrive while the calibration stretch is still short;
+        // calibrate on what exists (best effort — too short simply yields an
+        // empty session).
+        if s.hub_id().is_none() && !s.pending.is_empty() {
+            let stretch = match s.phase {
+                SessionPhase::Calibrating { calib_len } => calib_len.min(s.pending.len()),
+                SessionPhase::Streaming { .. } => unreachable!("hub_id is None"),
+            };
+            if let Ok(thresholds) = self.hub.calibrate_thresholds(&s.pending[..stretch]) {
+                let hub = self.hub.add_patient(s.patient_id, thresholds);
+                s.phase = SessionPhase::Streaming { hub };
+            }
+        }
+        let report = match s.hub_id() {
+            Some(hub_id) => {
+                if !s.pending.is_empty() {
+                    self.hub
+                        .ingest(&[(hub_id, s.pending.as_slice())])
+                        .expect("closing session is live");
+                }
+                let session_report = self
+                    .hub
+                    .close_session(hub_id)
+                    .expect("closing session is live");
+                let unsent =
+                    &session_report.outcomes[s.outcomes_sent.min(session_report.outcomes.len())..];
+                if !unsent.is_empty() {
+                    let outcomes: Vec<WireOutcome> =
+                        unsent.iter().map(WireOutcome::from_outcome).collect();
+                    self.stats.beats_out += outcomes.len() as u64;
+                    self.send(
+                        s.conn,
+                        &Frame::Outcomes {
+                            session: wire_id,
+                            outcomes,
+                        },
+                    );
+                }
+                WireReport {
+                    beats: session_report.outcomes.len() as u64,
+                    forwarded: session_report.forwarded_beats as u64,
+                    samples: s.samples_received,
+                }
+            }
+            None => WireReport {
+                beats: 0,
+                forwarded: 0,
+                samples: s.samples_received,
+            },
+        };
+        self.send(
+            s.conn,
+            &Frame::Report {
+                session: wire_id,
+                report,
+            },
+        );
+        if evicted {
+            self.stats.sessions_evicted += 1;
+        } else {
+            self.stats.sessions_closed += 1;
+        }
+    }
+
+    /// Releases dead connections (closing their hub sessions) and closing
+    /// connections whose outbox has drained.
+    fn reap(&mut self) {
+        for idx in 0..self.conns.len() {
+            let remove = match self.conns[idx].as_ref() {
+                Some(c) => c.dead || (c.closing && c.queued() == 0),
+                None => false,
+            };
+            if !remove {
+                continue;
+            }
+            for wire_id in self.sessions.ids_for_conn(idx) {
+                if let Some(s) = self.sessions.remove(wire_id) {
+                    if let Some(hub_id) = s.hub_id() {
+                        // Nobody is left to receive results; discard.
+                        let _ = self.hub.close_session(hub_id);
+                    }
+                }
+            }
+            self.conns[idx] = None;
+        }
+    }
+
+    /// Writes as much of the outbox as the socket accepts.
+    fn flush(&mut self, idx: usize) -> bool {
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return false;
+        };
+        if conn.dead {
+            return false;
+        }
+        let mut progress = false;
+        while conn.sent < conn.outbox.len() {
+            match conn.stream.write(&conn.outbox[conn.sent..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.sent += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        if conn.sent == conn.outbox.len() {
+            conn.outbox.clear();
+            conn.sent = 0;
+        } else if conn.sent > 64 * 1024 {
+            conn.outbox.drain(..conn.sent);
+            conn.sent = 0;
+        }
+        progress
+    }
+}
+
+impl std::fmt::Debug for Gateway<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("sessions", &self.sessions.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}

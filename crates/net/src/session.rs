@@ -1,0 +1,271 @@
+//! Session lifecycle management for the gateway.
+//!
+//! One [`NetSession`] tracks a patient stream from the wire side:
+//!
+//! ```text
+//!  OpenSession           calib_len samples buffered      CloseSession /
+//!  ───────────▶ Calibrating ───────────────────▶ Streaming ─────────▶ gone
+//!                   │        thresholds from the   │        idle timeout
+//!                   │        first stretch, hub    │
+//!                   ▼        session created,      ▼
+//!              (samples buffer)   stretch replayed  (samples flow into the
+//!                                 into the stream    hub in credit-bounded
+//!                                                    batches)
+//! ```
+//!
+//! The manager is transport-agnostic: it owns the per-session sample buffer
+//! (`pending`, bounded by the credit budget), the sequence check and the
+//! idle clock, while the reactor in [`crate::server`] owns sockets and the
+//! [`StreamHub`](hbc_core::StreamHub). That split keeps the state machine
+//! testable without I/O.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
+
+/// How many ended-session ids the manager remembers for race tolerance.
+/// In-flight frames for an ended session can only be a connection's
+/// receive-buffer worth of traffic behind, so a small recent window
+/// suffices; the cap keeps a long-running gateway's memory flat.
+const RETIRED_CAP: usize = 4096;
+
+use hbc_core::SessionId;
+
+/// Where a session is in its lifecycle.
+#[derive(Debug)]
+pub enum SessionPhase {
+    /// Buffering the first `calib_len` samples; no hub session exists yet.
+    Calibrating {
+        /// Samples required before thresholds can be derived.
+        calib_len: usize,
+    },
+    /// Thresholds derived, hub session live, samples flowing.
+    Streaming {
+        /// The hub-side session handle.
+        hub: SessionId,
+    },
+}
+
+/// One wire session's gateway-side state.
+#[derive(Debug)]
+pub struct NetSession {
+    /// Wire-level id (never reused within a gateway).
+    pub wire_id: u32,
+    /// Index of the connection that opened the session.
+    pub conn: usize,
+    /// Patient identifier from the open request.
+    pub patient_id: u32,
+    /// Lifecycle phase.
+    pub phase: SessionPhase,
+    /// Decoded millivolt samples received but not yet consumed by the hub.
+    /// Bounded by the credit budget for well-behaved senders.
+    pub pending: Vec<f64>,
+    /// Scratch the reactor moves a chunk into while the hub ingests it
+    /// (keeps the borrow of `pending` short and reuses the allocation).
+    pub chunk: Vec<f64>,
+    /// Next expected [`crate::proto::Frame::Samples`] sequence number.
+    pub next_seq: u32,
+    /// Hub outcomes already forwarded to the client.
+    pub outcomes_sent: usize,
+    /// Samples consumed by the hub since the last credit grant.
+    pub consumed_since_grant: usize,
+    /// Total samples received over the wire.
+    pub samples_received: u64,
+    /// Last time a frame touched this session (drives eviction).
+    pub last_activity: Instant,
+}
+
+impl NetSession {
+    /// Samples currently buffered gateway-side for this session.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The hub handle, if the session has finished calibrating.
+    pub fn hub_id(&self) -> Option<SessionId> {
+        match self.phase {
+            SessionPhase::Streaming { hub } => Some(hub),
+            SessionPhase::Calibrating { .. } => None,
+        }
+    }
+}
+
+/// Owns every live [`NetSession`] of a gateway, keyed by wire id.
+#[derive(Debug, Default)]
+pub struct SessionManager {
+    sessions: HashMap<u32, NetSession>,
+    /// Wire ids of recently ended sessions (closed or evicted). Ends are
+    /// asynchronous, so a compliant peer can still have frames for such a
+    /// session in flight — the reactor ignores those instead of treating
+    /// them as violations. Ids are never reused, so membership is
+    /// unambiguous; retention is capped at [`RETIRED_CAP`] (oldest ids
+    /// forgotten first) so a long-running gateway's memory stays flat.
+    retired: HashSet<u32>,
+    /// The retired ids in retirement order, backing the cap.
+    retired_order: VecDeque<u32>,
+    next_id: u32,
+}
+
+impl SessionManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new session in the calibrating phase and returns its
+    /// wire id. Wire ids are assigned sequentially and never reused.
+    pub fn open(&mut self, conn: usize, patient_id: u32, calib_len: usize, now: Instant) -> u32 {
+        let wire_id = self.next_id;
+        self.next_id += 1;
+        self.sessions.insert(
+            wire_id,
+            NetSession {
+                wire_id,
+                conn,
+                patient_id,
+                phase: SessionPhase::Calibrating { calib_len },
+                pending: Vec::new(),
+                chunk: Vec::new(),
+                next_seq: 0,
+                outcomes_sent: 0,
+                consumed_since_grant: 0,
+                samples_received: 0,
+                last_activity: now,
+            },
+        );
+        wire_id
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Looks a session up by wire id.
+    pub fn get(&self, wire_id: u32) -> Option<&NetSession> {
+        self.sessions.get(&wire_id)
+    }
+
+    /// Mutable lookup by wire id.
+    pub fn get_mut(&mut self, wire_id: u32) -> Option<&mut NetSession> {
+        self.sessions.get_mut(&wire_id)
+    }
+
+    /// Removes a session, returning its final state and remembering the id
+    /// as retired (see [`Self::is_retired`]).
+    pub fn remove(&mut self, wire_id: u32) -> Option<NetSession> {
+        let removed = self.sessions.remove(&wire_id);
+        if removed.is_some() && self.retired.insert(wire_id) {
+            self.retired_order.push_back(wire_id);
+            while self.retired_order.len() > RETIRED_CAP {
+                let oldest = self.retired_order.pop_front().expect("non-empty");
+                self.retired.remove(&oldest);
+            }
+        }
+        removed
+    }
+
+    /// Whether `wire_id` belonged to a session that ended recently —
+    /// frames racing an asynchronous end (eviction, connection teardown)
+    /// are dropped rather than denied.
+    pub fn is_retired(&self, wire_id: u32) -> bool {
+        self.retired.contains(&wire_id)
+    }
+
+    /// Wire ids of every session owned by connection `conn`.
+    pub fn ids_for_conn(&self, conn: usize) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .sessions
+            .values()
+            .filter(|s| s.conn == conn)
+            .map(|s| s.wire_id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Wire ids of every live session, in id order (deterministic sweeps).
+    pub fn ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.sessions.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Wire ids whose last activity is older than `idle` seconds before
+    /// `now` — the eviction candidates.
+    pub fn idle_ids(&self, now: Instant, idle: std::time::Duration) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .sessions
+            .values()
+            .filter(|s| now.duration_since(s.last_activity) > idle)
+            .map(|s| s.wire_id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn wire_ids_are_sequential_and_never_reused() {
+        let mut mgr = SessionManager::new();
+        let now = Instant::now();
+        let a = mgr.open(0, 10, 100, now);
+        let b = mgr.open(1, 11, 100, now);
+        assert_eq!((a, b), (0, 1));
+        mgr.remove(a).expect("live");
+        let c = mgr.open(0, 12, 100, now);
+        assert_eq!(c, 2, "removed ids must not be reassigned");
+        assert_eq!(mgr.len(), 2);
+        assert_eq!(mgr.ids(), vec![1, 2]);
+        assert_eq!(mgr.ids_for_conn(0), vec![2]);
+        assert!(mgr.is_retired(a), "ended ids are remembered");
+        assert!(!mgr.is_retired(b));
+        assert!(!mgr.is_retired(99), "never-assigned ids are not retired");
+    }
+
+    #[test]
+    fn retired_memory_is_capped() {
+        let mut mgr = SessionManager::new();
+        let now = Instant::now();
+        for _ in 0..(RETIRED_CAP + 10) {
+            let id = mgr.open(0, 1, 1, now);
+            mgr.remove(id).expect("live");
+        }
+        assert!(!mgr.is_retired(0), "oldest retired ids are forgotten");
+        assert!(!mgr.is_retired(9));
+        assert!(mgr.is_retired(10));
+        assert!(mgr.is_retired((RETIRED_CAP + 9) as u32));
+    }
+
+    #[test]
+    fn idle_sessions_are_found_by_age() {
+        let mut mgr = SessionManager::new();
+        let past = Instant::now() - Duration::from_secs(60);
+        let old = mgr.open(0, 1, 10, past);
+        let now = Instant::now();
+        let fresh = mgr.open(0, 2, 10, now);
+        let idle = mgr.idle_ids(now, Duration::from_secs(30));
+        assert_eq!(idle, vec![old]);
+        assert!(mgr.get(fresh).is_some());
+    }
+
+    #[test]
+    fn phases_expose_the_hub_handle_only_once_streaming() {
+        let mut mgr = SessionManager::new();
+        let id = mgr.open(3, 9, 64, Instant::now());
+        let s = mgr.get_mut(id).expect("live");
+        assert!(s.hub_id().is_none());
+        assert_eq!(s.buffered(), 0);
+        s.pending.extend([0.0; 5]);
+        assert_eq!(s.buffered(), 5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Property-based wire-protocol guarantees:
+//!
+//! * encode → [`FrameDecoder`] across **arbitrary byte-chunk splits** equals
+//!   the original frame sequence (the decoder is a pure function of the byte
+//!   stream, not of its chunking);
+//! * malformed input — flipped bits (CRC), truncation, oversized lengths,
+//!   unknown tags — errors without panicking and never yields a phantom
+//!   frame.
+
+use hbc_net::proto::{
+    crc32, Frame, FrameDecoder, ProtoError, WireOutcome, WireReport, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+
+/// SplitMix64 step, the workspace's stock deterministic generator.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministically builds one of every frame kind from a seed.
+fn frame_from(state: &mut u64) -> Frame {
+    match next(state) % 9 {
+        0 => Frame::Hello {
+            version: next(state) as u16,
+        },
+        1 => Frame::OpenSession {
+            patient_id: next(state) as u32,
+            fs_millihertz: next(state) as u32,
+            calib_len: next(state) as u32,
+        },
+        2 => {
+            let n = (next(state) % 300) as usize;
+            Frame::Samples {
+                session: next(state) as u32,
+                seq: next(state) as u32,
+                samples: (0..n).map(|_| next(state) as i16).collect(),
+            }
+        }
+        3 => Frame::CloseSession {
+            session: next(state) as u32,
+        },
+        4 => Frame::SessionOpened {
+            session: next(state) as u32,
+            credit: next(state) as u32,
+        },
+        5 => Frame::Credit {
+            session: next(state) as u32,
+            grant: next(state) as u32,
+        },
+        6 => {
+            let n = (next(state) % 40) as usize;
+            Frame::Outcomes {
+                session: next(state) as u32,
+                outcomes: (0..n)
+                    .map(|_| WireOutcome {
+                        peak: next(state),
+                        class: (next(state) % 4) as u8,
+                        delineated: next(state) & 1 == 1,
+                        fiducials: next(state) as u16,
+                    })
+                    .collect(),
+            }
+        }
+        7 => Frame::Report {
+            session: next(state) as u32,
+            report: WireReport {
+                beats: next(state),
+                forwarded: next(state),
+                samples: next(state),
+            },
+        },
+        _ => {
+            let n = (next(state) % 60) as usize;
+            Frame::Deny {
+                message: (0..n)
+                    .map(|_| char::from(b'a' + (next(state) % 26) as u8))
+                    .collect(),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn round_trip_is_chunking_invariant(
+        frame_seed in any::<u64>(),
+        split_seed in any::<u64>(),
+        num_frames in 1usize..=12,
+    ) {
+        let mut state = frame_seed;
+        let frames: Vec<Frame> = (0..num_frames).map(|_| frame_from(&mut state)).collect();
+        let mut bytes = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut bytes);
+        }
+
+        // Feed the byte stream in pseudo-random ragged chunks (including
+        // empty ones) and pop frames as they complete.
+        let mut decoder = FrameDecoder::new();
+        let mut seen = Vec::new();
+        let mut split_state = split_seed;
+        let mut at = 0usize;
+        while at < bytes.len() {
+            let n = (next(&mut split_state) % 23) as usize;
+            let end = (at + n).min(bytes.len());
+            decoder.feed(&bytes[at..end]);
+            at = end;
+            while let Some(f) = decoder.next_frame().expect("valid stream") {
+                seen.push(f);
+            }
+        }
+        prop_assert_eq!(&seen, &frames);
+        prop_assert_eq!(decoder.buffered(), 0);
+        decoder.expect_eof().expect("no residue");
+    }
+
+    #[test]
+    fn flipping_any_bit_errors_or_shortens_never_panics(
+        frame_seed in any::<u64>(),
+        flip_seed in any::<u64>(),
+    ) {
+        let mut state = frame_seed;
+        let frame = frame_from(&mut state);
+        let mut bytes = frame.encode();
+        let mut flip_state = flip_seed;
+        let bit = (next(&mut flip_state) % (bytes.len() as u64 * 8)) as usize;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes);
+        // The decoder must terminate without panicking: either it errors, or
+        // it waits for more bytes (length-field flips that grew the frame),
+        // or — only when the flip landed in the length field shrinking the
+        // frame — it may misparse; it must never silently return the
+        // original frame as if nothing happened unless the flip was undone
+        // by the CRC (impossible for a single bit).
+        match decoder.next_frame() {
+            Ok(Some(decoded)) => prop_assert!(
+                decoded != frame,
+                "single bit flip went unnoticed"
+            ),
+            Ok(None) => {} // waiting for bytes that will never come
+            Err(_) => {}   // detected
+        }
+    }
+
+    #[test]
+    fn truncation_never_yields_a_frame(
+        frame_seed in any::<u64>(),
+        cut in 0usize..=64,
+    ) {
+        let mut state = frame_seed;
+        let frame = frame_from(&mut state);
+        let bytes = frame.encode();
+        if cut == 0 || cut >= bytes.len() {
+            return Ok(());
+        }
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes[..bytes.len() - cut]);
+        prop_assert_eq!(decoder.next_frame().expect("incomplete, not invalid"), None);
+        prop_assert!(matches!(
+            decoder.expect_eof(),
+            Err(ProtoError::Truncated { .. })
+        ));
+    }
+}
+
+#[test]
+fn oversized_length_is_rejected_before_buffering() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+    bytes.extend_from_slice(&[0; 64]);
+    let mut decoder = FrameDecoder::new();
+    decoder.feed(&bytes);
+    assert!(matches!(
+        decoder.next_frame(),
+        Err(ProtoError::BadLength { .. })
+    ));
+}
+
+#[test]
+fn unknown_tag_with_valid_crc_is_rejected() {
+    for tag in [0x00u8, 0x05, 0x42, 0x80, 0x86, 0xFF] {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(tag);
+        bytes.extend_from_slice(&crc32(&[tag]).to_le_bytes());
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes);
+        assert!(
+            matches!(
+                decoder.next_frame(),
+                Err(ProtoError::UnknownTag(_)) | Err(ProtoError::Malformed(_))
+            ),
+            "tag {tag:#04x} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn hello_round_trips_with_the_shipped_version() {
+    let frame = Frame::Hello {
+        version: PROTOCOL_VERSION,
+    };
+    let mut decoder = FrameDecoder::new();
+    decoder.feed(&frame.encode());
+    assert_eq!(decoder.next_frame().expect("valid"), Some(frame));
+}

@@ -6,6 +6,9 @@
 
 pub use hbc_core::*;
 
+// The network-facing serving layer (TCP gateway + node client).
+pub use hbc_net;
+
 /// Parses the common scale argument used by the examples: `quick` (default),
 /// `paper`, or a fraction such as `0.05`.
 ///

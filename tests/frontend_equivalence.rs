@@ -26,7 +26,7 @@ use heartbeat_rp::hbc_dsp::filter::{
 use heartbeat_rp::hbc_dsp::streaming::{StreamingDilation, StreamingErosion};
 use heartbeat_rp::hbc_dsp::wavelet::DyadicWavelet;
 use heartbeat_rp::hbc_dsp::window::{match_peaks, windows_at_peaks};
-use heartbeat_rp::hbc_dsp::{FrontendScratch, PeakDetector};
+use heartbeat_rp::hbc_dsp::{Delineator, FrontendScratch, PeakDetector};
 use heartbeat_rp::hbc_ecg::beat::BeatWindow;
 use heartbeat_rp::hbc_ecg::record::Lead;
 use heartbeat_rp::hbc_ecg::synthetic::SyntheticEcg;
@@ -80,6 +80,25 @@ proptest! {
             prop_assert_eq!(&eroded, &erode(&x, size + 1));
             prop_assert_eq!(&dilated, &dilate(&x, size + 1));
         }
+    }
+
+    // The MMD delineation operator rides the same wedge kernel (one
+    // trailing-max and one leading-min pass per scale) and must equal the
+    // naive per-output rescan exactly — same clamped borders, same
+    // (max + min) − 2x association order — for every signal length and
+    // scale, degenerate ones included.
+    #[test]
+    fn mmd_wedge_matches_the_naive_rescan(
+        n in 0usize..=400,
+        scale in 0usize..=150,
+        seed in any::<u64>(),
+    ) {
+        let x = signal(n, seed);
+        prop_assert_eq!(
+            Delineator::mmd(&x, scale),
+            Delineator::mmd_naive(&x, scale),
+            "n={}, scale={}", n, scale
+        );
     }
 
     // The `_into` variants reuse one scratch across wildly different
