@@ -400,6 +400,254 @@ impl SyntheticEcg {
             })
             .collect()
     }
+
+    // ------------------------------------------------------------------
+    // Adversarial scenarios
+    //
+    // These generators stress the monitoring pipeline with inputs the
+    // classifier was never trained on. The contract under test is *ARR-safe
+    // degradation*: the pipeline may classify such beats as `Unknown`, but it
+    // must keep detecting them and keep routing them onward (Unknown is
+    // abnormal, hence transmitted), never silently dropping them.
+    // ------------------------------------------------------------------
+
+    /// Generates an atrial-fibrillation-like record: irregularly irregular RR
+    /// intervals, conducted beats without a P wave, and a low-amplitude
+    /// fibrillatory (6–8 Hz) baseline between beats.
+    ///
+    /// Every annotation carries [`BeatClass::Unknown`] — AF is not one of the
+    /// three trained morphologies, so the ground truth for downstream
+    /// evaluation is "abnormal, class unknown".
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::EcgError`] if the assembled record is inconsistent.
+    pub fn af_record(
+        &mut self,
+        id: u32,
+        beats: usize,
+        num_leads: usize,
+    ) -> crate::Result<EcgRecord> {
+        assert!(num_leads >= 1, "a record needs at least one lead");
+        let fs = self.fs;
+        // Conducted AF beat: normal morphology minus the P wave (waves[0]).
+        let base = BeatTemplate {
+            class: BeatClass::Normal,
+            waves: BeatTemplate::normal().waves[1..].to_vec(),
+            nominal_rr_s: 0.70,
+        };
+        // Irregularly irregular: RR drawn uniformly, no memory beat to beat.
+        let mut peaks = Vec::with_capacity(beats);
+        let mut t = 0.5;
+        for _ in 0..beats {
+            t += self.rng.gen_range(0.35..1.10);
+            peaks.push(t);
+        }
+        let total_s = t + 0.6;
+        let len = (total_s * fs).ceil() as usize;
+
+        let lead_gains: Vec<f64> = (0..num_leads)
+            .map(|l| match l {
+                0 => 1.0,
+                1 => 0.65 + 0.1 * standard_normal(&mut self.rng),
+                _ => 0.45 + 0.1 * standard_normal(&mut self.rng),
+            })
+            .collect();
+        let lead_shifts: Vec<f64> = (0..num_leads).map(|l| l as f64 * 0.002).collect();
+
+        let mut leads: Vec<Vec<f64>> = vec![vec![0.0; len]; num_leads];
+        let mut annotations = Vec::with_capacity(beats);
+
+        for &peak_t in &peaks {
+            let template = self.jittered_template(&base);
+            let peak_sample = (peak_t * fs).round() as usize;
+            if peak_sample >= len {
+                continue;
+            }
+            annotations.push(Annotation::new(peak_sample, BeatClass::Unknown));
+            let half = (0.45 * fs) as isize;
+            for (lead_idx, lead) in leads.iter_mut().enumerate() {
+                let gain = lead_gains[lead_idx];
+                let shift = lead_shifts[lead_idx];
+                for off in -half..=half {
+                    let idx = peak_sample as isize + off;
+                    if idx < 0 || idx as usize >= len {
+                        continue;
+                    }
+                    let tt = off as f64 / fs - shift;
+                    lead[idx as usize] += gain * template.value_at(tt);
+                }
+            }
+        }
+
+        // Fibrillatory baseline: a ~0.06 mV oscillation at 6–8 Hz whose
+        // amplitude wanders slowly, replacing the absent P waves.
+        for lead in &mut leads {
+            let f_hz: f64 = self.rng.gen_range(6.0..8.0);
+            let phase: f64 = self.rng.gen::<f64>() * std::f64::consts::TAU;
+            let wander_phase: f64 = self.rng.gen::<f64>() * std::f64::consts::TAU;
+            for (i, s) in lead.iter_mut().enumerate() {
+                let tt = i as f64 / fs;
+                let envelope = 1.0 + 0.5 * (std::f64::consts::TAU * 0.3 * tt + wander_phase).sin();
+                *s += 0.06 * envelope * (std::f64::consts::TAU * f_hz * tt + phase).sin();
+            }
+        }
+
+        let noise = self.noise;
+        for lead in &mut leads {
+            let phase: f64 = self.rng.gen::<f64>() * std::f64::consts::TAU;
+            noise.apply(lead, fs, phase, &mut self.rng);
+        }
+
+        EcgRecord::new(id, fs, leads, annotations)
+    }
+
+    /// Injects `pops` electrode-pop artifacts into an existing record: at a
+    /// random position on a random lead, the signal jumps by ±3–8 mV and the
+    /// offset decays exponentially with a ~0.3 s time constant, as when an
+    /// electrode momentarily loses and regains skin contact.
+    pub fn electrode_pop(&mut self, record: &mut EcgRecord, pops: usize) {
+        let len = record.len();
+        if len == 0 {
+            return;
+        }
+        let fs = record.fs;
+        let tau_samples = 0.3 * fs;
+        for _ in 0..pops {
+            let lead = self.rng.gen_range(0..record.leads.len());
+            let at = self.rng.gen_range(0..len);
+            let magnitude: f64 = self.rng.gen_range(3.0..8.0);
+            let step = if self.rng.gen_bool(0.5) {
+                magnitude
+            } else {
+                -magnitude
+            };
+            let signal = &mut record.leads[lead];
+            for (off, s) in signal[at..].iter_mut().enumerate() {
+                let decay = (-(off as f64) / tau_samples).exp();
+                if decay < 1e-3 {
+                    break;
+                }
+                *s += step * decay;
+            }
+        }
+    }
+
+    /// Flatlines one lead over `[start_s, start_s + dur_s)`: the lead holds
+    /// its last pre-dropout value, as when a lead wire detaches. Other leads
+    /// are untouched, so multi-lead delineation can still recover the beats.
+    ///
+    /// Out-of-range times are clamped to the record; an out-of-range lead is
+    /// a no-op.
+    pub fn lead_dropout(record: &mut EcgRecord, lead: usize, start_s: f64, dur_s: f64) {
+        let len = record.len();
+        let Some(signal) = record.leads.get_mut(lead) else {
+            return;
+        };
+        let start = ((start_s * record.fs).round().max(0.0) as usize).min(len);
+        let end = (((start_s + dur_s) * record.fs).round().max(0.0) as usize).min(len);
+        if start >= end {
+            return;
+        }
+        let hold = if start > 0 { signal[start - 1] } else { 0.0 };
+        for s in &mut signal[start..end] {
+            *s = hold;
+        }
+    }
+
+    /// Adds a severe multi-component baseline-wander storm to every lead:
+    /// three superimposed drifts at random frequencies in 0.10–0.60 Hz, each
+    /// up to `amplitude_mv` peak — far beyond the ambulatory noise model, as
+    /// during vigorous motion.
+    pub fn baseline_storm(&mut self, record: &mut EcgRecord, amplitude_mv: f64) {
+        let fs = record.fs;
+        for lead in &mut record.leads {
+            for _ in 0..3 {
+                let f_hz: f64 = self.rng.gen_range(0.10..0.60);
+                let amp: f64 = amplitude_mv * self.rng.gen_range(0.4..1.0);
+                let phase: f64 = self.rng.gen::<f64>() * std::f64::consts::TAU;
+                for (i, s) in lead.iter_mut().enumerate() {
+                    let tt = i as f64 / fs;
+                    *s += amp * (std::f64::consts::TAU * f_hz * tt + phase).sin();
+                }
+            }
+        }
+    }
+
+    /// Superimposes pacemaker-like artifacts on every lead: very narrow
+    /// (~2-sample) ~4 mV spikes repeating every `period_s` seconds with a
+    /// small timing jitter. Narrow spikes stress the morphological R-peak
+    /// detector, which must not mistake them for QRS complexes or lose the
+    /// real beats between them.
+    pub fn pacing_artifacts(&mut self, record: &mut EcgRecord, period_s: f64) {
+        assert!(period_s > 0.0, "pacing period must be positive");
+        let fs = record.fs;
+        let len = record.len();
+        let mut t = self.rng.gen_range(0.0..period_s);
+        while (t * fs) < len as f64 {
+            let at = (t * fs).round() as usize;
+            let amp: f64 = 4.0 * self.rng.gen_range(0.8..1.2);
+            let polarity = if self.rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            for lead in &mut record.leads {
+                for off in 0..2usize {
+                    if at + off < len {
+                        lead[at + off] += polarity * amp * if off == 0 { 1.0 } else { 0.45 };
+                    }
+                }
+            }
+            t += period_s * (1.0 + 0.02 * standard_normal(&mut self.rng));
+        }
+    }
+
+    /// Resamples a record by `factor` without changing its declared sampling
+    /// frequency, simulating a sensor whose ADC clock runs fast
+    /// (`factor > 1`, beats look slower/wider) or slow (`factor < 1`).
+    /// Signals are linearly interpolated; annotation positions are scaled to
+    /// stay on their R peaks. Deterministic — no generator state involved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::EcgError::OutOfRange`] when `factor` is not a normal
+    /// positive number or the skewed record would be empty; otherwise
+    /// propagates [`crate::EcgError`] from record assembly.
+    pub fn rate_skew(record: &EcgRecord, factor: f64) -> crate::Result<EcgRecord> {
+        if !factor.is_normal() || factor <= 0.0 {
+            return Err(crate::EcgError::OutOfRange(format!(
+                "rate-skew factor must be a positive finite number, got {factor}"
+            )));
+        }
+        let src_len = record.len();
+        let new_len = ((src_len as f64) * factor).round() as usize;
+        if src_len < 2 || new_len < 2 {
+            return Err(crate::EcgError::OutOfRange(
+                "rate skew needs at least two samples before and after".into(),
+            ));
+        }
+        let leads: Vec<Vec<f64>> = record
+            .leads
+            .iter()
+            .map(|src| {
+                (0..new_len)
+                    .map(|i| {
+                        let pos = i as f64 / factor;
+                        let lo = (pos.floor() as usize).min(src_len - 1);
+                        let hi = (lo + 1).min(src_len - 1);
+                        let frac = pos - lo as f64;
+                        src[lo] * (1.0 - frac) + src[hi] * frac
+                    })
+                    .collect()
+            })
+            .collect();
+        let annotations: Vec<Annotation> = record
+            .annotations
+            .iter()
+            .map(|a| {
+                let sample = ((a.sample as f64) * factor).round() as usize;
+                Annotation::new(sample.min(new_len - 1), a.class)
+            })
+            .collect();
+        EcgRecord::new(record.id, record.fs, leads, annotations)
+    }
 }
 
 #[cfg(test)]
@@ -536,5 +784,162 @@ mod tests {
     fn unknown_class_cannot_be_generated() {
         let mut gen = SyntheticEcg::with_seed(1);
         gen.beat(BeatClass::Unknown);
+    }
+
+    // ----- adversarial scenarios -----
+
+    #[test]
+    fn af_record_is_irregular_p_less_and_all_unknown() {
+        let mut gen = SyntheticEcg::with_seed(71);
+        let record = gen.af_record(300, 30, 2).expect("af record");
+        assert_eq!(record.num_leads(), 2);
+        assert_eq!(record.annotations.len(), 30);
+        assert!(record
+            .annotations
+            .iter()
+            .all(|a| a.class == BeatClass::Unknown));
+        // Irregularly irregular: RR spread far wider than the ±8 % of a
+        // sinus rhythm.
+        let rrs: Vec<f64> = record
+            .annotations
+            .windows(2)
+            .map(|w| (w[1].sample - w[0].sample) as f64 / record.fs)
+            .collect();
+        let min = rrs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = rrs.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            max / min > 1.5,
+            "AF RR spread should be wide (min {min}, max {max})"
+        );
+        // Beats are still there: each annotation sits on a QRS.
+        let lead0 = record.lead(crate::record::Lead(0)).expect("lead 0");
+        for ann in &record.annotations {
+            let lo = ann.sample.saturating_sub(5);
+            let hi = (ann.sample + 5).min(lead0.len());
+            let local_max = lead0[lo..hi].iter().cloned().fold(f64::MIN, f64::max);
+            assert!(local_max > 0.4, "annotation at {} off a QRS", ann.sample);
+        }
+        // Determinism for a fixed seed.
+        let again = SyntheticEcg::with_seed(71)
+            .af_record(300, 30, 2)
+            .expect("af record");
+        assert_eq!(record, again);
+    }
+
+    #[test]
+    fn electrode_pop_adds_large_decaying_steps() {
+        let mut gen = SyntheticEcg::with_seed(41);
+        let rhythm = vec![BeatClass::Normal; 10];
+        let clean = gen.record(301, &rhythm, 2).expect("record");
+        let mut popped = clean.clone();
+        gen.electrode_pop(&mut popped, 3);
+        assert_eq!(popped.len(), clean.len());
+        assert_eq!(popped.annotations, clean.annotations, "labels untouched");
+        // Somewhere, the difference to the clean record reaches pop scale.
+        let max_diff = popped
+            .leads
+            .iter()
+            .zip(&clean.leads)
+            .flat_map(|(p, c)| p.iter().zip(c).map(|(a, b)| (a - b).abs()))
+            .fold(f64::MIN, f64::max);
+        assert!(
+            max_diff > 2.5,
+            "pop amplitude visible (max diff {max_diff})"
+        );
+    }
+
+    #[test]
+    fn lead_dropout_flatlines_only_the_requested_lead() {
+        let mut gen = SyntheticEcg::with_seed(42);
+        let rhythm = vec![BeatClass::Normal; 12];
+        let clean = gen.record(302, &rhythm, 3).expect("record");
+        let mut dropped = clean.clone();
+        SyntheticEcg::lead_dropout(&mut dropped, 1, 2.0, 3.0);
+        let fs = dropped.fs;
+        let (start, end) = ((2.0 * fs) as usize, (5.0 * fs) as usize);
+        let hold = dropped.leads[1][start];
+        assert!(
+            dropped.leads[1][start..end].iter().all(|&s| s == hold),
+            "dropout window is flat"
+        );
+        assert_eq!(dropped.leads[0], clean.leads[0], "lead 0 untouched");
+        assert_eq!(dropped.leads[2], clean.leads[2], "lead 2 untouched");
+        // Out-of-range lead and empty window are no-ops.
+        let before = dropped.clone();
+        SyntheticEcg::lead_dropout(&mut dropped, 9, 0.0, 1.0);
+        SyntheticEcg::lead_dropout(&mut dropped, 0, 5.0, 0.0);
+        assert_eq!(dropped, before);
+    }
+
+    #[test]
+    fn baseline_storm_adds_low_frequency_power() {
+        let mut gen = SyntheticEcg::with_seed(43);
+        let rhythm = vec![BeatClass::Normal; 10];
+        let clean = gen.record(303, &rhythm, 1).expect("record");
+        let mut stormy = clean.clone();
+        gen.baseline_storm(&mut stormy, 1.5);
+        assert_eq!(stormy.annotations, clean.annotations);
+        // The added drift should move the signal mean over multi-second
+        // windows by a sizeable fraction of the storm amplitude somewhere.
+        let fs = clean.fs as usize;
+        let max_window_shift = stormy.leads[0]
+            .chunks(fs)
+            .zip(clean.leads[0].chunks(fs))
+            .map(|(s, c)| {
+                let ms = s.iter().sum::<f64>() / s.len() as f64;
+                let mc = c.iter().sum::<f64>() / c.len() as f64;
+                (ms - mc).abs()
+            })
+            .fold(f64::MIN, f64::max);
+        assert!(
+            max_window_shift > 0.5,
+            "storm shifts one-second means (max {max_window_shift})"
+        );
+    }
+
+    #[test]
+    fn pacing_artifacts_appear_at_the_requested_cadence() {
+        let mut gen = SyntheticEcg::with_seed(44);
+        let rhythm = vec![BeatClass::Normal; 10];
+        let clean = gen.record(304, &rhythm, 1).expect("record");
+        let mut paced = clean.clone();
+        gen.pacing_artifacts(&mut paced, 1.0);
+        assert_eq!(paced.annotations, clean.annotations);
+        // Count samples whose difference to the clean record exceeds 2 mV:
+        // roughly one spike (2 samples) per second.
+        let spikes = paced.leads[0]
+            .iter()
+            .zip(&clean.leads[0])
+            .filter(|(a, b)| (*a - *b).abs() > 2.0)
+            .count();
+        let seconds = clean.duration_s();
+        assert!(
+            spikes as f64 > seconds * 0.8 && (spikes as f64) < seconds * 4.0,
+            "~2 spike samples per second expected, got {spikes} over {seconds:.1}s"
+        );
+    }
+
+    #[test]
+    fn rate_skew_scales_signal_and_annotations() {
+        let mut gen = SyntheticEcg::with_seed(45);
+        let rhythm = vec![BeatClass::Normal; 8];
+        let clean = gen.record(305, &rhythm, 2).expect("record");
+        let skewed = SyntheticEcg::rate_skew(&clean, 1.10).expect("skewed");
+        assert_eq!(skewed.num_leads(), clean.num_leads());
+        assert_eq!(skewed.annotations.len(), clean.annotations.len());
+        let expected = ((clean.len() as f64) * 1.10).round() as usize;
+        assert_eq!(skewed.len(), expected);
+        for (s, c) in skewed.annotations.iter().zip(&clean.annotations) {
+            assert_eq!(s.class, c.class);
+            let expected = ((c.sample as f64) * 1.10).round() as usize;
+            assert_eq!(s.sample, expected);
+        }
+        // Identity skew reproduces the record exactly.
+        let same = SyntheticEcg::rate_skew(&clean, 1.0).expect("identity");
+        assert_eq!(same, clean);
+        // Invalid factors are rejected.
+        assert!(SyntheticEcg::rate_skew(&clean, 0.0).is_err());
+        assert!(SyntheticEcg::rate_skew(&clean, f64::NAN).is_err());
+        assert!(SyntheticEcg::rate_skew(&clean, -1.0).is_err());
     }
 }

@@ -9,10 +9,31 @@
 //! contract: a slow gateway (or a gateway back-pressured by this client not
 //! reading fast enough) stalls the sender instead of growing buffers on
 //! either side.
+//!
+//! ## Replay and resume
+//!
+//! Every sample frame is queued in a per-session **replay buffer** before it
+//! goes on the wire and stays there until the gateway acknowledges it (the
+//! cumulative `acked_seq` riding on [`Frame::Credit`]). The buffer is
+//! bounded: acknowledged frames are trimmed immediately, so for a compliant
+//! gateway it never holds more than a credit budget's worth of samples plus
+//! the chunk currently being sent. When the link dies mid-session,
+//! [`NodeClient::reconnect_with_backoff`] dials again (exponential
+//! backoff), re-attaches every open session with
+//! [`Frame::ResumeSession`], discards replay entries the gateway already
+//! received (`next_expected_seq`) and retransmits the rest — so the
+//! gateway's stream is gap-free and duplicate-free without re-running
+//! threshold calibration.
+//!
+//! After a transport error the client is **broken**: every send fails until
+//! a successful reconnect. Samples handed to [`NodeClient::send_mv`] /
+//! [`NodeClient::send_adc`] before the error are already queued for replay
+//! and must not be sent again by the caller.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use hbc_embedded::firmware::BeatOutcome;
 
@@ -24,8 +45,25 @@ use crate::NetError;
 /// Client-side view of one open session.
 #[derive(Debug, Default)]
 struct ClientSession {
+    /// Patient id the session was opened for (echoed in resume requests).
+    patient_id: u32,
+    /// Resume token from [`Frame::SessionOpened`].
+    token: u64,
     credit: usize,
+    /// Next sequence number to assign to a queued sample frame.
     next_seq: u32,
+    /// Sample frames below this sequence number are acknowledged by the
+    /// gateway (safely buffered there) and dropped from replay.
+    acked_seq: u32,
+    /// Largest frame worth queueing: `min(MAX_SAMPLES_PER_FRAME, budget)`,
+    /// so every queued frame can eventually be covered by credit.
+    frame_cap: usize,
+    /// Unacknowledged sample frames, oldest first: `(seq, codes)`.
+    replay: VecDeque<(u32, Vec<i16>)>,
+    /// How many frames at the front of `replay` have been written to the
+    /// *current* connection (reset to 0 on resume → full retransmit of
+    /// whatever the gateway reports missing).
+    transmitted: usize,
     outcomes: Vec<BeatOutcome>,
     report: Option<WireReport>,
 }
@@ -49,6 +87,13 @@ pub struct NodeClient {
     opened: Vec<u32>,
     /// Fatal [`Frame::Deny`] received from the gateway, if any.
     denied: Option<String>,
+    /// A transport or protocol error poisoned the current connection; all
+    /// traffic fails until [`NodeClient::reconnect_with_backoff`] succeeds.
+    broken: bool,
+    /// Read/write timeout applied to the transport (and re-applied after a
+    /// reconnect). A timeout surfaces as an I/O error, breaking the
+    /// connection — the recovery path is a resume.
+    io_timeout: Option<Duration>,
 }
 
 impl NodeClient {
@@ -66,13 +111,35 @@ impl NodeClient {
             sessions: HashMap::new(),
             opened: Vec::new(),
             denied: None,
+            broken: false,
+            io_timeout: None,
         };
-        client.send_frame(&Frame::Hello {
+        client.handshake()?;
+        Ok(client)
+    }
+
+    /// Bounds every blocking read/write on the transport: a link that goes
+    /// quiet for longer errors out instead of hanging, which is what turns
+    /// a byte-swallowing fault (truncation, stalled proxy) into a clean
+    /// reconnect-and-resume. Survives reconnects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        self.io_timeout = timeout;
+        Ok(())
+    }
+
+    fn handshake(&mut self) -> Result<(), NetError> {
+        self.send_frame(&Frame::Hello {
             version: PROTOCOL_VERSION,
         })?;
-        let hello = client.wait_frame(|f| matches!(f, Frame::Hello { .. }))?;
+        let hello = self.wait_frame(|f| matches!(f, Frame::Hello { .. }))?;
         match hello {
-            Frame::Hello { version } if version == PROTOCOL_VERSION => Ok(client),
+            Frame::Hello { version } if version == PROTOCOL_VERSION => Ok(()),
             Frame::Hello { version } => Err(NetError::State(format!(
                 "gateway speaks protocol version {version}, this client {PROTOCOL_VERSION}"
             ))),
@@ -92,6 +159,7 @@ impl NodeClient {
         fs: f64,
         calib_len: u32,
     ) -> Result<u32, NetError> {
+        self.check_usable()?;
         self.send_frame(&Frame::OpenSession {
             patient_id,
             fs_millihertz: (fs * 1000.0).round() as u32,
@@ -100,7 +168,11 @@ impl NodeClient {
         while self.opened.is_empty() {
             self.read_and_dispatch()?;
         }
-        Ok(self.opened.remove(0))
+        let id = self.opened.remove(0);
+        if let Some(s) = self.sessions.get_mut(&id) {
+            s.patient_id = patient_id;
+        }
+        Ok(id)
     }
 
     /// Remaining credit of a session, in samples.
@@ -114,6 +186,21 @@ impl NodeClient {
         self.sessions
             .get(&session)
             .map_or(&[], |s| s.outcomes.as_slice())
+    }
+
+    /// Whether the gateway already sent the session's final report (the
+    /// session ended — close or eviction); drain it with
+    /// [`NodeClient::wait_session_end`].
+    pub fn session_ended(&self, session: u32) -> bool {
+        self.sessions
+            .get(&session)
+            .is_some_and(|s| s.report.is_some())
+    }
+
+    /// Sample frames currently held for replay (sent or queued but not yet
+    /// acknowledged) — the boundedness witness for the replay buffer.
+    pub fn replay_depth(&self, session: u32) -> usize {
+        self.sessions.get(&session).map_or(0, |s| s.replay.len())
     }
 
     /// Drains whatever frames the gateway has already sent, without
@@ -136,7 +223,10 @@ impl NodeClient {
     ///
     /// # Errors
     ///
-    /// Fails on socket/protocol errors or a [`Frame::Deny`].
+    /// Fails on socket/protocol errors or a [`Frame::Deny`]. On a
+    /// transport error the samples are already queued for replay: reconnect
+    /// with [`NodeClient::reconnect_with_backoff`] and do **not** re-send
+    /// them.
     pub fn send_mv(&mut self, session: u32, samples_mv: &[f64]) -> Result<(), NetError> {
         let mut codes = Vec::new();
         quantize_mv_into(samples_mv, &mut codes);
@@ -149,49 +239,75 @@ impl NodeClient {
     ///
     /// Fails on socket/protocol errors or a [`Frame::Deny`].
     pub fn send_adc(&mut self, session: u32, codes: &[i16]) -> Result<(), NetError> {
-        let mut rest = codes;
-        while !rest.is_empty() {
+        // Queue first (infallible), then drive transmission. The split
+        // makes error recovery unambiguous: whatever was handed to this
+        // call is in the replay buffer, so after a reconnect the caller
+        // continues with *new* samples only.
+        let s = self.session_mut(session)?;
+        if s.report.is_some() {
+            return Err(NetError::State(format!(
+                "session {session} was ended by the gateway mid-send \
+                 (final report received; drain it with wait_session_end)"
+            )));
+        }
+        let cap = s.frame_cap.max(1);
+        for chunk in codes.chunks(cap) {
+            let seq = s.next_seq;
+            s.next_seq += 1;
+            s.replay.push_back((seq, chunk.to_vec()));
+        }
+        self.transmit_queued(session)
+    }
+
+    /// Writes queued replay frames to the wire as credit allows, blocking
+    /// on the gateway when out of credit.
+    fn transmit_queued(&mut self, session: u32) -> Result<(), NetError> {
+        loop {
+            self.check_usable()?;
             self.pump()?;
             let s = self.session(session)?;
+            if s.transmitted >= s.replay.len() {
+                return Ok(());
+            }
             if s.report.is_some() {
-                // The gateway ended the session (eviction) while samples
-                // were still queued here: no more credit will ever arrive.
                 return Err(NetError::State(format!(
                     "session {session} was ended by the gateway mid-send \
                      (final report received; drain it with wait_session_end)"
                 )));
             }
-            let credit = s.credit;
-            if credit == 0 {
+            let frame_len = s.replay[s.transmitted].1.len();
+            if s.credit < frame_len {
                 // Out of credit: block until the gateway grants more.
                 self.read_and_dispatch()?;
                 continue;
             }
-            let n = rest.len().min(credit).min(MAX_SAMPLES_PER_FRAME);
-            let (chunk, tail) = rest.split_at(n);
             let s = self.session_mut(session)?;
-            let seq = s.next_seq;
-            s.next_seq += 1;
-            s.credit -= n;
+            let (seq, codes) = s.replay[s.transmitted].clone();
+            s.credit -= frame_len;
+            s.transmitted += 1;
             self.send_frame(&Frame::Samples {
                 session,
                 seq,
-                samples: chunk.to_vec(),
+                samples: codes,
             })?;
-            rest = tail;
         }
-        Ok(())
     }
 
     /// Closes a session and blocks for the gateway's final
     /// [`Frame::Report`], returning every outcome received plus the report.
+    ///
+    /// Safe to call again after a reconnect: queued frames are flushed
+    /// first and the close request is re-issued.
     ///
     /// # Errors
     ///
     /// Fails on socket/protocol errors or a [`Frame::Deny`].
     pub fn close_session(&mut self, session: u32) -> Result<SessionSummary, NetError> {
         self.session(session)?;
-        self.send_frame(&Frame::CloseSession { session })?;
+        if !self.session_ended(session) {
+            self.transmit_queued(session)?;
+            self.send_frame(&Frame::CloseSession { session })?;
+        }
         while self.session(session)?.report.is_none() {
             self.read_and_dispatch()?;
         }
@@ -219,6 +335,111 @@ impl NodeClient {
         })
     }
 
+    /// Dials `addr` with exponential backoff and re-attaches every open
+    /// session via [`Frame::ResumeSession`]: replay entries the gateway
+    /// already holds are dropped, the rest are retransmitted, and credit
+    /// restarts at the absolute figure from [`Frame::SessionResumed`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when every dial attempt errors, on a [`Frame::Deny`] (unknown
+    /// or expired token — the session is unrecoverable), or on
+    /// socket/protocol errors during re-attachment.
+    pub fn reconnect_with_backoff(
+        &mut self,
+        addr: impl ToSocketAddrs,
+        attempts: u32,
+        base_delay: Duration,
+    ) -> Result<(), NetError> {
+        let mut delay = base_delay;
+        let mut last_err: Option<NetError> = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+            }
+            match TcpStream::connect(&addr) {
+                Ok(stream) => return self.resume_on(stream),
+                Err(e) => last_err = Some(e.into()),
+            }
+        }
+        Err(last_err.unwrap_or(NetError::State("no connection attempts made".into())))
+    }
+
+    /// Replaces the transport with `stream` and resumes every open session.
+    fn resume_on(&mut self, stream: TcpStream) -> Result<(), NetError> {
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(self.io_timeout)?;
+        stream.set_write_timeout(self.io_timeout)?;
+        self.stream = stream;
+        self.decoder = FrameDecoder::new();
+        self.denied = None;
+        self.broken = false;
+        self.handshake()?;
+        let mut ids: Vec<u32> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.report.is_none())
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let s = self.session(id)?;
+            let request = Frame::ResumeSession {
+                patient_id: s.patient_id,
+                session_token: s.token,
+                last_acked_seq: s.acked_seq,
+                outcomes_received: s.outcomes.len() as u64,
+            };
+            self.send_frame(&request)?;
+            let resumed = self.wait_frame(|f| matches!(f, Frame::SessionResumed { .. }))?;
+            let Frame::SessionResumed {
+                session,
+                next_expected_seq,
+                credit,
+            } = resumed
+            else {
+                unreachable!("wait_frame matched SessionResumed");
+            };
+            if session != id {
+                return Err(NetError::State(format!(
+                    "gateway resumed session {session}, expected {id}"
+                )));
+            }
+            let s = self.session_mut(id)?;
+            while s
+                .replay
+                .front()
+                .is_some_and(|(seq, _)| *seq < next_expected_seq)
+            {
+                s.replay.pop_front();
+            }
+            s.acked_seq = next_expected_seq;
+            s.credit = credit as usize;
+            s.transmitted = 0;
+            self.transmit_queued(id)?;
+        }
+        Ok(())
+    }
+
+    /// Abruptly shuts the transport down (both directions) without telling
+    /// the gateway — a link failure in miniature, for tests and the chaos
+    /// harness. Subsequent traffic fails until
+    /// [`NodeClient::reconnect_with_backoff`].
+    pub fn sever(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        self.broken = true;
+    }
+
+    fn check_usable(&self) -> Result<(), NetError> {
+        if self.broken {
+            return Err(NetError::State(
+                "connection is broken; call reconnect_with_backoff".into(),
+            ));
+        }
+        Ok(())
+    }
+
     fn session(&self, session: u32) -> Result<&ClientSession, NetError> {
         self.sessions
             .get(&session)
@@ -233,7 +454,10 @@ impl NodeClient {
 
     fn send_frame(&mut self, frame: &Frame) -> Result<(), NetError> {
         let bytes = frame.encode();
-        self.stream.write_all(&bytes)?;
+        if let Err(e) = self.stream.write_all(&bytes) {
+            self.broken = true;
+            return Err(e.into());
+        }
         Ok(())
     }
 
@@ -244,17 +468,21 @@ impl NodeClient {
         loop {
             match self.stream.read(&mut buf) {
                 Ok(0) => {
+                    self.broken = true;
                     return Err(self
                         .denied
                         .take()
-                        .map_or(NetError::Closed, NetError::Denied))
+                        .map_or(NetError::Closed, NetError::Denied));
                 }
                 Ok(n) => {
                     self.decoder.feed(&buf[..n]);
                     break;
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    self.broken = true;
+                    return Err(e.into());
+                }
             }
         }
         self.dispatch_buffered()
@@ -266,15 +494,19 @@ impl NodeClient {
         loop {
             match self.stream.read(&mut buf) {
                 Ok(0) => {
+                    self.broken = true;
                     return Err(self
                         .denied
                         .take()
-                        .map_or(NetError::Closed, NetError::Denied))
+                        .map_or(NetError::Closed, NetError::Denied));
                 }
                 Ok(n) => self.decoder.feed(&buf[..n]),
                 Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    self.broken = true;
+                    return Err(e.into());
+                }
             }
         }
     }
@@ -297,33 +529,54 @@ impl NodeClient {
             let mut buf = [0u8; 16 * 1024];
             match self.stream.read(&mut buf) {
                 Ok(0) => {
+                    self.broken = true;
                     return Err(self
                         .denied
                         .take()
-                        .map_or(NetError::Closed, NetError::Denied))
+                        .map_or(NetError::Closed, NetError::Denied));
                 }
                 Ok(n) => self.decoder.feed(&buf[..n]),
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    self.broken = true;
+                    return Err(e.into());
+                }
             }
         }
     }
 
     fn dispatch(&mut self, frame: Frame) -> Result<(), NetError> {
         match frame {
-            Frame::SessionOpened { session, credit } => {
+            Frame::SessionOpened {
+                session,
+                credit,
+                token,
+            } => {
                 self.sessions.insert(
                     session,
                     ClientSession {
+                        token,
                         credit: credit as usize,
+                        frame_cap: (credit as usize).min(MAX_SAMPLES_PER_FRAME),
                         ..ClientSession::default()
                     },
                 );
                 self.opened.push(session);
             }
-            Frame::Credit { session, grant } => {
+            Frame::Credit {
+                session,
+                grant,
+                acked_seq,
+            } => {
                 if let Some(s) = self.sessions.get_mut(&session) {
                     s.credit += grant as usize;
+                    if acked_seq > s.acked_seq {
+                        s.acked_seq = acked_seq;
+                        while s.replay.front().is_some_and(|(seq, _)| *seq < acked_seq) {
+                            s.replay.pop_front();
+                            s.transmitted = s.transmitted.saturating_sub(1);
+                        }
+                    }
                 }
             }
             Frame::Outcomes { session, outcomes } => {
@@ -342,12 +595,21 @@ impl NodeClient {
             }
             Frame::Deny { message } => {
                 self.denied = Some(message.clone());
+                self.broken = true;
                 return Err(NetError::Denied(message));
             }
             Frame::Hello { .. } => {
                 return Err(NetError::State("unexpected Hello after handshake".into()))
             }
-            Frame::OpenSession { .. } | Frame::Samples { .. } | Frame::CloseSession { .. } => {
+            Frame::SessionResumed { .. } => {
+                return Err(NetError::State(
+                    "unsolicited SessionResumed outside a resume".into(),
+                ))
+            }
+            Frame::OpenSession { .. }
+            | Frame::Samples { .. }
+            | Frame::CloseSession { .. }
+            | Frame::ResumeSession { .. } => {
                 return Err(NetError::State("gateway sent a client-only frame".into()))
             }
         }

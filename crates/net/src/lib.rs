@@ -20,7 +20,13 @@
 //!   [`StreamHub::ingest`] so decode and classification fan out over
 //!   `hbc-par`;
 //! * [`client`] — the blocking [`NodeClient`] used by tests and the
-//!   `telemetry_gateway` example.
+//!   `telemetry_gateway` example; keeps a bounded replay buffer of
+//!   unacknowledged sample frames and re-attaches dropped sessions with
+//!   reconnect-with-backoff ([`NodeClient::reconnect_with_backoff`]);
+//! * [`chaos`] — a deterministic fault-injecting TCP proxy
+//!   ([`ChaosProxy`]): corruption, duplication, reordering, truncation,
+//!   slow-loris stalls and mid-stream kills on a seeded, replayable
+//!   schedule, for wire-level failure testing.
 //!
 //! Per-beat outcomes received over the socket are **bit-identical** to the
 //! batch `process_record` pipeline for any packetization — the network
@@ -33,11 +39,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod client;
 pub mod proto;
 pub mod server;
 pub mod session;
 
+pub use chaos::{ChaosConfig, ChaosDirection, ChaosProxy, ChaosStats, FaultKind};
 pub use client::{NodeClient, SessionSummary};
 pub use proto::{Frame, FrameDecoder, ProtoError, WireOutcome, WireReport, PROTOCOL_VERSION};
 pub use server::{Gateway, GatewayConfig, GatewayStats, OverflowPolicy};

@@ -36,7 +36,11 @@ use hbc_embedded::fixed::AdcModel;
 
 /// Version of the wire protocol spoken by this build. Exchanged in both
 /// directions by [`Frame::Hello`]; the gateway denies mismatched peers.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2 added session resumption ([`Frame::ResumeSession`] /
+/// [`Frame::SessionResumed`]), the resume token in [`Frame::SessionOpened`]
+/// and the cumulative `acked_seq` in [`Frame::Credit`].
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on `len` (tag + body) the decoder accepts. A corrupt or
 /// hostile length prefix beyond this is rejected before any buffering.
@@ -172,10 +176,10 @@ pub struct WireReport {
 /// Every message of the protocol.
 ///
 /// Client → gateway: [`Frame::Hello`], [`Frame::OpenSession`],
-/// [`Frame::Samples`], [`Frame::CloseSession`].
+/// [`Frame::Samples`], [`Frame::CloseSession`], [`Frame::ResumeSession`].
 /// Gateway → client: [`Frame::Hello`] (handshake echo),
 /// [`Frame::SessionOpened`], [`Frame::Credit`], [`Frame::Outcomes`],
-/// [`Frame::Report`], [`Frame::Deny`].
+/// [`Frame::Report`], [`Frame::Deny`], [`Frame::SessionResumed`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
     /// Handshake. The first frame in each direction; carries the protocol
@@ -213,12 +217,47 @@ pub enum Frame {
         /// Session to close.
         session: u32,
     },
+    /// Re-attaches a session whose connection died, identified by the
+    /// resume token from [`Frame::SessionOpened`]. The gateway keeps
+    /// calibrated thresholds and the stream position for a retention
+    /// window, so the node does not re-run threshold calibration. The
+    /// gateway answers with [`Frame::SessionResumed`] (or [`Frame::Deny`]
+    /// when the token is unknown or the window elapsed).
+    ResumeSession {
+        /// Patient identifier; must match the session being resumed.
+        patient_id: u32,
+        /// The resume token issued at [`Frame::SessionOpened`].
+        session_token: u64,
+        /// Count of [`Frame::Samples`] frames the client knows the gateway
+        /// received (its last observed `acked_seq`); informational — the
+        /// gateway's own `next_expected_seq` is authoritative.
+        last_acked_seq: u32,
+        /// Outcomes the client received before the link died; the gateway
+        /// rewinds its forwarding position here so the outcome stream has
+        /// no gap.
+        outcomes_received: u64,
+    },
     /// Open acknowledgement: the gateway-assigned session id plus the
     /// session's full credit budget (samples the client may have in flight).
     SessionOpened {
         /// Newly assigned session id.
         session: u32,
         /// Initial credit, in samples.
+        credit: u32,
+        /// Resume token for [`Frame::ResumeSession`]. Unique per gateway;
+        /// an opaque correlation handle, not a security boundary.
+        token: u64,
+    },
+    /// Resume acknowledgement: the wire id is unchanged, sending restarts
+    /// at `next_expected_seq` with `credit` samples of budget.
+    SessionResumed {
+        /// The resumed session's wire id.
+        session: u32,
+        /// Sequence number of the next [`Frame::Samples`] frame the gateway
+        /// expects — frames below it were received and must not be resent.
+        next_expected_seq: u32,
+        /// Absolute credit after the resume (budget minus samples still
+        /// buffered gateway-side); replaces the client's counter.
         credit: u32,
     },
     /// Replenishes `grant` samples of credit as the hub consumes the
@@ -228,6 +267,10 @@ pub enum Frame {
         session: u32,
         /// Samples of credit returned to the sender.
         grant: u32,
+        /// Cumulative count of [`Frame::Samples`] frames received for the
+        /// session — everything below this sequence number is safely
+        /// buffered gateway-side and may be dropped from replay buffers.
+        acked_seq: u32,
     },
     /// Classified beats, in temporal order, as they fall out of the hub.
     Outcomes {
@@ -255,11 +298,13 @@ const TAG_HELLO: u8 = 0x01;
 const TAG_OPEN_SESSION: u8 = 0x02;
 const TAG_SAMPLES: u8 = 0x03;
 const TAG_CLOSE_SESSION: u8 = 0x04;
+const TAG_RESUME_SESSION: u8 = 0x05;
 const TAG_SESSION_OPENED: u8 = 0x81;
 const TAG_CREDIT: u8 = 0x82;
 const TAG_OUTCOMES: u8 = 0x83;
 const TAG_REPORT: u8 = 0x84;
 const TAG_DENY: u8 = 0x85;
+const TAG_SESSION_RESUMED: u8 = 0x86;
 
 /// Decoding errors. All are fatal for the byte stream they occurred on —
 /// after a framing error the decoder cannot find the next frame boundary.
@@ -406,15 +451,47 @@ impl Frame {
                 out.push(TAG_CLOSE_SESSION);
                 put_u32(out, *session);
             }
-            Frame::SessionOpened { session, credit } => {
+            Frame::ResumeSession {
+                patient_id,
+                session_token,
+                last_acked_seq,
+                outcomes_received,
+            } => {
+                out.push(TAG_RESUME_SESSION);
+                put_u32(out, *patient_id);
+                put_u64(out, *session_token);
+                put_u32(out, *last_acked_seq);
+                put_u64(out, *outcomes_received);
+            }
+            Frame::SessionOpened {
+                session,
+                credit,
+                token,
+            } => {
                 out.push(TAG_SESSION_OPENED);
                 put_u32(out, *session);
                 put_u32(out, *credit);
+                put_u64(out, *token);
             }
-            Frame::Credit { session, grant } => {
+            Frame::SessionResumed {
+                session,
+                next_expected_seq,
+                credit,
+            } => {
+                out.push(TAG_SESSION_RESUMED);
+                put_u32(out, *session);
+                put_u32(out, *next_expected_seq);
+                put_u32(out, *credit);
+            }
+            Frame::Credit {
+                session,
+                grant,
+                acked_seq,
+            } => {
                 out.push(TAG_CREDIT);
                 put_u32(out, *session);
                 put_u32(out, *grant);
+                put_u32(out, *acked_seq);
             }
             Frame::Outcomes { session, outcomes } => {
                 out.push(TAG_OUTCOMES);
@@ -478,13 +555,26 @@ impl Frame {
                 }
             }
             TAG_CLOSE_SESSION => Frame::CloseSession { session: c.u32()? },
+            TAG_RESUME_SESSION => Frame::ResumeSession {
+                patient_id: c.u32()?,
+                session_token: c.u64()?,
+                last_acked_seq: c.u32()?,
+                outcomes_received: c.u64()?,
+            },
             TAG_SESSION_OPENED => Frame::SessionOpened {
                 session: c.u32()?,
+                credit: c.u32()?,
+                token: c.u64()?,
+            },
+            TAG_SESSION_RESUMED => Frame::SessionResumed {
+                session: c.u32()?,
+                next_expected_seq: c.u32()?,
                 credit: c.u32()?,
             },
             TAG_CREDIT => Frame::Credit {
                 session: c.u32()?,
                 grant: c.u32()?,
+                acked_seq: c.u32()?,
             },
             TAG_OUTCOMES => {
                 let session = c.u32()?;
@@ -634,10 +724,23 @@ mod tests {
             Frame::SessionOpened {
                 session: 1,
                 credit: 65536,
+                token: 0xDEAD_BEEF_F00D_CAFE,
+            },
+            Frame::ResumeSession {
+                patient_id: 7,
+                session_token: 0xDEAD_BEEF_F00D_CAFE,
+                last_acked_seq: 41,
+                outcomes_received: 17,
+            },
+            Frame::SessionResumed {
+                session: 1,
+                next_expected_seq: 42,
+                credit: 4096,
             },
             Frame::Credit {
                 session: 1,
                 grant: 512,
+                acked_seq: 42,
             },
             Frame::Outcomes {
                 session: 1,

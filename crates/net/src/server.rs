@@ -8,9 +8,10 @@
 //! whose calibration stretch is complete, batch at most one pending chunk
 //! per session into a single [`StreamHub::ingest`] call (so decode and
 //! classification still fan out over `hbc-par`), forward freshly classified
-//! beats, grant credit, evict idle sessions and flush write buffers.
-//! [`Gateway::run`] loops `poll` until a shutdown flag flips, then reports
-//! [`GatewayStats`].
+//! beats, grant credit, evict idle sessions, park the sessions of dead
+//! connections for resumption (and expire parked ones past the retention
+//! window) and flush write buffers. [`Gateway::run`] loops `poll` until a
+//! shutdown flag flips, then reports [`GatewayStats`].
 //!
 //! ## Credit-based flow control
 //!
@@ -38,7 +39,7 @@ use hbc_embedded::WbsnFirmware;
 use crate::proto::{
     Frame, FrameDecoder, WireOutcome, WireReport, MAX_SAMPLES_PER_FRAME, PROTOCOL_VERSION,
 };
-use crate::session::{SessionManager, SessionPhase};
+use crate::session::{ResumeOutcome, SessionManager, SessionPhase};
 
 /// What the gateway does to a sender that overruns its credit budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +70,11 @@ pub struct GatewayConfig {
     /// Most samples one session feeds into the hub per reactor sweep; keeps
     /// single sweeps short so no session can monopolise the reactor.
     pub max_ingest_per_poll: usize,
+    /// How long a session whose connection died stays resumable (calibrated
+    /// thresholds + stream position parked for [`Frame::ResumeSession`]).
+    /// `Duration::ZERO` disables retention: a dead connection discards its
+    /// sessions immediately, as before protocol version 2.
+    pub resume_window: Duration,
 }
 
 impl Default for GatewayConfig {
@@ -79,6 +85,7 @@ impl Default for GatewayConfig {
             idle_timeout: Duration::from_secs(30),
             overflow: OverflowPolicy::Disconnect,
             max_ingest_per_poll: 8192,
+            resume_window: Duration::from_secs(30),
         }
     }
 }
@@ -107,6 +114,12 @@ pub struct GatewayStats {
     pub sessions_closed: u64,
     /// Sessions evicted by the idle timeout.
     pub sessions_evicted: u64,
+    /// Sessions parked for resume when their connection died.
+    pub sessions_detached: u64,
+    /// Sessions re-attached via [`Frame::ResumeSession`].
+    pub sessions_resumed: u64,
+    /// Detached sessions discarded because the retention window elapsed.
+    pub sessions_expired: u64,
     /// Connections denied (handshake, protocol or credit violations).
     pub denials: u64,
     /// Largest number of samples ever buffered for a single session — the
@@ -193,6 +206,12 @@ impl<'fw> Gateway<'fw> {
         self.sessions.len()
     }
 
+    /// Sessions parked for resume (their connection died within the
+    /// retention window).
+    pub fn parked_sessions(&self) -> usize {
+        self.sessions.detached_len()
+    }
+
     /// Runs the reactor until `shutdown` flips, then returns the final
     /// counters. Sleeps briefly on idle sweeps instead of spinning.
     ///
@@ -224,6 +243,7 @@ impl<'fw> Gateway<'fw> {
         progress |= self.forward_outcomes_and_credit();
         self.evict_idle();
         self.reap();
+        self.expire_detached();
         for idx in 0..self.conns.len() {
             progress |= self.flush(idx);
         }
@@ -389,6 +409,18 @@ impl<'fw> Gateway<'fw> {
                 seq,
                 samples,
             } => self.accept_samples(idx, session, seq, &samples),
+            Frame::ResumeSession {
+                patient_id,
+                session_token,
+                last_acked_seq,
+                outcomes_received,
+            } => self.resume_session(
+                idx,
+                patient_id,
+                session_token,
+                last_acked_seq,
+                outcomes_received,
+            ),
             Frame::CloseSession { session } => {
                 if self.sessions.get(session).is_some_and(|s| s.conn == idx) {
                     self.close_wire_session(session, false);
@@ -402,6 +434,7 @@ impl<'fw> Gateway<'fw> {
             }
             // Server-only frames arriving at the server are violations.
             Frame::SessionOpened { .. }
+            | Frame::SessionResumed { .. }
             | Frame::Credit { .. }
             | Frame::Outcomes { .. }
             | Frame::Report { .. } => self.deny(idx, "client sent a gateway-only frame"),
@@ -440,14 +473,79 @@ impl<'fw> Gateway<'fw> {
         let wire_id = self
             .sessions
             .open(idx, patient_id, calib_len, Instant::now());
+        let token = self.sessions.get(wire_id).expect("just opened").token;
         self.stats.sessions_opened += 1;
         self.send(
             idx,
             &Frame::SessionOpened {
                 session: wire_id,
                 credit: self.config.credit_budget as u32,
+                token,
             },
         );
+    }
+
+    /// Re-attaches a parked (or takeover) session to connection `idx` and
+    /// tells the client where to restart: the gateway's own receive
+    /// position is authoritative, the client's `last_acked_seq` is only a
+    /// cross-check, and `outcomes_received` rewinds outcome forwarding so
+    /// beats that were in flight when the link died are sent again instead
+    /// of leaving a gap.
+    fn resume_session(
+        &mut self,
+        idx: usize,
+        patient_id: u32,
+        token: u64,
+        last_acked_seq: u32,
+        outcomes_received: u64,
+    ) {
+        if self.config.resume_window.is_zero() {
+            self.deny(idx, "session resumption is disabled on this gateway");
+            return;
+        }
+        match self.sessions.resume(token, patient_id, idx, Instant::now()) {
+            ResumeOutcome::Resumed(wire_id) => {
+                let budget = self.config.credit_budget;
+                let received = self.sessions.get(wire_id).expect("just resumed").next_seq;
+                if last_acked_seq > received {
+                    self.deny(
+                        idx,
+                        &format!(
+                            "resume claims {last_acked_seq} acked sample frames, gateway received {received}"
+                        ),
+                    );
+                    return;
+                }
+                let s = self.sessions.get_mut(wire_id).expect("just resumed");
+                // The client cannot have received more outcomes than were
+                // ever forwarded; a smaller claim rewinds (resend), never
+                // a skip.
+                s.outcomes_sent = (outcomes_received as usize).min(s.outcomes_sent);
+                // Credit restarts as an absolute figure: budget minus what
+                // is still buffered gateway-side for this session.
+                s.consumed_since_grant = 0;
+                let credit = budget.saturating_sub(s.buffered()) as u32;
+                let next_expected_seq = s.next_seq;
+                self.stats.sessions_resumed += 1;
+                self.send(
+                    idx,
+                    &Frame::SessionResumed {
+                        session: wire_id,
+                        next_expected_seq,
+                        credit,
+                    },
+                );
+            }
+            ResumeOutcome::UnknownToken => {
+                self.deny(idx, "unknown or expired resume token");
+            }
+            ResumeOutcome::WrongPatient => {
+                self.deny(
+                    idx,
+                    &format!("resume token does not belong to patient {patient_id}"),
+                );
+            }
+        }
     }
 
     fn accept_samples(&mut self, idx: usize, session: u32, seq: u32, samples: &[i16]) {
@@ -654,11 +752,13 @@ impl<'fw> Gateway<'fw> {
                     .as_ref()
                     .is_some_and(|c| !c.dead && c.queued() <= self.config.max_outbox_bytes);
                 if under_cap {
+                    let acked_seq = self.sessions.get(wire_id).map_or(0, |s| s.next_seq);
                     self.send(
                         conn,
                         &Frame::Credit {
                             session: wire_id,
                             grant: grant as u32,
+                            acked_seq,
                         },
                     );
                     let s = self.sessions.get_mut(wire_id).expect("live");
@@ -750,9 +850,12 @@ impl<'fw> Gateway<'fw> {
         }
     }
 
-    /// Releases dead connections (closing their hub sessions) and closing
-    /// connections whose outbox has drained.
+    /// Releases dead connections and closing connections whose outbox has
+    /// drained. Their sessions are **detached** (parked for resume within
+    /// the retention window) when retention is enabled, discarded otherwise.
     fn reap(&mut self) {
+        let retain = !self.config.resume_window.is_zero();
+        let now = Instant::now();
         for idx in 0..self.conns.len() {
             let remove = match self.conns[idx].as_ref() {
                 Some(c) => c.dead || (c.closing && c.queued() == 0),
@@ -762,7 +865,11 @@ impl<'fw> Gateway<'fw> {
                 continue;
             }
             for wire_id in self.sessions.ids_for_conn(idx) {
-                if let Some(s) = self.sessions.remove(wire_id) {
+                if retain {
+                    if self.sessions.detach(wire_id, now) {
+                        self.stats.sessions_detached += 1;
+                    }
+                } else if let Some(s) = self.sessions.remove(wire_id) {
                     if let Some(hub_id) = s.hub_id() {
                         // Nobody is left to receive results; discard.
                         let _ = self.hub.close_session(hub_id);
@@ -770,6 +877,23 @@ impl<'fw> Gateway<'fw> {
                 }
             }
             self.conns[idx] = None;
+        }
+    }
+
+    /// Discards detached sessions whose retention window elapsed, closing
+    /// their hub sessions and retiring their wire ids.
+    fn expire_detached(&mut self) {
+        if self.config.resume_window.is_zero() {
+            return;
+        }
+        for s in self
+            .sessions
+            .expire_detached(Instant::now(), self.config.resume_window)
+        {
+            if let Some(hub_id) = s.hub_id() {
+                let _ = self.hub.close_session(hub_id);
+            }
+            self.stats.sessions_expired += 1;
         }
     }
 

@@ -18,9 +18,21 @@
 //! idle clock, while the reactor in [`crate::server`] owns sockets and the
 //! [`StreamHub`](hbc_core::StreamHub). That split keeps the state machine
 //! testable without I/O.
+//!
+//! ## Resume
+//!
+//! When a connection dies with live sessions on it, those sessions are
+//! **detached** rather than destroyed: the [`NetSession`] (and with it the
+//! hub session holding the calibrated `PeakThresholds` and the stream
+//! position) parks in a side table keyed by its resume token. A client that
+//! reconnects within the retention window re-attaches with
+//! [`crate::proto::Frame::ResumeSession`] and continues at the sequence
+//! number the gateway reports — no re-calibration, no replayed samples.
+//! Detached sessions the window expires are discarded and their wire ids
+//! retired like any other end.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How many ended-session ids the manager remembers for race tolerance.
 /// In-flight frames for an ended session can only be a connection's
@@ -50,7 +62,9 @@ pub enum SessionPhase {
 pub struct NetSession {
     /// Wire-level id (never reused within a gateway).
     pub wire_id: u32,
-    /// Index of the connection that opened the session.
+    /// Resume token issued at open (unique per manager, never reused).
+    pub token: u64,
+    /// Index of the connection that currently owns the session.
     pub conn: usize,
     /// Patient identifier from the open request.
     pub patient_id: u32,
@@ -89,10 +103,37 @@ impl NetSession {
     }
 }
 
+/// A session parked after its connection died, waiting for a
+/// [`crate::proto::Frame::ResumeSession`] within the retention window.
+#[derive(Debug)]
+struct DetachedSession {
+    session: NetSession,
+    /// When the session was detached; drives retention expiry.
+    since: Instant,
+}
+
+/// What [`SessionManager::resume`] decided.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ResumeOutcome {
+    /// Re-attached: the wire id of the session now owned by the new
+    /// connection.
+    Resumed(u32),
+    /// No live or detached session carries this token (never issued, or
+    /// the retention window elapsed and the session was discarded).
+    UnknownToken,
+    /// The token exists but belongs to a different patient id.
+    WrongPatient,
+}
+
 /// Owns every live [`NetSession`] of a gateway, keyed by wire id.
 #[derive(Debug, Default)]
 pub struct SessionManager {
     sessions: HashMap<u32, NetSession>,
+    /// Detached-but-resumable sessions, keyed by resume token.
+    detached: HashMap<u64, DetachedSession>,
+    /// SplitMix64 state behind token issuance — deterministic per manager,
+    /// unique per session; a correlation handle, not a security boundary.
+    token_state: u64,
     /// Wire ids of recently ended sessions (closed or evicted). Ends are
     /// asynchronous, so a compliant peer can still have frames for such a
     /// session in flight — the reactor ignores those instead of treating
@@ -111,15 +152,26 @@ impl SessionManager {
         Self::default()
     }
 
+    /// Draws the next resume token (SplitMix64 over a per-manager counter).
+    fn next_token(&mut self) -> u64 {
+        self.token_state = self.token_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.token_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
     /// Registers a new session in the calibrating phase and returns its
     /// wire id. Wire ids are assigned sequentially and never reused.
     pub fn open(&mut self, conn: usize, patient_id: u32, calib_len: usize, now: Instant) -> u32 {
         let wire_id = self.next_id;
         self.next_id += 1;
+        let token = self.next_token();
         self.sessions.insert(
             wire_id,
             NetSession {
                 wire_id,
+                token,
                 conn,
                 patient_id,
                 phase: SessionPhase::Calibrating { calib_len },
@@ -159,12 +211,8 @@ impl SessionManager {
     /// as retired (see [`Self::is_retired`]).
     pub fn remove(&mut self, wire_id: u32) -> Option<NetSession> {
         let removed = self.sessions.remove(&wire_id);
-        if removed.is_some() && self.retired.insert(wire_id) {
-            self.retired_order.push_back(wire_id);
-            while self.retired_order.len() > RETIRED_CAP {
-                let oldest = self.retired_order.pop_front().expect("non-empty");
-                self.retired.remove(&oldest);
-            }
+        if removed.is_some() {
+            self.retire(wire_id);
         }
         removed
     }
@@ -196,8 +244,9 @@ impl SessionManager {
     }
 
     /// Wire ids whose last activity is older than `idle` seconds before
-    /// `now` — the eviction candidates.
-    pub fn idle_ids(&self, now: Instant, idle: std::time::Duration) -> Vec<u32> {
+    /// `now` — the eviction candidates. Detached sessions are not idle,
+    /// they are waiting (their clock is the retention window).
+    pub fn idle_ids(&self, now: Instant, idle: Duration) -> Vec<u32> {
         let mut ids: Vec<u32> = self
             .sessions
             .values()
@@ -206,6 +255,104 @@ impl SessionManager {
             .collect();
         ids.sort_unstable();
         ids
+    }
+
+    /// Parks a live session in the detached table (its connection died).
+    /// The session keeps its hub handle — calibrated thresholds and stream
+    /// position survive — and waits for a resume until the retention window
+    /// expires. Returns whether the wire id was live.
+    pub fn detach(&mut self, wire_id: u32, now: Instant) -> bool {
+        let Some(session) = self.sessions.remove(&wire_id) else {
+            return false;
+        };
+        self.detached.insert(
+            session.token,
+            DetachedSession {
+                session,
+                since: now,
+            },
+        );
+        true
+    }
+
+    /// Number of sessions currently parked for resume.
+    pub fn detached_len(&self) -> usize {
+        self.detached.len()
+    }
+
+    /// Re-attaches the session carrying `token` to connection `conn`.
+    ///
+    /// Covers both the parked case (connection already reaped) and the
+    /// takeover case (the old connection has not been noticed dead yet —
+    /// the session is still live on it); either way the token holder wins.
+    pub fn resume(
+        &mut self,
+        token: u64,
+        patient_id: u32,
+        conn: usize,
+        now: Instant,
+    ) -> ResumeOutcome {
+        // Parked?
+        if let Some(parked) = self.detached.get(&token) {
+            if parked.session.patient_id != patient_id {
+                return ResumeOutcome::WrongPatient;
+            }
+            let mut parked = self.detached.remove(&token).expect("present");
+            parked.session.conn = conn;
+            parked.session.last_activity = now;
+            let wire_id = parked.session.wire_id;
+            self.sessions.insert(wire_id, parked.session);
+            return ResumeOutcome::Resumed(wire_id);
+        }
+        // Still live on a dying connection?
+        let live = self
+            .sessions
+            .values()
+            .find(|s| s.token == token)
+            .map(|s| (s.wire_id, s.patient_id));
+        match live {
+            Some((_, pid)) if pid != patient_id => ResumeOutcome::WrongPatient,
+            Some((wire_id, _)) => {
+                let s = self.sessions.get_mut(&wire_id).expect("found above");
+                s.conn = conn;
+                s.last_activity = now;
+                ResumeOutcome::Resumed(wire_id)
+            }
+            None => ResumeOutcome::UnknownToken,
+        }
+    }
+
+    /// Removes every detached session older than `window`, retiring its
+    /// wire id (stragglers and late resumes are then dropped / denied).
+    /// Returns the expired sessions for the caller to dispose of
+    /// (hub-session teardown).
+    pub fn expire_detached(&mut self, now: Instant, window: Duration) -> Vec<NetSession> {
+        let expired: Vec<u64> = self
+            .detached
+            .iter()
+            .filter(|(_, d)| now.duration_since(d.since) > window)
+            .map(|(&token, _)| token)
+            .collect();
+        let mut out: Vec<NetSession> = expired
+            .into_iter()
+            .map(|token| self.detached.remove(&token).expect("listed").session)
+            .collect();
+        out.sort_unstable_by_key(|s| s.wire_id);
+        for s in &out {
+            self.retire(s.wire_id);
+        }
+        out
+    }
+
+    /// Marks a wire id as recently ended (see [`Self::is_retired`]).
+    fn retire(&mut self, wire_id: u32) {
+        if self.retired.insert(wire_id) {
+            self.retired_order.push_back(wire_id);
+            while self.retired_order.len() > RETIRED_CAP {
+                let oldest = self.retired_order.pop_front().expect("non-empty");
+                self.retired.remove(&oldest);
+            }
+        }
     }
 }
 
@@ -256,6 +403,93 @@ mod tests {
         let idle = mgr.idle_ids(now, Duration::from_secs(30));
         assert_eq!(idle, vec![old]);
         assert!(mgr.get(fresh).is_some());
+    }
+
+    #[test]
+    fn detach_then_resume_keeps_state_and_reassigns_the_connection() {
+        let mut mgr = SessionManager::new();
+        let now = Instant::now();
+        let id = mgr.open(0, 42, 100, now);
+        let token = mgr.get(id).expect("live").token;
+        let s = mgr.get_mut(id).expect("live");
+        s.next_seq = 7;
+        s.samples_received = 700;
+
+        assert!(mgr.detach(id, now));
+        assert_eq!(mgr.len(), 0);
+        assert_eq!(mgr.detached_len(), 1);
+        assert!(
+            !mgr.is_retired(id),
+            "a detached session has not ended — its id must not be retired"
+        );
+        assert!(
+            mgr.idle_ids(now + Duration::from_secs(3600), Duration::from_secs(1))
+                .is_empty(),
+            "detached sessions are not idle-eviction candidates"
+        );
+
+        assert_eq!(
+            mgr.resume(token, 41, 3, now),
+            ResumeOutcome::WrongPatient,
+            "token + wrong patient must not re-attach"
+        );
+        assert_eq!(mgr.resume(token, 42, 3, now), ResumeOutcome::Resumed(id));
+        let s = mgr.get(id).expect("re-attached");
+        assert_eq!((s.conn, s.next_seq, s.samples_received), (3, 7, 700));
+        assert_eq!(mgr.detached_len(), 0);
+    }
+
+    #[test]
+    fn resume_of_a_still_live_session_is_a_takeover() {
+        let mut mgr = SessionManager::new();
+        let now = Instant::now();
+        let id = mgr.open(0, 9, 64, now);
+        let token = mgr.get(id).expect("live").token;
+        assert_eq!(mgr.resume(token, 9, 5, now), ResumeOutcome::Resumed(id));
+        assert_eq!(mgr.get(id).expect("live").conn, 5);
+        assert_eq!(
+            mgr.resume(0xBAD_70CEB, 9, 5, now),
+            ResumeOutcome::UnknownToken
+        );
+    }
+
+    #[test]
+    fn detached_sessions_expire_after_the_window_and_retire_their_ids() {
+        let mut mgr = SessionManager::new();
+        let now = Instant::now();
+        let a = mgr.open(0, 1, 10, now);
+        let b = mgr.open(0, 2, 10, now);
+        let token_a = mgr.get(a).expect("live").token;
+        mgr.detach(a, now);
+        mgr.detach(b, now + Duration::from_secs(5));
+
+        let window = Duration::from_secs(10);
+        assert!(mgr
+            .expire_detached(now + Duration::from_secs(9), window)
+            .is_empty());
+        let expired = mgr.expire_detached(now + Duration::from_secs(12), window);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].wire_id, a);
+        assert!(mgr.is_retired(a), "expiry is an end — the id retires");
+        assert!(!mgr.is_retired(b));
+        assert_eq!(
+            mgr.resume(token_a, 1, 0, now + Duration::from_secs(12)),
+            ResumeOutcome::UnknownToken,
+            "an expired token is gone"
+        );
+        assert_eq!(mgr.detached_len(), 1);
+    }
+
+    #[test]
+    fn tokens_are_unique_per_manager() {
+        let mut mgr = SessionManager::new();
+        let now = Instant::now();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..256 {
+            let id = mgr.open(0, 1, 1, now);
+            assert!(seen.insert(mgr.get(id).expect("live").token));
+            mgr.remove(id);
+        }
     }
 
     #[test]

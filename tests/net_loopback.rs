@@ -38,6 +38,8 @@ use heartbeat_rp::hbc_rp::PackedProjection;
 use heartbeat_rp::pipeline::TrainedSystem;
 use heartbeat_rp::StreamHub;
 
+mod support;
+
 fn system() -> &'static TrainedSystem {
     static SYSTEM: OnceLock<TrainedSystem> = OnceLock::new();
     SYSTEM.get_or_init(|| TrainedSystem::train(&ExperimentConfig::quick()).expect("training"))
@@ -360,7 +362,10 @@ fn credit_violators_are_disconnected_and_other_sessions_survive() {
         let opened = read_until(&mut raw, &mut decoder, |f| {
             matches!(f, Frame::SessionOpened { .. })
         });
-        let Frame::SessionOpened { session, credit } = opened else {
+        let Frame::SessionOpened {
+            session, credit, ..
+        } = opened
+        else {
             unreachable!()
         };
         assert_eq!(credit as usize, budget);
@@ -559,8 +564,13 @@ fn sending_into_an_evicted_session_errors_instead_of_hanging() {
         let mut client = NodeClient::connect(addr).expect("connect");
         let id = client.open_session(3, fs, 720).expect("open");
         client.send_mv(id, &vec![0.0; 720]).expect("send");
-        // Pause past the idle timeout: the gateway evicts and reports.
-        std::thread::sleep(Duration::from_millis(600));
+        // Fall silent until the gateway evicts and its report arrives —
+        // deadline-polled, not a fixed sleep, so the test is immune to
+        // scheduler hiccups on loaded machines.
+        support::wait_until(Duration::from_secs(10), || {
+            client.pump().expect("pump");
+            client.session_ended(id)
+        });
         // Resuming with far more samples than the remaining credit must
         // surface the eviction (the gateway will never grant again), not
         // block forever waiting for credit.

@@ -1,0 +1,34 @@
+//! Shared helpers for the socket-level integration suites
+//! (`net_loopback.rs`, `chaos_gateway.rs`).
+//!
+//! Kept in `tests/support/` (not a sibling `.rs` file) so Cargo does not
+//! compile it as a test target of its own; each suite pulls it in with
+//! `mod support;`.
+
+#![allow(dead_code)]
+
+use std::time::{Duration, Instant};
+
+/// Polls `cond` every millisecond until it returns `true` or `deadline`
+/// elapses; panics on timeout. Replaces fixed sleeps so the suites stay fast
+/// on idle machines and reliable on loaded ones.
+pub fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(
+            start.elapsed() < deadline,
+            "condition not met within {deadline:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Seed driving every chaos fault schedule: `HBC_CHAOS_SEED` when set (CI
+/// pins it so failures replay bit-for-bit), otherwise a fixed default so
+/// local runs are reproducible too.
+pub fn chaos_seed() -> u64 {
+    std::env::var("HBC_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC4A0_5EED)
+}
