@@ -305,6 +305,52 @@ impl<'fw> StreamHub<'fw> {
         });
     }
 
+    /// Migrates the hub — and every live session — to a retrained firmware
+    /// image (model hot-swap), without dropping or duplicating a single
+    /// outcome.
+    ///
+    /// The exclusive borrow *is* the swap barrier: `ingest` takes `&self`,
+    /// so no parallel sweep can be in flight while the swap runs, and each
+    /// session's mutex serialises the swap against any other reader. Beats
+    /// are classified atomically inside the streaming firmware's `push`, so
+    /// the swap always lands on a beat boundary — every beat is scored
+    /// entirely by the old image or entirely by the new one, never a
+    /// mixture. Emitted outcome histories are untouched; sessions keep
+    /// their per-patient thresholds and filter state, so no re-calibration
+    /// is needed. Sessions added after the swap use the new image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Embedded`] when the new image's beat window
+    /// differs from the deployed one (the streaming windowers are sized for
+    /// it); the hub is left unchanged.
+    pub fn swap_pipeline(&mut self, firmware: &'fw WbsnFirmware) -> Result<()> {
+        if firmware.window != self.firmware.window {
+            return Err(CoreError::Embedded(hbc_embedded::EmbeddedError::Dimension(
+                format!(
+                    "cannot hot-swap to a firmware with window {:?} (deployed: {:?})",
+                    firmware.window, self.firmware.window
+                ),
+            )));
+        }
+        for slot in &self.sessions {
+            let mut slot = slot.lock().expect("session poisoned");
+            if let Some(session) = slot.as_mut() {
+                session
+                    .stream
+                    .swap_firmware(firmware)
+                    .map_err(CoreError::Embedded)?;
+            }
+        }
+        self.firmware = firmware;
+        Ok(())
+    }
+
+    /// The firmware image the hub currently deploys to new sessions.
+    pub fn firmware(&self) -> &'fw WbsnFirmware {
+        self.firmware
+    }
+
     /// The patient identifier of a session.
     ///
     /// # Errors
@@ -579,6 +625,104 @@ mod tests {
         assert_eq!(hub.patient_id(reused).expect("live"), 9);
         assert_eq!(hub.patient_id(keep).expect("live"), 1);
         assert!(hub.outcomes(reused).expect("live").is_empty());
+    }
+
+    #[test]
+    fn hot_swap_migrates_live_sessions_without_dropping_or_duplicating() {
+        let old_fw = firmware();
+        // A genuinely retrained image: same geometry, different projection
+        // and classifier (fresh training seed), hence a different decision
+        // boundary on part of the beats.
+        let mut retrain_cfg = ExperimentConfig::quick();
+        retrain_cfg.seed = 7777;
+        let retrained = TrainedSystem::train(&retrain_cfg).expect("training");
+        let new_fw = WbsnFirmware::new(
+            PackedProjection::from_matrix(&retrained.pc_downsampled.projection),
+            retrained.wbsn.classifier.clone(),
+            AlphaQ16::from_f64(retrained.pc_downsampled.alpha_train).expect("alpha in range"),
+            retrained.config.downsample,
+            hbc_ecg::beat::BeatWindow::PAPER,
+        )
+        .expect("firmware dimensions");
+        let record = patient_record(700, 60);
+        let lead = record.lead(Lead(0)).expect("lead");
+        let chunk = record.fs as usize;
+
+        // References: the whole stream scored by the old image alone and by
+        // the new image alone. Peaks are detector-driven (classifier
+        // independent), so outcome i of both references describes the same
+        // beat and differs at most in its predicted class.
+        let reference = |fw: &WbsnFirmware| -> Vec<BeatOutcome> {
+            let mut hub = StreamHub::with_threads(fw, record.fs, NonZeroUsize::new(2));
+            let thresholds = hub.calibrate_thresholds(lead).expect("calibrate");
+            let id = hub.add_patient(record.id, thresholds);
+            for c in lead.chunks(chunk) {
+                hub.ingest(&[(id, c)]).expect("ingest");
+            }
+            hub.finish();
+            hub.outcomes(id).expect("live")
+        };
+        let ref_old = reference(&old_fw);
+        let ref_new = reference(&new_fw);
+        assert_eq!(ref_old.len(), ref_new.len());
+        assert!(
+            ref_old != ref_new,
+            "the retrained image must actually classify differently"
+        );
+
+        // Live migration: stream half, swap, stream the rest.
+        let mut hub = StreamHub::with_threads(&old_fw, record.fs, NonZeroUsize::new(2));
+        let thresholds = hub.calibrate_thresholds(lead).expect("calibrate");
+        let id = hub.add_patient(record.id, thresholds.clone());
+        let chunks: Vec<&[f64]> = lead.chunks(chunk).collect();
+        let half = chunks.len() / 2;
+        for c in &chunks[..half] {
+            hub.ingest(&[(id, c)]).expect("ingest");
+        }
+        let before_swap = hub.outcomes(id).expect("live").len();
+        assert!(before_swap > 0, "the prefix must have emitted beats");
+        hub.swap_pipeline(&new_fw).expect("compatible image");
+        assert!(std::ptr::eq(hub.firmware(), &new_fw));
+        for c in &chunks[half..] {
+            hub.ingest(&[(id, c)]).expect("ingest");
+        }
+        hub.finish();
+        let migrated = hub.outcomes(id).expect("live");
+
+        // Zero dropped, zero duplicated: same beats as both references, with
+        // a single switch point at the swap.
+        assert_eq!(migrated.len(), ref_old.len());
+        assert_eq!(&migrated[..before_swap], &ref_old[..before_swap]);
+        assert_eq!(&migrated[before_swap..], &ref_new[before_swap..]);
+
+        // Swapping to an identical image is a no-op on the outcome stream.
+        let mut hub = StreamHub::with_threads(&old_fw, record.fs, NonZeroUsize::new(2));
+        let id = hub.add_patient(record.id, thresholds.clone());
+        for (i, c) in chunks.iter().enumerate() {
+            if i == half {
+                hub.swap_pipeline(&old_fw).expect("identity swap");
+            }
+            hub.ingest(&[(id, c)]).expect("ingest");
+        }
+        hub.finish();
+        assert_eq!(hub.outcomes(id).expect("live"), ref_old);
+
+        // Incompatible geometry is rejected and leaves the hub untouched.
+        let mut bad = old_fw.clone();
+        bad.window = hbc_ecg::beat::BeatWindow::new(bad.window.pre + 4, bad.window.post);
+        assert!(hub.swap_pipeline(&bad).is_err());
+        assert!(std::ptr::eq(hub.firmware(), &old_fw));
+
+        // Sessions added after a swap use the new image: stream the same
+        // record through a post-swap session and match the new reference.
+        let mut hub = StreamHub::with_threads(&old_fw, record.fs, NonZeroUsize::new(2));
+        hub.swap_pipeline(&new_fw).expect("compatible image");
+        let id = hub.add_patient(record.id, thresholds);
+        for c in &chunks {
+            hub.ingest(&[(id, c)]).expect("ingest");
+        }
+        hub.finish();
+        assert_eq!(hub.outcomes(id).expect("live"), ref_new);
     }
 
     #[test]

@@ -169,6 +169,38 @@ impl<'fw> StreamingFirmware<'fw> {
         self.outcomes.pop_front()
     }
 
+    /// The firmware image this stream currently classifies with.
+    pub fn firmware(&self) -> &'fw WbsnFirmware {
+        self.firmware
+    }
+
+    /// Replaces the firmware image mid-stream (model hot-swap).
+    ///
+    /// Beats are classified atomically inside [`Self::push`] — a window is
+    /// cut, classified and emitted before the call returns — so a swap
+    /// between pushes always lands on a beat boundary: every beat is scored
+    /// entirely by the old image or entirely by the new one, never by a
+    /// mixture, and already-emitted outcomes are untouched. The detector
+    /// thresholds and filter state are per-patient calibration, not part of
+    /// the image, and survive the swap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddedError::Dimension`] when the new image's beat window
+    /// differs from the current one: the windower's ring buffer and history
+    /// are sized for the deployed window, so an image with a different
+    /// geometry needs a fresh session, not a swap.
+    pub fn swap_firmware(&mut self, firmware: &'fw WbsnFirmware) -> crate::Result<()> {
+        if firmware.window != self.firmware.window {
+            return Err(crate::EmbeddedError::Dimension(format!(
+                "cannot hot-swap to a firmware with window {:?} (deployed: {:?})",
+                firmware.window, self.firmware.window
+            )));
+        }
+        self.firmware = firmware;
+        Ok(())
+    }
+
     fn ingest_filtered(&mut self, filtered: f64) {
         self.windower.push_sample(filtered);
         self.detector.push(filtered);

@@ -23,6 +23,9 @@
 //!   `telemetry_gateway` example; keeps a bounded replay buffer of
 //!   unacknowledged sample frames and re-attaches dropped sessions with
 //!   reconnect-with-backoff ([`NodeClient::reconnect_with_backoff`]);
+//! * [`replay`] — offline **re-scoring** of a gateway's durable ingest log
+//!   ([`replay_log`]): every logged stream re-run through any firmware
+//!   image, bit-identical to live ingestion when the image matches;
 //! * [`chaos`] — a deterministic fault-injecting TCP proxy
 //!   ([`ChaosProxy`]): corruption, duplication, reordering, truncation,
 //!   slow-loris stalls and mid-stream kills on a seeded, replayable
@@ -42,12 +45,14 @@
 pub mod chaos;
 pub mod client;
 pub mod proto;
+pub mod replay;
 pub mod server;
 pub mod session;
 
 pub use chaos::{ChaosConfig, ChaosDirection, ChaosProxy, ChaosStats, FaultKind};
 pub use client::{NodeClient, SessionSummary};
 pub use proto::{Frame, FrameDecoder, ProtoError, WireOutcome, WireReport, PROTOCOL_VERSION};
+pub use replay::{replay_log, ReplayReport, ReplayedSession};
 pub use server::{Gateway, GatewayConfig, GatewayStats, OverflowPolicy};
 
 /// Errors surfaced by the networking crate.

@@ -1,0 +1,206 @@
+//! Offline replay: re-score a durable ingest log through a firmware image.
+//!
+//! [`replay_log`] reads the segment log a [`crate::Gateway`] wrote (see
+//! [`crate::GatewayConfig::wal`]) and re-runs every logged stream through a
+//! fresh [`StreamHub`] — the same code path live ingestion uses — so the
+//! produced outcome history is **bit-identical** to what the gateway
+//! computed online, for any packetization and any worker-thread count
+//! (chunk invariance of the streaming subsystem). Pointing it at a
+//! *different* firmware image answers "what would this pipeline have said
+//! about the exact traffic we served?" — retrospective evaluation of a
+//! candidate model on real logged streams, without touching the live
+//! service.
+//!
+//! The scan is read-only: a torn tail from a crash is skipped, never
+//! repaired, so a replay can run against the log directory of a dead
+//! gateway before (or instead of) restarting it.
+
+use std::collections::BTreeMap;
+use std::num::NonZeroUsize;
+use std::path::Path;
+
+use hbc_core::StreamHub;
+use hbc_embedded::{BeatOutcome, WbsnFirmware};
+use hbc_wal::WalRecord;
+
+/// One logged session re-scored through the pipeline, in log open order.
+#[derive(Debug, Clone)]
+pub struct ReplayedSession {
+    /// Resume token the gateway issued (the log's session key).
+    pub token: u64,
+    /// Wire-level session id.
+    pub wire_id: u32,
+    /// Patient identifier from the open request.
+    pub patient_id: u32,
+    /// Sampling rate the session was opened with, in millihertz.
+    pub fs_millihertz: u32,
+    /// Samples logged for the session (accepted by the gateway).
+    pub samples: u64,
+    /// Whether the log records a clean end for the session.
+    pub closed: bool,
+    /// Whether the logged stream covered the calibration stretch (an
+    /// uncalibrated session has no outcomes by construction).
+    pub calibrated: bool,
+    /// The full re-scored outcome history.
+    pub outcomes: Vec<BeatOutcome>,
+}
+
+/// Everything [`replay_log`] reconstructs from one log directory.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// Re-scored sessions, in the order their opens were logged.
+    pub sessions: Vec<ReplayedSession>,
+    /// Segment files scanned.
+    pub segments_scanned: usize,
+    /// Bytes ignored past a torn tail or corrupt record.
+    pub bytes_truncated: u64,
+    /// Whether the log carried a torn tail (the valid prefix was used).
+    pub truncated: bool,
+}
+
+/// Re-scores every session in the log directory `dir` through `firmware`.
+///
+/// Sessions are grouped by their logged sampling rate (one [`StreamHub`]
+/// per distinct rate — a hub is single-rate) and each group is replayed
+/// with one parallel [`StreamHub::ingest`] call over full streams; `threads`
+/// picks the worker policy (`None` = one per core) and has no effect on the
+/// produced outcomes. Sessions the log marks closed are finished and
+/// drained exactly like a live close, so their histories match the final
+/// reports the gateway sent; still-open sessions stop where the log stops,
+/// matching what crash recovery rebuilds.
+///
+/// # Errors
+///
+/// Only filesystem errors (unreadable directory or segments). Corrupt log
+/// content is absorbed: the valid prefix is replayed and
+/// [`ReplayReport::truncated`] is set.
+pub fn replay_log(
+    dir: impl AsRef<Path>,
+    firmware: &WbsnFirmware,
+    threads: Option<NonZeroUsize>,
+) -> std::io::Result<ReplayReport> {
+    struct Logged {
+        token: u64,
+        wire_id: u32,
+        patient_id: u32,
+        calib_len: usize,
+        fs_millihertz: u32,
+        codes: Vec<i16>,
+        closed: bool,
+    }
+    let recovery = hbc_wal::scan(dir.as_ref()).map_err(|e| match e {
+        hbc_wal::WalError::Io(io) => io,
+        other => std::io::Error::other(other.to_string()),
+    })?;
+
+    let mut entries: Vec<Logged> = Vec::new();
+    let mut by_token: BTreeMap<u64, usize> = BTreeMap::new();
+    for record in recovery.records {
+        match record {
+            WalRecord::SessionOpen {
+                token,
+                wire_id,
+                patient_id,
+                calib_len,
+                fs_millihertz,
+            } => {
+                by_token.entry(token).or_insert_with(|| {
+                    entries.push(Logged {
+                        token,
+                        wire_id,
+                        patient_id,
+                        calib_len: calib_len as usize,
+                        fs_millihertz,
+                        codes: Vec::new(),
+                        closed: false,
+                    });
+                    entries.len() - 1
+                });
+            }
+            WalRecord::Samples { token, codes, .. } => {
+                if let Some(&i) = by_token.get(&token) {
+                    if !entries[i].closed {
+                        entries[i].codes.extend_from_slice(&codes);
+                    }
+                }
+            }
+            WalRecord::SessionClose { token } => {
+                if let Some(&i) = by_token.get(&token) {
+                    entries[i].closed = true;
+                }
+            }
+        }
+    }
+
+    // A hub runs at one sampling rate; group sessions by theirs. Group
+    // order does not matter for the outcomes (sessions are independent) —
+    // the report is re-assembled in log open order below.
+    let mut by_fs: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, entry) in entries.iter().enumerate() {
+        by_fs.entry(entry.fs_millihertz).or_default().push(i);
+    }
+
+    let adc = crate::proto::wire_adc();
+    let mut sessions: Vec<Option<ReplayedSession>> = entries.iter().map(|_| None).collect();
+    for (fs_millihertz, group) in by_fs {
+        let fs = f64::from(fs_millihertz) / 1000.0;
+        let mut hub = StreamHub::with_threads(firmware, fs, threads);
+        let mut streams: Vec<(usize, Vec<f64>)> = Vec::with_capacity(group.len());
+        for &i in &group {
+            let samples: Vec<f64> = entries[i]
+                .codes
+                .iter()
+                .map(|&c| adc.dequantize_sample(i32::from(c)))
+                .collect();
+            streams.push((i, samples));
+        }
+        let mut hub_ids = Vec::with_capacity(streams.len());
+        for (i, samples) in &streams {
+            let entry = &entries[*i];
+            let hub_id = if samples.len() >= entry.calib_len && entry.calib_len > 0 {
+                hub.calibrate_thresholds(&samples[..entry.calib_len])
+                    .ok()
+                    .map(|thresholds| hub.add_patient(entry.patient_id, thresholds))
+            } else {
+                None
+            };
+            hub_ids.push(hub_id);
+        }
+        let feeds: Vec<(hbc_core::SessionId, &[f64])> = streams
+            .iter()
+            .zip(&hub_ids)
+            .filter_map(|((_, samples), hub_id)| Some(((*hub_id)?, samples.as_slice())))
+            .collect();
+        if !feeds.is_empty() && hub.ingest(&feeds).is_err() {
+            debug_assert!(false, "replay hub sessions are fresh and unique");
+        }
+        for ((i, samples), hub_id) in streams.iter().zip(&hub_ids) {
+            let entry = &entries[*i];
+            let outcomes = match hub_id {
+                Some(id) if entry.closed => hub
+                    .close_session(*id)
+                    .map(|report| report.outcomes)
+                    .unwrap_or_default(),
+                Some(id) => hub.outcomes_since(*id, 0).unwrap_or_default(),
+                None => Vec::new(),
+            };
+            sessions[*i] = Some(ReplayedSession {
+                token: entry.token,
+                wire_id: entry.wire_id,
+                patient_id: entry.patient_id,
+                fs_millihertz,
+                samples: samples.len() as u64,
+                closed: entry.closed,
+                calibrated: hub_id.is_some(),
+                outcomes,
+            });
+        }
+    }
+
+    Ok(ReplayReport {
+        sessions: sessions.into_iter().flatten().collect(),
+        segments_scanned: recovery.segments_scanned,
+        bytes_truncated: recovery.bytes_truncated,
+        truncated: recovery.truncated,
+    })
+}

@@ -27,7 +27,22 @@
 //! outcomes are produced, no credit is granted, and the sender stalls at its
 //! budget while other sessions keep flowing. Gateway-side memory per session
 //! stays bounded by the budget plus one in-flight chunk.
+//!
+//! ## Durable ingest log
+//!
+//! With [`GatewayConfig::wal`] set, every session open, every *accepted*
+//! `Samples` chunk (post credit-truncation, as raw ADC codes) and every
+//! session end is appended to an `hbc_wal` segment log **before** the data
+//! reaches the hub. A gateway re-bound to the same log directory rebuilds
+//! the state of every session that was open at the crash: the calibration
+//! stretch is re-derived from the logged samples (same thresholds), the
+//! whole logged stream is replayed through the hub in one parallel
+//! [`StreamHub::ingest`] call (bit-identical outcomes, by chunk invariance),
+//! and the session is parked in the detached table — the owning node
+//! re-attaches with the ordinary [`Frame::ResumeSession`] flow, without
+//! re-calibration and without resending what the gateway already has.
 
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -35,11 +50,12 @@ use std::time::{Duration, Instant};
 
 use hbc_core::StreamHub;
 use hbc_embedded::WbsnFirmware;
+use hbc_wal::{Wal, WalConfig, WalRecord};
 
 use crate::proto::{
     Frame, FrameDecoder, WireOutcome, WireReport, MAX_SAMPLES_PER_FRAME, PROTOCOL_VERSION,
 };
-use crate::session::{ResumeOutcome, SessionManager, SessionPhase};
+use crate::session::{NetSession, ResumeOutcome, SessionManager, SessionPhase};
 
 /// What the gateway does to a sender that overruns its credit budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,8 +89,16 @@ pub struct GatewayConfig {
     /// How long a session whose connection died stays resumable (calibrated
     /// thresholds + stream position parked for [`Frame::ResumeSession`]).
     /// `Duration::ZERO` disables retention: a dead connection discards its
-    /// sessions immediately, as before protocol version 2.
+    /// sessions immediately, as before protocol version 2. The window also
+    /// bounds the final-report cache: a client whose link died *after* its
+    /// `CloseSession` was processed can re-fetch the cached report within
+    /// the same window.
     pub resume_window: Duration,
+    /// Durable ingest log. `None` (the default) keeps the pre-log
+    /// behaviour: a process crash loses every in-flight stream. With a
+    /// config, accepted samples are appended to the segment log before
+    /// ingestion and [`Gateway::bind`] recovers crashed sessions from it.
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for GatewayConfig {
@@ -86,6 +110,7 @@ impl Default for GatewayConfig {
             overflow: OverflowPolicy::Disconnect,
             max_ingest_per_poll: 8192,
             resume_window: Duration::from_secs(30),
+            wal: None,
         }
     }
 }
@@ -120,6 +145,17 @@ pub struct GatewayStats {
     pub sessions_resumed: u64,
     /// Detached sessions discarded because the retention window elapsed.
     pub sessions_expired: u64,
+    /// Sessions rebuilt from the durable log at bind time (parked for
+    /// resume).
+    pub sessions_recovered: u64,
+    /// Cached final reports re-served to clients whose connection died
+    /// around their `CloseSession` (resume or retried close of an
+    /// already-ended session).
+    pub reports_refetched: u64,
+    /// Durable-log append failures. A failure disables further logging for
+    /// the gateway's lifetime (service continues undurably) — a non-zero
+    /// count means the log on disk is a prefix of the accepted traffic.
+    pub wal_errors: u64,
     /// Connections denied (handshake, protocol or credit violations).
     pub denials: u64,
     /// Largest number of samples ever buffered for a single session — the
@@ -146,6 +182,22 @@ impl Connection {
     }
 }
 
+/// A session that ended normally, kept for the retention window so a client
+/// whose connection died around its `CloseSession` can re-fetch the final
+/// report (and any outcomes it missed) instead of observing a denial.
+#[derive(Debug)]
+struct CompletedSession {
+    wire_id: u32,
+    patient_id: u32,
+    /// The complete outcome history, for resending the tail a client lost.
+    outcomes: Vec<WireOutcome>,
+    report: WireReport,
+    /// The session's final receive position (`next_seq` at close).
+    final_seq: u32,
+    /// When the session ended; drives cache expiry (same window as resume).
+    since: Instant,
+}
+
 /// The TCP ingestion gateway: owns the listener, the connections and the
 /// [`StreamHub`] every session streams into.
 pub struct Gateway<'fw> {
@@ -158,15 +210,35 @@ pub struct Gateway<'fw> {
     stats: GatewayStats,
     /// Reused per-sweep scratch listing the sessions with a staged chunk.
     staged: Vec<u32>,
+    /// Durable ingest log, when configured. `None` after an append failure
+    /// (see [`GatewayStats::wal_errors`]).
+    wal: Option<Wal>,
+    /// Final reports of recently ended sessions, keyed by resume token and
+    /// expired on the resume window.
+    completed: HashMap<u64, CompletedSession>,
+    /// Wire-id → token index into [`Self::completed`], for retried closes.
+    completed_by_wire: HashMap<u32, u64>,
 }
 
 impl<'fw> Gateway<'fw> {
     /// Binds the gateway and prepares a hub serving `firmware` sessions at
     /// sampling rate `fs`.
     ///
+    /// With [`GatewayConfig::wal`] set, the durable log is opened (its
+    /// directory created if needed), a torn tail from a previous crash is
+    /// truncated away, and every session the log records as still open is
+    /// rebuilt: thresholds re-derived from the logged calibration stretch,
+    /// the logged stream replayed through the hub (bit-identical to the
+    /// pre-crash ingestion) and the session parked for
+    /// [`Frame::ResumeSession`] under its original token, wire id and
+    /// stream position. [`GatewayStats::sessions_recovered`] counts the
+    /// rebuilt sessions.
+    ///
     /// # Errors
     ///
-    /// Propagates socket errors from binding the listener.
+    /// Propagates socket errors from binding the listener and filesystem
+    /// errors from opening the log. Corrupt log *content* is never an
+    /// error: recovery keeps the valid prefix.
     pub fn bind(
         addr: impl ToSocketAddrs,
         firmware: &'fw WbsnFirmware,
@@ -175,16 +247,46 @@ impl<'fw> Gateway<'fw> {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        let fs_millihertz = (fs * 1000.0).round() as u32;
+        let mut hub = StreamHub::new(firmware, fs);
+        let mut sessions = SessionManager::new();
+        let mut stats = GatewayStats::default();
+        let wal = match &config.wal {
+            Some(wal_config) => {
+                let (wal, recovery) =
+                    Wal::open(wal_config.clone()).map_err(std::io::Error::other)?;
+                stats.sessions_recovered =
+                    recover_sessions(&mut hub, &mut sessions, recovery.records, fs_millihertz);
+                Some(wal)
+            }
+            None => None,
+        };
         Ok(Gateway {
             listener,
-            hub: StreamHub::new(firmware, fs),
-            fs_millihertz: (fs * 1000.0).round() as u32,
+            hub,
+            fs_millihertz,
             config,
             conns: Vec::new(),
-            sessions: SessionManager::new(),
-            stats: GatewayStats::default(),
+            sessions,
+            stats,
             staged: Vec::new(),
+            wal,
+            completed: HashMap::new(),
+            completed_by_wire: HashMap::new(),
         })
+    }
+
+    /// Appends one record to the durable log. An append failure disables
+    /// the log for the rest of the gateway's lifetime (counted in
+    /// [`GatewayStats::wal_errors`]): the service keeps running, the log on
+    /// disk stays a valid prefix of the accepted traffic.
+    fn wal_log(&mut self, record: &WalRecord) {
+        if let Some(wal) = self.wal.as_mut() {
+            if wal.append(record).is_err() {
+                self.stats.wal_errors += 1;
+                self.wal = None;
+            }
+        }
     }
 
     /// The address the gateway listens on (use with port 0 binds).
@@ -424,6 +526,18 @@ impl<'fw> Gateway<'fw> {
             Frame::CloseSession { session } => {
                 if self.sessions.get(session).is_some_and(|s| s.conn == idx) {
                     self.close_wire_session(session, false);
+                } else if let Some(report) = self
+                    .completed_by_wire
+                    .get(&session)
+                    .and_then(|token| self.completed.get(token))
+                    .map(|done| done.report)
+                {
+                    // The session already ended and the client retried its
+                    // close (its link died before the Report arrived):
+                    // re-serve the cached report so CloseSession stays
+                    // idempotent within the retention window.
+                    self.stats.reports_refetched += 1;
+                    self.send(idx, &Frame::Report { session, report });
                 } else if self.sessions.is_retired(session) {
                     // Ends are asynchronous (idle eviction): a compliant
                     // client can race its close against the gateway's
@@ -473,8 +587,19 @@ impl<'fw> Gateway<'fw> {
         let wire_id = self
             .sessions
             .open(idx, patient_id, calib_len, Instant::now());
-        let token = self.sessions.get(wire_id).expect("just opened").token;
+        let Some(token) = self.sessions.get(wire_id).map(|s| s.token) else {
+            debug_assert!(false, "session {wire_id} vanished right after open");
+            self.deny(idx, "internal session error");
+            return;
+        };
         self.stats.sessions_opened += 1;
+        self.wal_log(&WalRecord::SessionOpen {
+            token,
+            wire_id,
+            patient_id,
+            calib_len: calib_len as u32,
+            fs_millihertz,
+        });
         self.send(
             idx,
             &Frame::SessionOpened {
@@ -503,10 +628,59 @@ impl<'fw> Gateway<'fw> {
             self.deny(idx, "session resumption is disabled on this gateway");
             return;
         }
+        if let Some(done) = self.completed.get(&token) {
+            // The session already ended; only the client's copy of the end
+            // was lost with its link. Re-serve the outcome tail and the
+            // final report instead of denying, so a connection that died
+            // around `CloseSession` still converges.
+            let owner = done.patient_id;
+            let wire_id = done.wire_id;
+            let final_seq = done.final_seq;
+            let from = (outcomes_received as usize).min(done.outcomes.len());
+            let tail = done.outcomes[from..].to_vec();
+            let report = done.report;
+            if owner != patient_id {
+                self.deny(
+                    idx,
+                    &format!("resume token does not belong to patient {patient_id}"),
+                );
+                return;
+            }
+            self.stats.reports_refetched += 1;
+            self.send(
+                idx,
+                &Frame::SessionResumed {
+                    session: wire_id,
+                    next_expected_seq: final_seq,
+                    credit: 0,
+                },
+            );
+            for chunk in tail.chunks(512) {
+                self.send(
+                    idx,
+                    &Frame::Outcomes {
+                        session: wire_id,
+                        outcomes: chunk.to_vec(),
+                    },
+                );
+            }
+            self.send(
+                idx,
+                &Frame::Report {
+                    session: wire_id,
+                    report,
+                },
+            );
+            return;
+        }
         match self.sessions.resume(token, patient_id, idx, Instant::now()) {
             ResumeOutcome::Resumed(wire_id) => {
                 let budget = self.config.credit_budget;
-                let received = self.sessions.get(wire_id).expect("just resumed").next_seq;
+                let Some(received) = self.sessions.get(wire_id).map(|s| s.next_seq) else {
+                    debug_assert!(false, "session {wire_id} vanished right after resume");
+                    self.deny(idx, "internal session error");
+                    return;
+                };
                 if last_acked_seq > received {
                     self.deny(
                         idx,
@@ -516,7 +690,11 @@ impl<'fw> Gateway<'fw> {
                     );
                     return;
                 }
-                let s = self.sessions.get_mut(wire_id).expect("just resumed");
+                let Some(s) = self.sessions.get_mut(wire_id) else {
+                    debug_assert!(false, "session {wire_id} vanished right after resume");
+                    self.deny(idx, "internal session error");
+                    return;
+                };
                 // The client cannot have received more outcomes than were
                 // ever forwarded; a smaller claim rewinds (resend), never
                 // a skip.
@@ -583,6 +761,7 @@ impl<'fw> Gateway<'fw> {
         }
         s.next_seq += 1;
         s.last_activity = Instant::now();
+        let token = s.token;
         let room = budget.saturating_sub(s.buffered());
         let accepted = if samples.len() > room {
             match overflow {
@@ -605,7 +784,20 @@ impl<'fw> Gateway<'fw> {
         } else {
             samples.len()
         };
-        let s = self.sessions.get_mut(session).expect("checked above");
+        // Log before the samples become visible to the hub: on recovery the
+        // log is always a superset of what was ingested, so the post-crash
+        // replay can never be behind what the session already reported.
+        if accepted > 0 && self.wal.is_some() {
+            self.wal_log(&WalRecord::Samples {
+                token,
+                seq,
+                codes: samples[..accepted].to_vec(),
+            });
+        }
+        let Some(s) = self.sessions.get_mut(session) else {
+            debug_assert!(false, "session {session} vanished mid-frame");
+            return;
+        };
         let adc = crate::proto::wire_adc();
         s.pending.extend(
             samples[..accepted]
@@ -637,7 +829,10 @@ impl<'fw> Gateway<'fw> {
             match self.hub.calibrate_thresholds(&s.pending[..calib_len]) {
                 Ok(thresholds) => {
                     let hub = self.hub.add_patient(s.patient_id, thresholds);
-                    let s = self.sessions.get_mut(wire_id).expect("still live");
+                    let Some(s) = self.sessions.get_mut(wire_id) else {
+                        debug_assert!(false, "promoted session {wire_id} vanished");
+                        continue;
+                    };
                     s.phase = SessionPhase::Streaming { hub };
                 }
                 Err(_) => {
@@ -647,8 +842,10 @@ impl<'fw> Gateway<'fw> {
                     // consumed for nothing) and leave the connection's
                     // other sessions untouched.
                     let conn = s.conn;
+                    let token = s.token;
                     let samples = s.samples_received;
                     self.sessions.remove(wire_id);
+                    self.wal_log(&WalRecord::SessionClose { token });
                     self.send(
                         conn,
                         &Frame::Report {
@@ -679,7 +876,10 @@ impl<'fw> Gateway<'fw> {
         } = self;
         staged.clear();
         for wire_id in sessions.ids() {
-            let s = sessions.get_mut(wire_id).expect("listed");
+            let Some(s) = sessions.get_mut(wire_id) else {
+                debug_assert!(false, "listed session {wire_id} vanished");
+                continue;
+            };
             if s.hub_id().is_none() || s.pending.is_empty() {
                 continue;
             }
@@ -704,13 +904,17 @@ impl<'fw> Gateway<'fw> {
         }
         let feeds: Vec<(hbc_core::SessionId, &[f64])> = staged
             .iter()
-            .map(|&wire_id| {
-                let s = sessions.get(wire_id).expect("staged");
-                (s.hub_id().expect("streaming"), s.chunk.as_slice())
+            .filter_map(|&wire_id| {
+                let s = sessions.get(wire_id)?;
+                Some((s.hub_id()?, s.chunk.as_slice()))
             })
             .collect();
-        hub.ingest(&feeds)
-            .expect("staged sessions are live, unique hub sessions");
+        // Staged sessions are live, unique hub sessions by construction; a
+        // rejection would mean the staging scan and the hub disagree about
+        // liveness, and dropping the chunk beats poisoning the reactor.
+        if !feeds.is_empty() && hub.ingest(&feeds).is_err() {
+            debug_assert!(false, "staged ingest rejected by the hub");
+        }
         true
     }
 
@@ -726,10 +930,10 @@ impl<'fw> Gateway<'fw> {
             let Some(hub_id) = s.hub_id() else {
                 continue;
             };
-            let fresh = self
-                .hub
-                .outcomes_since(hub_id, s.outcomes_sent)
-                .expect("streaming sessions are live in the hub");
+            let Ok(fresh) = self.hub.outcomes_since(hub_id, s.outcomes_sent) else {
+                debug_assert!(false, "streaming session {wire_id} is not live in the hub");
+                continue;
+            };
             let grant = s.consumed_since_grant;
             if !fresh.is_empty() {
                 let outcomes: Vec<WireOutcome> =
@@ -742,7 +946,10 @@ impl<'fw> Gateway<'fw> {
                         outcomes,
                     },
                 );
-                let s = self.sessions.get_mut(wire_id).expect("live");
+                let Some(s) = self.sessions.get_mut(wire_id) else {
+                    debug_assert!(false, "session {wire_id} vanished while forwarding");
+                    continue;
+                };
                 s.outcomes_sent += n;
                 self.stats.beats_out += n as u64;
                 progress = true;
@@ -761,7 +968,10 @@ impl<'fw> Gateway<'fw> {
                             acked_seq,
                         },
                     );
-                    let s = self.sessions.get_mut(wire_id).expect("live");
+                    let Some(s) = self.sessions.get_mut(wire_id) else {
+                        debug_assert!(false, "session {wire_id} vanished while granting");
+                        continue;
+                    };
                     s.consumed_since_grant = 0;
                     progress = true;
                 }
@@ -780,12 +990,17 @@ impl<'fw> Gateway<'fw> {
     }
 
     /// Ends a wire session: flushes its buffer into the hub, closes the hub
-    /// session, sends any unforwarded beats plus the final report, and
-    /// forgets it.
+    /// session, sends any unforwarded beats plus the final report, logs the
+    /// end to the durable log, and caches the report for the retention
+    /// window so a client that loses its link around the close can still
+    /// fetch the end of its session.
     fn close_wire_session(&mut self, wire_id: u32, evicted: bool) {
         let Some(mut s) = self.sessions.remove(wire_id) else {
             return;
         };
+        // The close is durable before it is acknowledged: a gateway crash
+        // after this point must not resurrect the session.
+        self.wal_log(&WalRecord::SessionClose { token: s.token });
         // A close can arrive while the calibration stretch is still short;
         // calibrate on what exists (best effort — too short simply yields an
         // empty session).
@@ -799,42 +1014,52 @@ impl<'fw> Gateway<'fw> {
                 s.phase = SessionPhase::Streaming { hub };
             }
         }
-        let report = match s.hub_id() {
+        let empty_report = WireReport {
+            beats: 0,
+            forwarded: 0,
+            samples: s.samples_received,
+        };
+        let (report, history) = match s.hub_id() {
             Some(hub_id) => {
-                if !s.pending.is_empty() {
-                    self.hub
-                        .ingest(&[(hub_id, s.pending.as_slice())])
-                        .expect("closing session is live");
+                if !s.pending.is_empty()
+                    && self.hub.ingest(&[(hub_id, s.pending.as_slice())]).is_err()
+                {
+                    debug_assert!(false, "closing session {wire_id} is not live in the hub");
                 }
-                let session_report = self
-                    .hub
-                    .close_session(hub_id)
-                    .expect("closing session is live");
-                let unsent =
-                    &session_report.outcomes[s.outcomes_sent.min(session_report.outcomes.len())..];
-                if !unsent.is_empty() {
-                    let outcomes: Vec<WireOutcome> =
-                        unsent.iter().map(WireOutcome::from_outcome).collect();
-                    self.stats.beats_out += outcomes.len() as u64;
-                    self.send(
-                        s.conn,
-                        &Frame::Outcomes {
-                            session: wire_id,
-                            outcomes,
-                        },
-                    );
-                }
-                WireReport {
-                    beats: session_report.outcomes.len() as u64,
-                    forwarded: session_report.forwarded_beats as u64,
-                    samples: s.samples_received,
+                match self.hub.close_session(hub_id) {
+                    Ok(session_report) => {
+                        let history: Vec<WireOutcome> = session_report
+                            .outcomes
+                            .iter()
+                            .map(WireOutcome::from_outcome)
+                            .collect();
+                        let unsent = &history[s.outcomes_sent.min(history.len())..];
+                        if !unsent.is_empty() {
+                            self.stats.beats_out += unsent.len() as u64;
+                            self.send(
+                                s.conn,
+                                &Frame::Outcomes {
+                                    session: wire_id,
+                                    outcomes: unsent.to_vec(),
+                                },
+                            );
+                        }
+                        (
+                            WireReport {
+                                beats: history.len() as u64,
+                                forwarded: session_report.forwarded_beats as u64,
+                                samples: s.samples_received,
+                            },
+                            history,
+                        )
+                    }
+                    Err(_) => {
+                        debug_assert!(false, "closing session {wire_id} is not live in the hub");
+                        (empty_report, Vec::new())
+                    }
                 }
             }
-            None => WireReport {
-                beats: 0,
-                forwarded: 0,
-                samples: s.samples_received,
-            },
+            None => (empty_report, Vec::new()),
         };
         self.send(
             s.conn,
@@ -843,6 +1068,20 @@ impl<'fw> Gateway<'fw> {
                 report,
             },
         );
+        if !self.config.resume_window.is_zero() {
+            self.completed_by_wire.insert(wire_id, s.token);
+            self.completed.insert(
+                s.token,
+                CompletedSession {
+                    wire_id,
+                    patient_id: s.patient_id,
+                    outcomes: history,
+                    report,
+                    final_seq: s.next_seq,
+                    since: Instant::now(),
+                },
+            );
+        }
         if evicted {
             self.stats.sessions_evicted += 1;
         } else {
@@ -870,6 +1109,9 @@ impl<'fw> Gateway<'fw> {
                         self.stats.sessions_detached += 1;
                     }
                 } else if let Some(s) = self.sessions.remove(wire_id) {
+                    // Without retention nobody can ever resume this stream;
+                    // close it in the log too so recovery skips it.
+                    self.wal_log(&WalRecord::SessionClose { token: s.token });
                     if let Some(hub_id) = s.hub_id() {
                         // Nobody is left to receive results; discard.
                         let _ = self.hub.close_session(hub_id);
@@ -881,19 +1123,28 @@ impl<'fw> Gateway<'fw> {
     }
 
     /// Discards detached sessions whose retention window elapsed, closing
-    /// their hub sessions and retiring their wire ids.
+    /// their hub sessions, retiring their wire ids and expiring the
+    /// final-report cache (which rides the same window).
     fn expire_detached(&mut self) {
         if self.config.resume_window.is_zero() {
             return;
         }
-        for s in self
-            .sessions
-            .expire_detached(Instant::now(), self.config.resume_window)
-        {
+        let now = Instant::now();
+        let window = self.config.resume_window;
+        for s in self.sessions.expire_detached(now, window) {
+            // Expiry is final: log the close so recovery does not
+            // resurrect a stream nobody can resume any more.
+            self.wal_log(&WalRecord::SessionClose { token: s.token });
             if let Some(hub_id) = s.hub_id() {
                 let _ = self.hub.close_session(hub_id);
             }
             self.stats.sessions_expired += 1;
+        }
+        if !self.completed.is_empty() {
+            self.completed
+                .retain(|_, done| now.duration_since(done.since) <= window);
+            self.completed_by_wire
+                .retain(|_, token| self.completed.contains_key(token));
         }
     }
 
@@ -933,6 +1184,191 @@ impl<'fw> Gateway<'fw> {
         }
         progress
     }
+}
+
+/// Rebuilds the sessions a previous gateway process left open in the
+/// durable log.
+///
+/// Each un-closed `SessionOpen` record becomes one parked session: its
+/// stream is re-assembled from the logged `Samples` records (raw ADC codes,
+/// dequantized exactly as the wire path does), its thresholds re-derived
+/// from the logged calibration stretch, and the whole stream replayed
+/// through the hub in a single parallel [`StreamHub::ingest`] call — by
+/// chunk invariance the rebuilt outcome history is bit-identical to the
+/// pre-crash ingestion, whatever chunk sizes the node used live. The
+/// manager's wire-id and token generators are fast-forwarded past every
+/// logged open so recovered and freshly opened sessions can never collide.
+/// Returns the number of sessions rebuilt (all parked for
+/// [`Frame::ResumeSession`]).
+fn recover_sessions(
+    hub: &mut StreamHub<'_>,
+    sessions: &mut SessionManager,
+    records: Vec<WalRecord>,
+    fs_millihertz: u32,
+) -> u64 {
+    struct Logged {
+        wire_id: u32,
+        patient_id: u32,
+        calib_len: usize,
+        fs_millihertz: u32,
+        codes: Vec<i16>,
+        next_seq: u32,
+        closed: bool,
+    }
+    let mut by_token: HashMap<u64, Logged> = HashMap::new();
+    let mut open_order: Vec<u64> = Vec::new();
+    let mut opens = 0u64;
+    let mut max_wire_id = None::<u32>;
+    for record in records {
+        match record {
+            WalRecord::SessionOpen {
+                token,
+                wire_id,
+                patient_id,
+                calib_len,
+                fs_millihertz: fs,
+            } => {
+                opens += 1;
+                max_wire_id = Some(max_wire_id.map_or(wire_id, |m| m.max(wire_id)));
+                if by_token
+                    .insert(
+                        token,
+                        Logged {
+                            wire_id,
+                            patient_id,
+                            calib_len: calib_len as usize,
+                            fs_millihertz: fs,
+                            codes: Vec::new(),
+                            next_seq: 0,
+                            closed: false,
+                        },
+                    )
+                    .is_none()
+                {
+                    open_order.push(token);
+                }
+            }
+            WalRecord::Samples { token, seq, codes } => {
+                if let Some(entry) = by_token.get_mut(&token) {
+                    if !entry.closed {
+                        entry.codes.extend_from_slice(&codes);
+                        entry.next_seq = seq.wrapping_add(1);
+                    }
+                }
+            }
+            WalRecord::SessionClose { token } => {
+                if let Some(entry) = by_token.get_mut(&token) {
+                    entry.closed = true;
+                }
+            }
+        }
+    }
+    // Replay the generators: every logged open consumed one wire id and one
+    // token, whether or not its session survives recovery, so the post-
+    // restart streams continue exactly where the pre-crash ones would have.
+    sessions.skip_tokens(opens);
+    if let Some(max) = max_wire_id {
+        sessions.ensure_next_id(max.wrapping_add(1));
+    }
+
+    struct Rebuilt {
+        token: u64,
+        wire_id: u32,
+        patient_id: u32,
+        calib_len: usize,
+        samples: Vec<f64>,
+        next_seq: u32,
+        hub_id: Option<hbc_core::SessionId>,
+    }
+    let adc = crate::proto::wire_adc();
+    let mut rebuilt: Vec<Rebuilt> = Vec::new();
+    for token in open_order {
+        let Some(entry) = by_token.remove(&token) else {
+            continue;
+        };
+        // Closed sessions are fully reported; sessions logged at a
+        // different sampling rate belong to a differently configured
+        // gateway and cannot be replayed through this hub.
+        if entry.closed || entry.fs_millihertz != fs_millihertz {
+            continue;
+        }
+        let samples: Vec<f64> = entry
+            .codes
+            .iter()
+            .map(|&c| adc.dequantize_sample(i32::from(c)))
+            .collect();
+        let hub_id = if samples.len() >= entry.calib_len {
+            match hub.calibrate_thresholds(&samples[..entry.calib_len]) {
+                Ok(thresholds) => Some(hub.add_patient(entry.patient_id, thresholds)),
+                // A degenerate calibration stretch would have ended the
+                // session live too; drop it.
+                Err(_) => continue,
+            }
+        } else {
+            None
+        };
+        rebuilt.push(Rebuilt {
+            token,
+            wire_id: entry.wire_id,
+            patient_id: entry.patient_id,
+            calib_len: entry.calib_len,
+            samples,
+            next_seq: entry.next_seq,
+            hub_id,
+        });
+    }
+    let feeds: Vec<(hbc_core::SessionId, &[f64])> = rebuilt
+        .iter()
+        .filter_map(|r| Some((r.hub_id?, r.samples.as_slice())))
+        .collect();
+    if !feeds.is_empty() && hub.ingest(&feeds).is_err() {
+        debug_assert!(false, "recovered hub sessions are fresh and unique");
+    }
+    let now = Instant::now();
+    let recovered = rebuilt.len() as u64;
+    for r in rebuilt {
+        let samples_received = r.samples.len() as u64;
+        // `outcomes_sent` restarts at the full replayed history: the owner
+        // can only have received outcomes the pre-crash gateway actually
+        // sent, which the replay covers (samples are logged before they are
+        // ingested), so the resume-time `min()` rewind lands exactly on the
+        // client's claim.
+        let (phase, pending, outcomes_sent) = match r.hub_id {
+            Some(hub_id) => {
+                let replayed = hub.outcomes_since(hub_id, 0).map_or(0, |o| o.len());
+                (
+                    SessionPhase::Streaming { hub: hub_id },
+                    Vec::new(),
+                    replayed,
+                )
+            }
+            None => (
+                SessionPhase::Calibrating {
+                    calib_len: r.calib_len,
+                },
+                r.samples,
+                0,
+            ),
+        };
+        sessions.insert_detached(
+            NetSession {
+                wire_id: r.wire_id,
+                token: r.token,
+                conn: usize::MAX,
+                patient_id: r.patient_id,
+                phase,
+                pending,
+                chunk: Vec::new(),
+                next_seq: r.next_seq,
+                outcomes_sent,
+                consumed_since_grant: 0,
+                samples_received,
+                last_activity: now,
+            },
+            now,
+        );
+    }
+    recovered
 }
 
 impl std::fmt::Debug for Gateway<'_> {

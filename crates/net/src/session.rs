@@ -280,6 +280,33 @@ impl SessionManager {
         self.detached.len()
     }
 
+    /// Inserts a rebuilt session directly into the detached table — the
+    /// durable-log recovery path: a gateway restarted on its log directory
+    /// parks every recovered session here so the owning node can re-attach
+    /// with the ordinary [`crate::proto::Frame::ResumeSession`] flow.
+    pub fn insert_detached(&mut self, session: NetSession, since: Instant) {
+        self.detached
+            .insert(session.token, DetachedSession { session, since });
+    }
+
+    /// Raises the next wire id to at least `min_next`, so ids assigned after
+    /// a log recovery never collide with ids recovered from the log.
+    pub fn ensure_next_id(&mut self, min_next: u32) {
+        self.next_id = self.next_id.max(min_next);
+    }
+
+    /// Advances the token generator by `count` draws without issuing them.
+    /// Tokens are SplitMix64 over a per-manager counter, so replaying the
+    /// number of sessions ever opened (as counted from the durable log)
+    /// reproduces the exact generator state of the crashed gateway — tokens
+    /// issued after recovery continue the original sequence and can never
+    /// collide with recovered ones.
+    pub fn skip_tokens(&mut self, count: u64) {
+        self.token_state = self
+            .token_state
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(count));
+    }
+
     /// Re-attaches the session carrying `token` to connection `conn`.
     ///
     /// Covers both the parked case (connection already reaped) and the
@@ -490,6 +517,59 @@ mod tests {
             assert!(seen.insert(mgr.get(id).expect("live").token));
             mgr.remove(id);
         }
+    }
+
+    #[test]
+    fn recovery_inserts_park_and_replay_the_id_and_token_streams() {
+        // Simulate what log recovery rebuilds: a fresh manager that must
+        // continue a crashed manager's id/token sequences exactly.
+        let mut crashed = SessionManager::new();
+        let now = Instant::now();
+        let a = crashed.open(0, 1, 10, now);
+        let b = crashed.open(0, 2, 10, now);
+        let token_b = crashed.get(b).expect("live").token;
+        // The token the crashed manager would have issued next.
+        let probe = crashed.open(0, 9, 1, now);
+        let next_token_before_crash = crashed.get(probe).expect("live").token;
+
+        let mut recovered = SessionManager::new();
+        recovered.skip_tokens(2); // two opens counted from the log
+        recovered.ensure_next_id(b + 1);
+        recovered.insert_detached(
+            NetSession {
+                wire_id: b,
+                token: token_b,
+                conn: usize::MAX,
+                patient_id: 2,
+                phase: SessionPhase::Calibrating { calib_len: 10 },
+                pending: Vec::new(),
+                chunk: Vec::new(),
+                next_seq: 3,
+                outcomes_sent: 0,
+                consumed_since_grant: 0,
+                samples_received: 30,
+                last_activity: now,
+            },
+            now,
+        );
+        assert_eq!(recovered.detached_len(), 1);
+        assert_eq!(
+            recovered.resume(token_b, 2, 4, now),
+            ResumeOutcome::Resumed(b)
+        );
+        let s = recovered.get(b).expect("re-attached");
+        assert_eq!((s.conn, s.next_seq, s.samples_received), (4, 3, 30));
+
+        // New ids continue after the recovered maximum; new tokens continue
+        // the crashed generator's sequence.
+        let c = recovered.open(0, 3, 10, now);
+        assert_eq!(c, b + 1, "recovered ids must never be reassigned");
+        assert_eq!(
+            recovered.get(c).expect("live").token,
+            next_token_before_crash,
+            "the token stream must continue exactly where the crash left it"
+        );
+        let _ = a;
     }
 
     #[test]

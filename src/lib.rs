@@ -9,6 +9,9 @@ pub use hbc_core::*;
 // The network-facing serving layer (TCP gateway + node client).
 pub use hbc_net;
 
+// The durable ingest log the gateway writes and recovers from.
+pub use hbc_wal;
+
 /// Parses the common scale argument used by the examples: `quick` (default),
 /// `paper`, or a fraction such as `0.05`.
 ///

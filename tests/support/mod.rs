@@ -1,5 +1,5 @@
 //! Shared helpers for the socket-level integration suites
-//! (`net_loopback.rs`, `chaos_gateway.rs`).
+//! (`net_loopback.rs`, `chaos_gateway.rs`, `durability_gateway.rs`).
 //!
 //! Kept in `tests/support/` (not a sibling `.rs` file) so Cargo does not
 //! compile it as a test target of its own; each suite pulls it in with
@@ -7,6 +7,7 @@
 
 #![allow(dead_code)]
 
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Polls `cond` every millisecond until it returns `true` or `deadline`
@@ -31,4 +32,35 @@ pub fn chaos_seed() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0xC4A0_5EED)
+}
+
+/// A scoped scratch directory under the system temp root, removed on drop.
+/// Unique per process *and* thread so `cargo test`'s parallel runners never
+/// collide; the durability suites point gateway logs at it.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    pub fn new(label: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "hbc-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        // A leftover from a killed previous run must not leak state in.
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        TempDir { path }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
 }
