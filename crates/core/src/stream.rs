@@ -383,6 +383,52 @@ impl<'fw> StreamHub<'fw> {
         Ok(session.outcomes[from.min(session.outcomes.len())..].to_vec())
     }
 
+    /// Whether any of a session's last `window` emitted outcomes carries an
+    /// abnormal prediction — the **priority hook** serving layers use to
+    /// protect ARR-flagged streams when shedding load: a session that
+    /// recently produced an abnormal beat must keep flowing, a session whose
+    /// recent stream is all-normal may have telemetry dropped first.
+    /// `window = 0` always reports `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for an unknown or closed session.
+    pub fn recent_abnormal(&self, id: SessionId, window: usize) -> Result<bool> {
+        let slot = self.session(id)?.lock().expect("session poisoned");
+        let session = slot.as_ref().ok_or_else(|| Self::closed(id))?;
+        let tail = &session.outcomes[session.outcomes.len().saturating_sub(window)..];
+        Ok(tail.iter().any(|o| o.predicted.is_abnormal()))
+    }
+
+    /// Heap bytes a session's retained outcome history occupies — the
+    /// hub-side share of a serving layer's per-session memory accounting
+    /// (the layer adds its own buffers on top).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for an unknown or closed session.
+    pub fn session_memory_bytes(&self, id: SessionId) -> Result<usize> {
+        let slot = self.session(id)?.lock().expect("session poisoned");
+        let session = slot.as_ref().ok_or_else(|| Self::closed(id))?;
+        Ok(session.outcomes.capacity() * std::mem::size_of::<BeatOutcome>())
+    }
+
+    /// Heap bytes retained across every live session's outcome history —
+    /// [`Self::session_memory_bytes`] summed over the hub.
+    pub fn memory_footprint(&self) -> usize {
+        self.sessions
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("session poisoned")
+                    .as_ref()
+                    .map_or(0, |session| {
+                        session.outcomes.capacity() * std::mem::size_of::<BeatOutcome>()
+                    })
+            })
+            .sum()
+    }
+
     /// Total beats emitted across all live sessions so far.
     pub fn total_beats(&self) -> usize {
         self.sessions
@@ -723,6 +769,50 @@ mod tests {
         }
         hub.finish();
         assert_eq!(hub.outcomes(id).expect("live"), ref_new);
+    }
+
+    #[test]
+    fn recent_abnormal_and_memory_accounting_track_the_outcome_stream() {
+        let fw = firmware();
+        let record = patient_record(410, 40);
+        let lead = record.lead(Lead(0)).expect("lead");
+        let mut hub = StreamHub::with_threads(&fw, record.fs, NonZeroUsize::new(2));
+        let thresholds = hub.calibrate_thresholds(lead).expect("calibrate");
+        let id = hub.add_patient(record.id, thresholds);
+
+        // A fresh session has no outcomes: not abnormal, no history bytes.
+        assert!(!hub.recent_abnormal(id, 64).expect("live"));
+        assert_eq!(hub.session_memory_bytes(id).expect("live"), 0);
+
+        hub.ingest(&[(id, lead)]).expect("ingest");
+        hub.finish();
+        let outcomes = hub.outcomes(id).expect("live");
+        assert!(!outcomes.is_empty());
+        let any_abnormal = outcomes.iter().any(|o| o.predicted.is_abnormal());
+
+        // The full-history window agrees with a direct scan; a zero window
+        // never reports abnormal; a window of 1 sees exactly the last beat.
+        assert_eq!(
+            hub.recent_abnormal(id, outcomes.len()).expect("live"),
+            any_abnormal
+        );
+        assert!(!hub.recent_abnormal(id, 0).expect("live"));
+        assert_eq!(
+            hub.recent_abnormal(id, 1).expect("live"),
+            outcomes.last().expect("non-empty").predicted.is_abnormal()
+        );
+
+        // Memory accounting covers at least the retained outcomes and the
+        // fleet total includes this session.
+        let bytes = hub.session_memory_bytes(id).expect("live");
+        assert!(bytes >= outcomes.len() * std::mem::size_of::<BeatOutcome>());
+        assert!(hub.memory_footprint() >= bytes);
+
+        // Closed sessions drop out of both accessors and the footprint.
+        hub.close_session(id).expect("close");
+        assert!(hub.recent_abnormal(id, 8).is_err());
+        assert!(hub.session_memory_bytes(id).is_err());
+        assert_eq!(hub.memory_footprint(), 0);
     }
 
     #[test]

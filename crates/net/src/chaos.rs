@@ -17,6 +17,10 @@
 //!   decoder stalls or errors);
 //! * `Stall` — stop forwarding in the faulted direction for
 //!   [`ChaosConfig::stall`] (slow-loris), then recover transparently;
+//! * `Trickle` — from the scheduled offset on, forward **one byte per
+//!   [`ChaosConfig::stall`] interval** in the faulted direction, forever:
+//!   the canonical slow-loris peer, byte-preserving but time-starving
+//!   (exercises the gateway's minimum-progress reaping);
 //! * `Kill` — close both sockets of the link at the scheduled offset
 //!   (mid-stream death; exercises detach → resume).
 //!
@@ -60,6 +64,9 @@ pub enum FaultKind {
     Truncate,
     /// Pause forwarding in the faulted direction for `stall`.
     Stall,
+    /// From the scheduled offset on, forward one byte per `stall` interval
+    /// (permanent slow-loris; byte-preserving).
+    Trickle,
     /// Close both sockets of the link.
     Kill,
 }
@@ -134,6 +141,8 @@ pub struct ChaosStats {
     pub faults_injected: u64,
     /// Stall events begun.
     pub stalls: u64,
+    /// Pipes switched into trickle (one byte per interval) mode.
+    pub trickles: u64,
     /// Links killed mid-stream.
     pub kills: u64,
 }
@@ -181,6 +190,11 @@ struct Pipe {
     next_fault_at: Option<u64>,
     rng: u64,
     stall_until: Option<Instant>,
+    /// Trickle fault fired: from here on the flush side emits one byte per
+    /// [`ChaosConfig::stall`] interval and the read side caps its backlog.
+    trickle: bool,
+    /// Earliest instant the next trickled byte may go out.
+    next_emit: Option<Instant>,
     /// Source half-closed; propagate once drained.
     eof: bool,
 }
@@ -204,6 +218,8 @@ impl Pipe {
             next_fault_at,
             rng,
             stall_until: None,
+            trickle: false,
+            next_emit: None,
             eof: false,
         }
     }
@@ -321,6 +337,15 @@ impl Pipe {
                         self.out.push(b);
                         self.stall_until = Some(now + cfg.stall);
                         stats.stalls += 1;
+                    }
+                    FaultKind::Trickle => {
+                        // Byte-preserving: the transform is pure relay; the
+                        // starvation happens on the flush side.
+                        self.out.push(b);
+                        if !self.trickle {
+                            self.trickle = true;
+                            stats.trickles += 1;
+                        }
                     }
                     FaultKind::Kill => {
                         stats.kills += 1;
@@ -504,6 +529,12 @@ impl ChaosProxy {
             if pipe.eof || pipe.stalled(now) {
                 continue;
             }
+            // A trickling pipe stops reading once a small backlog has
+            // accumulated, so back-pressure reaches the source instead of
+            // ballooning the proxy.
+            if pipe.trickle && pipe.queued() >= 16 * 1024 {
+                continue;
+            }
             let mut buf = [0u8; 16 * 1024];
             loop {
                 match src.read(&mut buf) {
@@ -549,6 +580,37 @@ impl ChaosProxy {
                 (&mut link.client, &mut link.down)
             };
             if pipe.stall_until.is_some() && pipe.stalled(now) {
+                continue;
+            }
+            if pipe.trickle {
+                // One byte per `stall` interval: the slow-loris drip.
+                let due = pipe.next_emit.is_none_or(|t| now >= t);
+                if due && pipe.queued() > 0 {
+                    match dst.write(&pipe.out[pipe.sent..=pipe.sent]) {
+                        Ok(0) => link.dead = true,
+                        Ok(n) => {
+                            pipe.sent += n;
+                            if dir == 0 {
+                                stats.bytes_up += n as u64;
+                            } else {
+                                stats.bytes_down += n as u64;
+                            }
+                            pipe.next_emit = Some(now + cfg.stall);
+                            progress = true;
+                        }
+                        Err(e)
+                            if e.kind() == ErrorKind::WouldBlock
+                                || e.kind() == ErrorKind::Interrupted => {}
+                        Err(_) => link.dead = true,
+                    }
+                }
+                if pipe.sent == pipe.out.len() {
+                    pipe.out.clear();
+                    pipe.sent = 0;
+                    if pipe.eof {
+                        let _ = dst.shutdown(Shutdown::Write);
+                    }
+                }
                 continue;
             }
             while pipe.sent < pipe.out.len() {
@@ -702,6 +764,30 @@ mod tests {
         let mut left = 0u32;
         assert!(!pipe.feed(&data, &cfg, &mut left, &mut stats, now));
         assert_eq!(pipe.out, data);
+    }
+
+    #[test]
+    fn trickle_preserves_bytes_and_arms_once() {
+        // The trickle transform is a pure relay — the starvation is pure
+        // timing on the flush side — so the scheduled stream survives
+        // byte-identically and the chunking-invariance argument of the
+        // other faults carries over unchanged.
+        let data: Vec<u8> = (0..2048u32).map(|i| (i * 17 % 256) as u8).collect();
+        let now = Instant::now();
+        let cfg = ChaosConfig {
+            first_at: 100,
+            repeat_every: 200,
+            max_faults: 5,
+            ..ChaosConfig::fault(FaultKind::Trickle, 21)
+        };
+        let mut pipe = Pipe::new(true, &cfg, 8);
+        let mut stats = ChaosStats::default();
+        let mut left = cfg.max_faults;
+        assert!(!pipe.feed(&data, &cfg, &mut left, &mut stats, now));
+        assert_eq!(pipe.out, data, "trickle must not change the byte stream");
+        assert!(pipe.trickle, "pipe must be in trickle mode after the fault");
+        assert_eq!(stats.trickles, 1, "re-fires must not re-count the mode");
+        assert!(stats.faults_injected >= 1);
     }
 
     #[test]

@@ -344,7 +344,9 @@ impl NodeClient {
     ///
     /// Fails when every dial attempt errors, on a [`Frame::Deny`] (unknown
     /// or expired token — the session is unrecoverable), or on
-    /// socket/protocol errors during re-attachment.
+    /// socket/protocol errors during re-attachment. A [`Frame::Busy`] from
+    /// the gateway's admission control is **not** fatal: the client honors
+    /// the embedded `retry_after_ms` pause and spends another attempt.
     pub fn reconnect_with_backoff(
         &mut self,
         addr: impl ToSocketAddrs,
@@ -359,7 +361,15 @@ impl NodeClient {
                 delay = delay.saturating_mul(2);
             }
             match TcpStream::connect(&addr) {
-                Ok(stream) => return self.resume_on(stream),
+                Ok(stream) => match self.resume_on(stream) {
+                    // The gateway is overloaded, not unreachable: honor its
+                    // retry hint, then spend another attempt.
+                    Err(NetError::Busy(after)) => {
+                        std::thread::sleep(after);
+                        last_err = Some(NetError::Busy(after));
+                    }
+                    done => return done,
+                },
                 Err(e) => last_err = Some(e.into()),
             }
         }
@@ -597,6 +607,14 @@ impl NodeClient {
                 self.denied = Some(message.clone());
                 self.broken = true;
                 return Err(NetError::Denied(message));
+            }
+            Frame::Busy { retry_after_ms } => {
+                // Admission control, not a violation: the gateway closes
+                // this connection but invites a retry after the pause.
+                self.broken = true;
+                return Err(NetError::Busy(Duration::from_millis(u64::from(
+                    retry_after_ms,
+                ))));
             }
             Frame::Hello { .. } => {
                 return Err(NetError::State("unexpected Hello after handshake".into()))

@@ -16,9 +16,14 @@
 //! * [`server`] — the single-threaded nonblocking **reactor**
 //!   ([`Gateway`]): polls sockets, enforces **credit-based flow control**
 //!   (bounded per-session sample budget; slow consumers stall senders
-//!   instead of ballooning memory) and batches ready chunks into
+//!   instead of ballooning memory), batches ready chunks into
 //!   [`StreamHub::ingest`] so decode and classification fan out over
-//!   `hbc-par`;
+//!   `hbc-par`, and protects itself under overload — admission control
+//!   (connection/session caps and a global memory budget answered with
+//!   [`Frame::Busy`]), priority-aware shed-before-stall that drops
+//!   normal-outcome telemetry before starving ARR-critical sessions,
+//!   slow-peer reaping (handshake deadline, minimum-progress checks) and a
+//!   liveness watchdog surfaced via [`Gateway::health`];
 //! * [`client`] — the blocking [`NodeClient`] used by tests and the
 //!   `telemetry_gateway` example; keeps a bounded replay buffer of
 //!   unacknowledged sample frames and re-attaches dropped sessions with
@@ -53,7 +58,8 @@ pub use chaos::{ChaosConfig, ChaosDirection, ChaosProxy, ChaosStats, FaultKind};
 pub use client::{NodeClient, SessionSummary};
 pub use proto::{Frame, FrameDecoder, ProtoError, WireOutcome, WireReport, PROTOCOL_VERSION};
 pub use replay::{replay_log, ReplayReport, ReplayedSession};
-pub use server::{Gateway, GatewayConfig, GatewayStats, OverflowPolicy};
+pub use server::{Gateway, GatewayConfig, GatewayHealth, GatewayStats, Heartbeat, OverflowPolicy};
+pub use session::SessionPriority;
 
 /// Errors surfaced by the networking crate.
 #[derive(Debug)]
@@ -64,6 +70,9 @@ pub enum NetError {
     Proto(ProtoError),
     /// The gateway refused the connection or a request.
     Denied(String),
+    /// The gateway is overloaded (admission control); retry after the
+    /// embedded pause.
+    Busy(std::time::Duration),
     /// The peer closed the connection.
     Closed,
     /// Local misuse (unknown session, handshake ordering, …).
@@ -76,6 +85,9 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "i/o error: {e}"),
             NetError::Proto(e) => write!(f, "protocol error: {e}"),
             NetError::Denied(m) => write!(f, "denied by the gateway: {m}"),
+            NetError::Busy(after) => {
+                write!(f, "gateway is overloaded; retry after {after:?}")
+            }
             NetError::Closed => write!(f, "connection closed by the peer"),
             NetError::State(m) => write!(f, "invalid state: {m}"),
         }
@@ -112,6 +124,9 @@ mod tests {
     fn errors_format_clearly() {
         assert!(NetError::Closed.to_string().contains("closed"));
         assert!(NetError::Denied("busy".into()).to_string().contains("busy"));
+        assert!(NetError::Busy(std::time::Duration::from_millis(250))
+            .to_string()
+            .contains("overloaded"));
         assert!(NetError::State("nope".into()).to_string().contains("nope"));
         let e = NetError::from(ProtoError::UnknownTag(9));
         assert!(e.to_string().contains("tag"));

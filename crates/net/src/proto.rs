@@ -40,7 +40,11 @@ use hbc_embedded::fixed::AdcModel;
 /// Version 2 added session resumption ([`Frame::ResumeSession`] /
 /// [`Frame::SessionResumed`]), the resume token in [`Frame::SessionOpened`]
 /// and the cumulative `acked_seq` in [`Frame::Credit`].
-pub const PROTOCOL_VERSION: u16 = 2;
+///
+/// Version 3 added overload signalling: [`Frame::Busy`], the Deny-class
+/// "come back later" response of the gateway's admission control (connection
+/// and session caps, global memory budget).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Upper bound on `len` (tag + body) the decoder accepts. A corrupt or
 /// hostile length prefix beyond this is rejected before any buffering.
@@ -179,7 +183,8 @@ pub struct WireReport {
 /// [`Frame::Samples`], [`Frame::CloseSession`], [`Frame::ResumeSession`].
 /// Gateway → client: [`Frame::Hello`] (handshake echo),
 /// [`Frame::SessionOpened`], [`Frame::Credit`], [`Frame::Outcomes`],
-/// [`Frame::Report`], [`Frame::Deny`], [`Frame::SessionResumed`].
+/// [`Frame::Report`], [`Frame::Deny`], [`Frame::SessionResumed`],
+/// [`Frame::Busy`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
     /// Handshake. The first frame in each direction; carries the protocol
@@ -292,6 +297,16 @@ pub enum Frame {
         /// Human-readable reason.
         message: String,
     },
+    /// Overload refusal (admission control): the gateway is past one of its
+    /// configured limits (connections, sessions or the global memory
+    /// budget). Unlike [`Frame::Deny`] this is not a protocol violation —
+    /// the request was well-formed and may simply be retried after
+    /// `retry_after_ms`. The gateway closes the connection after sending
+    /// it, freeing the slot for the load it is shedding.
+    Busy {
+        /// Suggested client-side pause before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 const TAG_HELLO: u8 = 0x01;
@@ -305,6 +320,7 @@ const TAG_OUTCOMES: u8 = 0x83;
 const TAG_REPORT: u8 = 0x84;
 const TAG_DENY: u8 = 0x85;
 const TAG_SESSION_RESUMED: u8 = 0x86;
+const TAG_BUSY: u8 = 0x87;
 
 /// Decoding errors. All are fatal for the byte stream they occurred on —
 /// after a framing error the decoder cannot find the next frame boundary.
@@ -514,6 +530,10 @@ impl Frame {
                 out.push(TAG_DENY);
                 out.extend_from_slice(message.as_bytes());
             }
+            Frame::Busy { retry_after_ms } => {
+                out.push(TAG_BUSY);
+                put_u32(out, *retry_after_ms);
+            }
         }
         let len = out.len() - tag_at;
         out[len_at..len_at + 4].copy_from_slice(&(len as u32).to_le_bytes());
@@ -621,6 +641,9 @@ impl Frame {
                     .to_string();
                 Frame::Deny { message }
             }
+            TAG_BUSY => Frame::Busy {
+                retry_after_ms: c.u32()?,
+            },
             other => return Err(ProtoError::UnknownTag(other)),
         };
         c.finish()?;
@@ -770,6 +793,9 @@ mod tests {
             Frame::CloseSession { session: 1 },
             Frame::Deny {
                 message: "nope".into(),
+            },
+            Frame::Busy {
+                retry_after_ms: 250,
             },
         ]
     }

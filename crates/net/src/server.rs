@@ -41,11 +41,48 @@
 //! and the session is parked in the detached table — the owning node
 //! re-attaches with the ordinary [`Frame::ResumeSession`] flow, without
 //! re-calibration and without resending what the gateway already has.
+//!
+//! ## Overload protection & self-supervision
+//!
+//! Credit bounds *one* session; this layer bounds the *gateway*:
+//!
+//! * **Admission control** — [`GatewayConfig::max_connections`],
+//!   [`GatewayConfig::max_sessions`] (live + parked: a detached session
+//!   still holds resources) and [`GatewayConfig::global_memory_budget`]
+//!   (sample buffers of live and parked sessions, connection outboxes and
+//!   the cached-report table, accounted in one ledger). Past a limit,
+//!   [`Frame::OpenSession`] and fresh connections get [`Frame::Busy`] with
+//!   a `retry_after_ms` hint instead of a silent accept.
+//!   [`Frame::ResumeSession`] is admission-exempt: a parked session
+//!   re-attaching is count-neutral, so recovery traffic is never locked out
+//!   by the very overload that caused it.
+//! * **Priority-aware shedding** — each streaming session's priority is
+//!   refreshed from its recent outcome window (see
+//!   [`SessionPriority`]): when accepting a frame would
+//!   breach the global budget, the gateway first drops buffered telemetry
+//!   of *normal-outcome* sessions (largest buffer first, live or parked),
+//!   returning credit for the shed samples so their senders degrade instead
+//!   of deadlocking. ARR-critical streams are shed last, so the safety
+//!   invariant *abnormal ⇒ routed onward* survives overload.
+//! * **Slow-peer defenses** — connections that never complete the
+//!   session-level handshake within [`GatewayConfig::handshake_timeout`]
+//!   are reaped, and established connections must make minimum progress
+//!   per [`GatewayConfig::progress_interval`]: a trickle sender (bytes
+//!   parked mid-frame in the decoder, reads below
+//!   [`GatewayConfig::min_progress_bytes`]) or a frozen reader (queued
+//!   outbox, zero write progress) is detached cleanly through the ordinary
+//!   resume path.
+//! * **Watchdog + health** — every sweep stamps a shared [`Heartbeat`];
+//!   the run loop records the poll-latency high-water mark and counts
+//!   sweeps over [`GatewayConfig::watchdog_budget`]
+//!   ([`GatewayStats::watchdog_stalls`]), and [`Gateway::health`] snapshots
+//!   budget utilization and the shed/deny counters for supervisors.
 
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hbc_core::StreamHub;
@@ -55,7 +92,16 @@ use hbc_wal::{Wal, WalConfig, WalRecord};
 use crate::proto::{
     Frame, FrameDecoder, WireOutcome, WireReport, MAX_SAMPLES_PER_FRAME, PROTOCOL_VERSION,
 };
-use crate::session::{NetSession, ResumeOutcome, SessionManager, SessionPhase};
+use crate::session::{NetSession, ResumeOutcome, SessionManager, SessionPhase, SessionPriority};
+
+/// Bytes one buffered sample occupies gateway-side (sessions buffer
+/// dequantized `f64`s).
+const SAMPLE_BYTES: usize = std::mem::size_of::<f64>();
+
+/// How many recent outcomes the priority refresh scans: one abnormal beat
+/// in the window flags the session [`SessionPriority::Critical`]; a clean
+/// window decays it back to [`SessionPriority::Normal`].
+const PRIORITY_WINDOW: usize = 64;
 
 /// What the gateway does to a sender that overruns its credit budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +145,44 @@ pub struct GatewayConfig {
     /// config, accepted samples are appended to the segment log before
     /// ingestion and [`Gateway::bind`] recovers crashed sessions from it.
     pub wal: Option<WalConfig>,
+    /// Most concurrent connections. Newcomers past the cap are answered
+    /// with [`Frame::Busy`] and closed once it flushes; their slot frees
+    /// immediately after.
+    pub max_connections: usize,
+    /// Most concurrent sessions, live **plus parked**: a detached session
+    /// still holds buffers and a resume claim on the hub.
+    /// [`Frame::OpenSession`] past the cap gets [`Frame::Busy`];
+    /// [`Frame::ResumeSession`] is exempt (parked → live is count-neutral),
+    /// so recovery is never locked out by the overload that caused it.
+    pub max_sessions: usize,
+    /// Global memory budget in bytes, accounted in one ledger: buffered
+    /// samples of live and parked sessions, connection outboxes and the
+    /// cached-report table. Opens whose calibration stretch no longer fits
+    /// get [`Frame::Busy`]; accepted traffic that would breach the budget
+    /// triggers priority-aware shedding first and drops the remainder of
+    /// the incoming frame last (see [`GatewayStats::samples_shed`]).
+    pub global_memory_budget: usize,
+    /// The retry hint embedded in [`Frame::Busy`] responses; clients pause
+    /// this long before retrying admission.
+    pub busy_retry_after: Duration,
+    /// Connections that have not completed a session-level handshake
+    /// (open, resume or report re-fetch) within this deadline are reaped —
+    /// a pre-session slot cannot be held open by a silent or trickling
+    /// peer. `Duration::ZERO` disables the check.
+    pub handshake_timeout: Duration,
+    /// Length of one minimum-progress accounting interval for established
+    /// connections (see [`GatewayConfig::min_progress_bytes`]).
+    /// `Duration::ZERO` disables the check.
+    pub progress_interval: Duration,
+    /// A connection parking bytes mid-frame in its decoder that reads
+    /// fewer than this many bytes over a whole progress interval is a
+    /// trickle sender; a connection with a queued outbox and zero write
+    /// progress over an interval is a frozen reader. Either is reaped and
+    /// its sessions detach through the ordinary resume path.
+    pub min_progress_bytes: usize,
+    /// Reactor sweeps longer than this are counted as watchdog stalls
+    /// ([`GatewayStats::watchdog_stalls`]) by the run loop.
+    pub watchdog_budget: Duration,
 }
 
 impl Default for GatewayConfig {
@@ -111,6 +195,14 @@ impl Default for GatewayConfig {
             max_ingest_per_poll: 8192,
             resume_window: Duration::from_secs(30),
             wal: None,
+            max_connections: 1024,
+            max_sessions: 1024,
+            global_memory_budget: 64 << 20,
+            busy_retry_after: Duration::from_millis(250),
+            handshake_timeout: Duration::from_secs(10),
+            progress_interval: Duration::from_secs(30),
+            min_progress_bytes: 1,
+            watchdog_budget: Duration::from_secs(1),
         }
     }
 }
@@ -162,6 +254,134 @@ pub struct GatewayStats {
     /// bounded-memory witness: for compliant senders it never exceeds
     /// [`GatewayConfig::credit_budget`].
     pub peak_buffered_samples: usize,
+    /// Admission denials answered with [`Frame::Busy`] (connection cap,
+    /// session cap or global memory budget). Distinct from
+    /// [`GatewayStats::denials`]: a Busy peer did nothing wrong and is
+    /// invited to retry.
+    pub busy_denials: u64,
+    /// Shed events: one per victim session whose buffered tail was dropped
+    /// to stay inside the global memory budget.
+    pub sheds: u64,
+    /// Samples shed from buffered sessions (normal-priority first) to stay
+    /// inside the global memory budget. Victims get their credit back, so
+    /// their streams develop a gap instead of a deadlock.
+    pub samples_shed: u64,
+    /// Connections reaped for missing the pre-session handshake deadline
+    /// ([`GatewayConfig::handshake_timeout`]).
+    pub handshake_reaps: u64,
+    /// Established connections reaped by the minimum-progress check
+    /// (trickle senders and frozen readers); their sessions detach through
+    /// the ordinary resume path.
+    pub progress_reaps: u64,
+    /// Sweeps that exceeded [`GatewayConfig::watchdog_budget`], as observed
+    /// by the run loop.
+    pub watchdog_stalls: u64,
+    /// Worst sweep latency the run loop has observed, in microseconds —
+    /// the poll-latency high-water mark.
+    pub poll_high_water_micros: u64,
+    /// Largest total of buffered sample bytes (live + parked sessions)
+    /// ever held — the *global* bounded-memory witness alongside the
+    /// per-session [`GatewayStats::peak_buffered_samples`].
+    pub peak_buffered_bytes: usize,
+    /// Internal invariant violations skipped at runtime (a listed session
+    /// that vanished mid-sweep, a staged ingest the hub rejected, …).
+    /// Debug builds panic at the offending site; release builds count here
+    /// so the skips stay visible instead of silent.
+    pub internal_skips: u64,
+}
+
+/// A cloneable liveness probe of the reactor, stamped at the start of every
+/// sweep. Obtain one with [`Gateway::heartbeat`] *before* handing the
+/// gateway to [`Gateway::run`]; a supervisor thread then detects a stalled
+/// reactor (a poll iteration that never returns) from outside, instead of
+/// inferring it from silence.
+#[derive(Debug, Clone)]
+pub struct Heartbeat {
+    inner: Arc<HeartbeatInner>,
+}
+
+#[derive(Debug)]
+struct HeartbeatInner {
+    /// Anchor the beat offsets are measured from.
+    epoch: Instant,
+    /// Microseconds after `epoch` at which the latest sweep started.
+    last_beat: AtomicU64,
+    /// Sweeps begun.
+    polls: AtomicU64,
+}
+
+impl Heartbeat {
+    fn new() -> Self {
+        Heartbeat {
+            inner: Arc::new(HeartbeatInner {
+                epoch: Instant::now(),
+                last_beat: AtomicU64::new(0),
+                polls: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Stamps the current instant; called by the reactor at the start of
+    /// every sweep.
+    fn beat(&self) {
+        let micros = u64::try_from(self.inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.inner.last_beat.store(micros, Ordering::Release);
+        self.inner.polls.fetch_add(1, Ordering::Release);
+    }
+
+    /// Sweeps begun so far.
+    pub fn polls(&self) -> u64 {
+        self.inner.polls.load(Ordering::Acquire)
+    }
+
+    /// Whether the reactor has gone longer than `tolerance` without
+    /// starting a sweep — including the case where it never started one.
+    pub fn stalled(&self, tolerance: Duration) -> bool {
+        let last = Duration::from_micros(self.inner.last_beat.load(Ordering::Acquire));
+        self.inner.epoch.elapsed().saturating_sub(last) > tolerance
+    }
+}
+
+/// A point-in-time health snapshot of a gateway, from [`Gateway::health`]:
+/// everything a supervisor needs to decide whether the reactor is alive,
+/// how close it is to its global memory budget, and whether overload
+/// protections have been firing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayHealth {
+    /// Live wire sessions.
+    pub live_sessions: usize,
+    /// Sessions parked for resume.
+    pub parked_sessions: usize,
+    /// Open connections (including ones draining toward a close).
+    pub connections: usize,
+    /// Bytes of buffered samples across live and parked sessions.
+    pub buffered_bytes: usize,
+    /// Total currently charged against the global memory budget: buffered
+    /// samples, connection outboxes and the cached-report table.
+    pub memory_used: usize,
+    /// The configured [`GatewayConfig::global_memory_budget`].
+    pub memory_budget: usize,
+    /// Worst sweep latency the run loop has observed.
+    pub poll_high_water: Duration,
+    /// Sweeps that overran [`GatewayConfig::watchdog_budget`].
+    pub watchdog_stalls: u64,
+    /// Admission denials answered with [`Frame::Busy`].
+    pub busy_denials: u64,
+    /// Shed events so far.
+    pub sheds: u64,
+    /// Samples shed so far.
+    pub samples_shed: u64,
+}
+
+impl GatewayHealth {
+    /// Fraction of the global memory budget in use (may momentarily exceed
+    /// 1.0 while a shed sweep is catching up).
+    pub fn budget_utilization(&self) -> f64 {
+        if self.memory_budget == 0 {
+            return 0.0;
+        }
+        self.memory_used as f64 / self.memory_budget as f64
+    }
 }
 
 struct Connection {
@@ -174,6 +394,19 @@ struct Connection {
     closing: bool,
     /// Socket gone; reaped immediately.
     dead: bool,
+    /// When the connection was accepted; drives the pre-session handshake
+    /// deadline.
+    accepted_at: Instant,
+    /// The connection completed a session-level handshake (opened, resumed
+    /// or re-fetched a session) and graduated from the handshake deadline
+    /// to the minimum-progress check.
+    established: bool,
+    /// Bytes read since the current progress interval began.
+    read_since_check: usize,
+    /// Outbox bytes flushed since the current progress interval began.
+    wrote_since_check: usize,
+    /// When the current minimum-progress interval began.
+    checked_at: Instant,
 }
 
 impl Connection {
@@ -218,6 +451,13 @@ pub struct Gateway<'fw> {
     completed: HashMap<u64, CompletedSession>,
     /// Wire-id → token index into [`Self::completed`], for retried closes.
     completed_by_wire: HashMap<u32, u64>,
+    /// Incremental ledger of samples buffered across live **and** parked
+    /// sessions — the sample-buffer share of the global memory budget,
+    /// maintained at every mutation site and audited against
+    /// [`SessionManager::total_buffered_samples`] in debug builds.
+    buffered_samples: usize,
+    /// Liveness probe stamped at the start of every sweep.
+    heartbeat: Heartbeat,
 }
 
 impl<'fw> Gateway<'fw> {
@@ -255,12 +495,21 @@ impl<'fw> Gateway<'fw> {
             Some(wal_config) => {
                 let (wal, recovery) =
                     Wal::open(wal_config.clone()).map_err(std::io::Error::other)?;
-                stats.sessions_recovered =
-                    recover_sessions(&mut hub, &mut sessions, recovery.records, fs_millihertz);
+                let recovered = recover_sessions(
+                    &mut hub,
+                    &mut sessions,
+                    recovery.records,
+                    fs_millihertz,
+                    &mut stats,
+                );
+                stats.sessions_recovered = recovered;
                 Some(wal)
             }
             None => None,
         };
+        // Recovered sessions arrive with their replay buffers; seed the
+        // global ledger from the recount so the budget sees them.
+        let buffered_samples = sessions.total_buffered_samples();
         Ok(Gateway {
             listener,
             hub,
@@ -273,6 +522,8 @@ impl<'fw> Gateway<'fw> {
             wal,
             completed: HashMap::new(),
             completed_by_wire: HashMap::new(),
+            buffered_samples,
+            heartbeat: Heartbeat::new(),
         })
     }
 
@@ -314,8 +565,54 @@ impl<'fw> Gateway<'fw> {
         self.sessions.detached_len()
     }
 
+    /// Bytes currently charged against
+    /// [`GatewayConfig::global_memory_budget`]: buffered samples of live
+    /// and parked sessions, connection outboxes and the cached-report
+    /// table — the gateway's one memory ledger.
+    fn memory_used(&self) -> usize {
+        let outboxes: usize = self.conns.iter().flatten().map(Connection::queued).sum();
+        let completed: usize = self
+            .completed
+            .values()
+            .map(|done| done.outcomes.len() * std::mem::size_of::<WireOutcome>())
+            .sum();
+        self.buffered_samples * SAMPLE_BYTES + outboxes + completed
+    }
+
+    /// A point-in-time health snapshot: session and connection counts,
+    /// budget utilization, the poll-latency high-water mark and the
+    /// overload counters.
+    pub fn health(&self) -> GatewayHealth {
+        GatewayHealth {
+            live_sessions: self.sessions.len(),
+            parked_sessions: self.sessions.detached_len(),
+            connections: self.conns.iter().flatten().count(),
+            buffered_bytes: self.buffered_samples * SAMPLE_BYTES,
+            memory_used: self.memory_used(),
+            memory_budget: self.config.global_memory_budget,
+            poll_high_water: Duration::from_micros(self.stats.poll_high_water_micros),
+            watchdog_stalls: self.stats.watchdog_stalls,
+            busy_denials: self.stats.busy_denials,
+            sheds: self.stats.sheds,
+            samples_shed: self.stats.samples_shed,
+        }
+    }
+
+    /// The reactor's liveness probe. Clone it out *before*
+    /// [`Gateway::run`] consumes the gateway; every sweep stamps it, so a
+    /// supervisor thread can ask [`Heartbeat::stalled`] whether the
+    /// reactor has stopped sweeping.
+    pub fn heartbeat(&self) -> Heartbeat {
+        self.heartbeat.clone()
+    }
+
     /// Runs the reactor until `shutdown` flips, then returns the final
-    /// counters. Sleeps briefly on idle sweeps instead of spinning.
+    /// counters. Sleeps briefly on idle sweeps instead of spinning. Each
+    /// sweep's latency feeds the watchdog: the high-water mark lands in
+    /// [`GatewayStats::poll_high_water_micros`] and sweeps over
+    /// [`GatewayConfig::watchdog_budget`] are counted as stalls, so a
+    /// stalled iteration surfaces as diagnosable numbers rather than
+    /// silence.
     ///
     /// # Errors
     ///
@@ -323,7 +620,15 @@ impl<'fw> Gateway<'fw> {
     /// affected connection.
     pub fn run(mut self, shutdown: &AtomicBool) -> std::io::Result<GatewayStats> {
         while !shutdown.load(Ordering::Acquire) {
-            if !self.poll()? {
+            let sweep_started = Instant::now();
+            let progress = self.poll()?;
+            let latency = sweep_started.elapsed();
+            let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+            self.stats.poll_high_water_micros = self.stats.poll_high_water_micros.max(micros);
+            if latency > self.config.watchdog_budget {
+                self.stats.watchdog_stalls += 1;
+            }
+            if !progress {
                 std::thread::sleep(Duration::from_micros(300));
             }
         }
@@ -331,12 +636,14 @@ impl<'fw> Gateway<'fw> {
     }
 
     /// One reactor sweep; returns whether any progress was made (bytes
-    /// moved, frames handled, samples ingested).
+    /// moved, frames handled, samples ingested). Stamps the [`Heartbeat`]
+    /// on entry.
     ///
     /// # Errors
     ///
     /// Propagates fatal listener errors.
     pub fn poll(&mut self) -> std::io::Result<bool> {
+        self.heartbeat.beat();
         let mut progress = self.accept_new()?;
         for idx in 0..self.conns.len() {
             progress |= self.service_reads(idx);
@@ -344,11 +651,17 @@ impl<'fw> Gateway<'fw> {
         progress |= self.ingest_sweep();
         progress |= self.forward_outcomes_and_credit();
         self.evict_idle();
+        self.reap_slow_peers();
         self.reap();
         self.expire_detached();
         for idx in 0..self.conns.len() {
             progress |= self.flush(idx);
         }
+        debug_assert_eq!(
+            self.buffered_samples,
+            self.sessions.total_buffered_samples(),
+            "global buffered-sample ledger out of sync"
+        );
         Ok(progress)
     }
 
@@ -359,6 +672,7 @@ impl<'fw> Gateway<'fw> {
                 Ok((stream, _peer)) => {
                     stream.set_nonblocking(true)?;
                     let _ = stream.set_nodelay(true);
+                    let now = Instant::now();
                     let conn = Connection {
                         stream,
                         decoder: FrameDecoder::new(),
@@ -367,14 +681,31 @@ impl<'fw> Gateway<'fw> {
                         greeted: false,
                         closing: false,
                         dead: false,
+                        accepted_at: now,
+                        established: false,
+                        read_since_check: 0,
+                        wrote_since_check: 0,
+                        checked_at: now,
                     };
-                    let slot = self.conns.iter().position(Option::is_none);
-                    match slot {
-                        Some(i) => self.conns[i] = Some(conn),
-                        None => self.conns.push(Some(conn)),
-                    }
+                    let idx = match self.conns.iter().position(Option::is_none) {
+                        Some(i) => {
+                            self.conns[i] = Some(conn);
+                            i
+                        }
+                        None => {
+                            self.conns.push(Some(conn));
+                            self.conns.len() - 1
+                        }
+                    };
                     self.stats.connections += 1;
                     accepted = true;
+                    // Admission: past the connection cap the newcomer gets
+                    // a Busy hint and a flush-then-close, so its slot frees
+                    // as soon as the hint drains.
+                    let live = self.conns.iter().flatten().filter(|c| !c.dead).count();
+                    if live > self.config.max_connections {
+                        self.busy(idx);
+                    }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -405,6 +736,7 @@ impl<'fw> Gateway<'fw> {
                 }
                 Ok(n) => {
                     conn.decoder.feed(&buf[..n]);
+                    conn.read_since_check = conn.read_since_check.saturating_add(n);
                     taken += n;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -477,6 +809,28 @@ impl<'fw> Gateway<'fw> {
         }
     }
 
+    /// Sends [`Frame::Busy`] — the admission-control "come back later" —
+    /// and marks the connection for a flush-then-close. Unlike a denial,
+    /// the peer did nothing wrong and may retry after the embedded pause.
+    fn busy(&mut self, idx: usize) {
+        self.stats.busy_denials += 1;
+        let retry_after_ms =
+            u32::try_from(self.config.busy_retry_after.as_millis()).unwrap_or(u32::MAX);
+        self.send(idx, &Frame::Busy { retry_after_ms });
+        if let Some(conn) = self.conns[idx].as_mut() {
+            conn.closing = true;
+        }
+    }
+
+    /// Records that a connection completed a session-level handshake,
+    /// graduating it from the handshake deadline to the minimum-progress
+    /// check.
+    fn mark_established(&mut self, idx: usize) {
+        if let Some(conn) = self.conns[idx].as_mut() {
+            conn.established = true;
+        }
+    }
+
     fn handle_frame(&mut self, idx: usize, frame: Frame) {
         let greeted = self.conns[idx].as_ref().is_some_and(|c| c.greeted);
         if !greeted {
@@ -536,6 +890,7 @@ impl<'fw> Gateway<'fw> {
                     // close (its link died before the Report arrived):
                     // re-serve the cached report so CloseSession stays
                     // idempotent within the retention window.
+                    self.mark_established(idx);
                     self.stats.reports_refetched += 1;
                     self.send(idx, &Frame::Report { session, report });
                 } else if self.sessions.is_retired(session) {
@@ -551,7 +906,8 @@ impl<'fw> Gateway<'fw> {
             | Frame::SessionResumed { .. }
             | Frame::Credit { .. }
             | Frame::Outcomes { .. }
-            | Frame::Report { .. } => self.deny(idx, "client sent a gateway-only frame"),
+            | Frame::Report { .. }
+            | Frame::Busy { .. } => self.deny(idx, "client sent a gateway-only frame"),
             Frame::Deny { message } => {
                 // A client may announce why it is leaving; drop it politely.
                 let _ = message;
@@ -584,14 +940,40 @@ impl<'fw> Gateway<'fw> {
             );
             return;
         }
+        // A calibration stretch that alone exceeds the global memory
+        // budget could never be buffered, let alone replayed from the
+        // durable log at recovery: a hard denial, not a Busy retry hint —
+        // no amount of waiting makes this request admissible.
+        if calib_len * SAMPLE_BYTES > self.config.global_memory_budget {
+            self.deny(
+                idx,
+                &format!(
+                    "calibration length {calib_len} alone exceeds the gateway's memory budget"
+                ),
+            );
+            return;
+        }
+        // Admission control. Parked sessions count against the cap — a
+        // detached stream still holds buffers and a resume claim — but
+        // ResumeSession itself is exempt (parked → live is count-neutral).
+        if self.sessions.len() + self.sessions.detached_len() >= self.config.max_sessions {
+            self.busy(idx);
+            return;
+        }
+        if self.memory_used() + calib_len * SAMPLE_BYTES > self.config.global_memory_budget {
+            self.busy(idx);
+            return;
+        }
         let wire_id = self
             .sessions
             .open(idx, patient_id, calib_len, Instant::now());
         let Some(token) = self.sessions.get(wire_id).map(|s| s.token) else {
+            self.stats.internal_skips += 1;
             debug_assert!(false, "session {wire_id} vanished right after open");
             self.deny(idx, "internal session error");
             return;
         };
+        self.mark_established(idx);
         self.stats.sessions_opened += 1;
         self.wal_log(&WalRecord::SessionOpen {
             token,
@@ -646,6 +1028,7 @@ impl<'fw> Gateway<'fw> {
                 );
                 return;
             }
+            self.mark_established(idx);
             self.stats.reports_refetched += 1;
             self.send(
                 idx,
@@ -677,6 +1060,7 @@ impl<'fw> Gateway<'fw> {
             ResumeOutcome::Resumed(wire_id) => {
                 let budget = self.config.credit_budget;
                 let Some(received) = self.sessions.get(wire_id).map(|s| s.next_seq) else {
+                    self.stats.internal_skips += 1;
                     debug_assert!(false, "session {wire_id} vanished right after resume");
                     self.deny(idx, "internal session error");
                     return;
@@ -691,6 +1075,7 @@ impl<'fw> Gateway<'fw> {
                     return;
                 }
                 let Some(s) = self.sessions.get_mut(wire_id) else {
+                    self.stats.internal_skips += 1;
                     debug_assert!(false, "session {wire_id} vanished right after resume");
                     self.deny(idx, "internal session error");
                     return;
@@ -704,6 +1089,7 @@ impl<'fw> Gateway<'fw> {
                 s.consumed_since_grant = 0;
                 let credit = budget.saturating_sub(s.buffered()) as u32;
                 let next_expected_seq = s.next_seq;
+                self.mark_established(idx);
                 self.stats.sessions_resumed += 1;
                 self.send(
                     idx,
@@ -784,6 +1170,24 @@ impl<'fw> Gateway<'fw> {
         } else {
             samples.len()
         };
+        // Global-budget enforcement: shed buffered normal-priority
+        // telemetry first (largest buffer first, live or parked); whatever
+        // still does not fit — everything left is critical — is dropped
+        // from the incoming frame instead, with credit returned either way
+        // so the sender degrades (a stream gap) rather than deadlocking.
+        let mut accepted = accepted;
+        let mut dropped_at_budget = 0usize;
+        let budget_bytes = self.config.global_memory_budget;
+        let need = (self.memory_used() + accepted * SAMPLE_BYTES).saturating_sub(budget_bytes);
+        if need > 0 {
+            self.shed_samples(need.div_ceil(SAMPLE_BYTES));
+            let still = (self.memory_used() + accepted * SAMPLE_BYTES).saturating_sub(budget_bytes);
+            if still > 0 {
+                dropped_at_budget = still.div_ceil(SAMPLE_BYTES).min(accepted);
+                accepted -= dropped_at_budget;
+                self.stats.samples_dropped += dropped_at_budget as u64;
+            }
+        }
         // Log before the samples become visible to the hub: on recovery the
         // log is always a superset of what was ingested, so the post-crash
         // replay can never be behind what the session already reported.
@@ -795,6 +1199,7 @@ impl<'fw> Gateway<'fw> {
             });
         }
         let Some(s) = self.sessions.get_mut(session) else {
+            self.stats.internal_skips += 1;
             debug_assert!(false, "session {session} vanished mid-frame");
             return;
         };
@@ -805,8 +1210,118 @@ impl<'fw> Gateway<'fw> {
                 .map(|&c| adc.dequantize_sample(i32::from(c))),
         );
         s.samples_received += accepted as u64;
+        s.consumed_since_grant += dropped_at_budget;
+        self.buffered_samples += accepted;
         self.stats.samples_in += accepted as u64;
         self.stats.peak_buffered_samples = self.stats.peak_buffered_samples.max(s.buffered());
+        self.stats.peak_buffered_bytes = self
+            .stats
+            .peak_buffered_bytes
+            .max(self.buffered_samples * SAMPLE_BYTES);
+    }
+
+    /// Frees roughly `need` buffered samples by truncating the pending
+    /// tails of normal-priority sessions, largest buffer first (live or
+    /// parked, ties broken by wire id for a deterministic shed order);
+    /// critical sessions are only shed once no normal victim remains.
+    /// Live victims get the shed samples back as credit, so their senders
+    /// observe a stream gap, not a stall.
+    fn shed_samples(&mut self, mut need: usize) {
+        for critical_pass in [false, true] {
+            if need == 0 {
+                return;
+            }
+            // (buffered, wire_id, live, key): live keys are wire ids,
+            // parked keys are resume tokens.
+            let mut victims: Vec<(usize, u32, bool, u64)> = Vec::new();
+            for wire_id in self.sessions.ids() {
+                let Some(s) = self.sessions.get(wire_id) else {
+                    continue;
+                };
+                let critical = s.priority == SessionPriority::Critical;
+                if critical == critical_pass && s.buffered() > 0 {
+                    victims.push((s.buffered(), wire_id, true, u64::from(wire_id)));
+                }
+            }
+            for token in self.sessions.detached_tokens() {
+                let Some(s) = self.sessions.detached_get(token) else {
+                    continue;
+                };
+                let critical = s.priority == SessionPriority::Critical;
+                if critical == critical_pass && s.buffered() > 0 {
+                    victims.push((s.buffered(), s.wire_id, false, token));
+                }
+            }
+            victims.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            for (_, _, live, key) in victims {
+                if need == 0 {
+                    return;
+                }
+                let s = if live {
+                    self.sessions.get_mut(key as u32)
+                } else {
+                    self.sessions.detached_get_mut(key)
+                };
+                let Some(s) = s else {
+                    continue;
+                };
+                let shed = s.pending.len().min(need);
+                if shed == 0 {
+                    continue;
+                }
+                s.pending.truncate(s.pending.len() - shed);
+                if live {
+                    s.consumed_since_grant += shed;
+                }
+                need -= shed;
+                self.buffered_samples -= shed;
+                self.stats.samples_shed += shed as u64;
+                self.stats.sheds += 1;
+            }
+        }
+    }
+
+    /// Reaps slow peers: connections that never completed a session-level
+    /// handshake within the deadline, trickle senders (bytes parked
+    /// mid-frame, reads below the minimum over a whole progress interval)
+    /// and frozen readers (queued outbox, zero write progress). Reaped
+    /// connections are marked dead and their sessions detach through the
+    /// ordinary resume path.
+    fn reap_slow_peers(&mut self) {
+        let now = Instant::now();
+        let handshake = self.config.handshake_timeout;
+        let interval = self.config.progress_interval;
+        let min_bytes = self.config.min_progress_bytes;
+        let mut handshake_reaps = 0u64;
+        let mut progress_reaps = 0u64;
+        for conn in self.conns.iter_mut().flatten() {
+            if conn.dead || conn.closing {
+                continue;
+            }
+            if !conn.established {
+                if !handshake.is_zero() && now.duration_since(conn.accepted_at) > handshake {
+                    conn.dead = true;
+                    handshake_reaps += 1;
+                }
+                continue;
+            }
+            if interval.is_zero() || now.duration_since(conn.checked_at) < interval {
+                continue;
+            }
+            // One whole progress interval has elapsed: judge it, then
+            // start the next one.
+            let trickling = conn.decoder.buffered() > 0 && conn.read_since_check < min_bytes;
+            let frozen = conn.queued() > 0 && conn.wrote_since_check == 0;
+            if trickling || frozen {
+                conn.dead = true;
+                progress_reaps += 1;
+            }
+            conn.read_since_check = 0;
+            conn.wrote_since_check = 0;
+            conn.checked_at = now;
+        }
+        self.stats.handshake_reaps += handshake_reaps;
+        self.stats.progress_reaps += progress_reaps;
     }
 
     /// Promotes sessions whose calibration stretch is complete, then feeds
@@ -830,6 +1345,7 @@ impl<'fw> Gateway<'fw> {
                 Ok(thresholds) => {
                     let hub = self.hub.add_patient(s.patient_id, thresholds);
                     let Some(s) = self.sessions.get_mut(wire_id) else {
+                        self.stats.internal_skips += 1;
                         debug_assert!(false, "promoted session {wire_id} vanished");
                         continue;
                     };
@@ -844,7 +1360,9 @@ impl<'fw> Gateway<'fw> {
                     let conn = s.conn;
                     let token = s.token;
                     let samples = s.samples_received;
-                    self.sessions.remove(wire_id);
+                    if let Some(removed) = self.sessions.remove(wire_id) {
+                        self.buffered_samples -= removed.buffered();
+                    }
                     self.wal_log(&WalRecord::SessionClose { token });
                     self.send(
                         conn,
@@ -872,11 +1390,14 @@ impl<'fw> Gateway<'fw> {
             conns,
             config,
             staged,
+            stats,
+            buffered_samples,
             ..
         } = self;
         staged.clear();
         for wire_id in sessions.ids() {
             let Some(s) = sessions.get_mut(wire_id) else {
+                stats.internal_skips += 1;
                 debug_assert!(false, "listed session {wire_id} vanished");
                 continue;
             };
@@ -893,6 +1414,9 @@ impl<'fw> Gateway<'fw> {
             s.chunk.clear();
             s.chunk.extend(s.pending.drain(..take));
             s.consumed_since_grant += take;
+            // Staged samples leave the buffered ledger: from here they are
+            // the one in-flight chunk, consumed this very sweep.
+            *buffered_samples -= take;
             // Consumption counts as activity: a compliant sender stalled on
             // credit (because this gateway is the slow side) must not be
             // idle-evicted while its buffer is still being drained.
@@ -913,6 +1437,7 @@ impl<'fw> Gateway<'fw> {
         // rejection would mean the staging scan and the hub disagree about
         // liveness, and dropping the chunk beats poisoning the reactor.
         if !feeds.is_empty() && hub.ingest(&feeds).is_err() {
+            stats.internal_skips += 1;
             debug_assert!(false, "staged ingest rejected by the hub");
         }
         true
@@ -931,10 +1456,21 @@ impl<'fw> Gateway<'fw> {
                 continue;
             };
             let Ok(fresh) = self.hub.outcomes_since(hub_id, s.outcomes_sent) else {
+                self.stats.internal_skips += 1;
                 debug_assert!(false, "streaming session {wire_id} is not live in the hub");
                 continue;
             };
             let grant = s.consumed_since_grant;
+            // Refresh the shedding priority from the recent outcome
+            // window: an abnormal beat protects the stream under overload,
+            // and a clean window decays the protection again.
+            let priority = match self.hub.recent_abnormal(hub_id, PRIORITY_WINDOW) {
+                Ok(true) => SessionPriority::Critical,
+                _ => SessionPriority::Normal,
+            };
+            if let Some(s) = self.sessions.get_mut(wire_id) {
+                s.priority = priority;
+            }
             if !fresh.is_empty() {
                 let outcomes: Vec<WireOutcome> =
                     fresh.iter().map(WireOutcome::from_outcome).collect();
@@ -998,6 +1534,9 @@ impl<'fw> Gateway<'fw> {
         let Some(mut s) = self.sessions.remove(wire_id) else {
             return;
         };
+        // Off the books: whatever is still pending is drained into the hub
+        // below and gone either way.
+        self.buffered_samples -= s.buffered();
         // The close is durable before it is acknowledged: a gateway crash
         // after this point must not resurrect the session.
         self.wal_log(&WalRecord::SessionClose { token: s.token });
@@ -1024,6 +1563,7 @@ impl<'fw> Gateway<'fw> {
                 if !s.pending.is_empty()
                     && self.hub.ingest(&[(hub_id, s.pending.as_slice())]).is_err()
                 {
+                    self.stats.internal_skips += 1;
                     debug_assert!(false, "closing session {wire_id} is not live in the hub");
                 }
                 match self.hub.close_session(hub_id) {
@@ -1054,6 +1594,7 @@ impl<'fw> Gateway<'fw> {
                         )
                     }
                     Err(_) => {
+                        self.stats.internal_skips += 1;
                         debug_assert!(false, "closing session {wire_id} is not live in the hub");
                         (empty_report, Vec::new())
                     }
@@ -1111,6 +1652,7 @@ impl<'fw> Gateway<'fw> {
                 } else if let Some(s) = self.sessions.remove(wire_id) {
                     // Without retention nobody can ever resume this stream;
                     // close it in the log too so recovery skips it.
+                    self.buffered_samples -= s.buffered();
                     self.wal_log(&WalRecord::SessionClose { token: s.token });
                     if let Some(hub_id) = s.hub_id() {
                         // Nobody is left to receive results; discard.
@@ -1134,6 +1676,7 @@ impl<'fw> Gateway<'fw> {
         for s in self.sessions.expire_detached(now, window) {
             // Expiry is final: log the close so recovery does not
             // resurrect a stream nobody can resume any more.
+            self.buffered_samples -= s.buffered();
             self.wal_log(&WalRecord::SessionClose { token: s.token });
             if let Some(hub_id) = s.hub_id() {
                 let _ = self.hub.close_session(hub_id);
@@ -1165,6 +1708,7 @@ impl<'fw> Gateway<'fw> {
                 }
                 Ok(n) => {
                     conn.sent += n;
+                    conn.wrote_since_check = conn.wrote_since_check.saturating_add(n);
                     progress = true;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -1205,6 +1749,7 @@ fn recover_sessions(
     sessions: &mut SessionManager,
     records: Vec<WalRecord>,
     fs_millihertz: u32,
+    stats: &mut GatewayStats,
 ) -> u64 {
     struct Logged {
         wire_id: u32,
@@ -1322,6 +1867,7 @@ fn recover_sessions(
         .filter_map(|r| Some((r.hub_id?, r.samples.as_slice())))
         .collect();
     if !feeds.is_empty() && hub.ingest(&feeds).is_err() {
+        stats.internal_skips += 1;
         debug_assert!(false, "recovered hub sessions are fresh and unique");
     }
     let now = Instant::now();
@@ -1364,6 +1910,7 @@ fn recover_sessions(
                 consumed_since_grant: 0,
                 samples_received,
                 last_activity: now,
+                priority: SessionPriority::Normal,
             },
             now,
         );

@@ -42,6 +42,26 @@ const RETIRED_CAP: usize = 4096;
 
 use hbc_core::SessionId;
 
+/// How much a session's buffered telemetry is worth protecting when the
+/// gateway sheds load under its global memory budget.
+///
+/// Priority is **derived from the recent outcome stream** (see
+/// `StreamHub::recent_abnormal`): a session whose recent beats include an
+/// abnormal prediction is ARR-critical and its buffers are shed last, so the
+/// safety invariant *abnormal ⇒ routed onward* holds under overload too. A
+/// session can decay back to [`SessionPriority::Normal`] once its recent
+/// window is clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum SessionPriority {
+    /// Recent outcomes are all normal (or the session has produced none
+    /// yet); buffered telemetry may be dropped first under overload.
+    #[default]
+    Normal,
+    /// The recent outcome window contains an abnormal (ARR-flagged) beat;
+    /// shed everything else before touching this stream.
+    Critical,
+}
+
 /// Where a session is in its lifecycle.
 #[derive(Debug)]
 pub enum SessionPhase {
@@ -86,6 +106,9 @@ pub struct NetSession {
     pub samples_received: u64,
     /// Last time a frame touched this session (drives eviction).
     pub last_activity: Instant,
+    /// Shedding priority, refreshed from the recent outcome stream by the
+    /// reactor's forwarding sweep.
+    pub priority: SessionPriority,
 }
 
 impl NetSession {
@@ -182,6 +205,7 @@ impl SessionManager {
                 consumed_since_grant: 0,
                 samples_received: 0,
                 last_activity: now,
+                priority: SessionPriority::Normal,
             },
         );
         wire_id
@@ -278,6 +302,40 @@ impl SessionManager {
     /// Number of sessions currently parked for resume.
     pub fn detached_len(&self) -> usize {
         self.detached.len()
+    }
+
+    /// Resume tokens of every parked session, in wire-id order
+    /// (deterministic shedding sweeps).
+    pub fn detached_tokens(&self) -> Vec<u64> {
+        let mut parked: Vec<(u32, u64)> = self
+            .detached
+            .iter()
+            .map(|(&token, d)| (d.session.wire_id, token))
+            .collect();
+        parked.sort_unstable();
+        parked.into_iter().map(|(_, token)| token).collect()
+    }
+
+    /// A parked session's state, by resume token.
+    pub fn detached_get(&self, token: u64) -> Option<&NetSession> {
+        self.detached.get(&token).map(|d| &d.session)
+    }
+
+    /// Mutable access to a parked session — the shedding path drops
+    /// buffered telemetry of detached normal-priority streams too.
+    pub fn detached_get_mut(&mut self, token: u64) -> Option<&mut NetSession> {
+        self.detached.get_mut(&token).map(|d| &mut d.session)
+    }
+
+    /// Samples buffered across every live **and** parked session — the
+    /// recount behind the reactor's incremental global-memory ledger (the
+    /// reactor audits its counter against this in debug builds).
+    pub fn total_buffered_samples(&self) -> usize {
+        self.sessions
+            .values()
+            .map(NetSession::buffered)
+            .chain(self.detached.values().map(|d| d.session.buffered()))
+            .sum()
     }
 
     /// Inserts a rebuilt session directly into the detached table — the
@@ -549,6 +607,7 @@ mod tests {
                 consumed_since_grant: 0,
                 samples_received: 30,
                 last_activity: now,
+                priority: SessionPriority::Normal,
             },
             now,
         );
@@ -570,6 +629,40 @@ mod tests {
             "the token stream must continue exactly where the crash left it"
         );
         let _ = a;
+    }
+
+    #[test]
+    fn buffered_totals_and_detached_access_cover_live_and_parked_sessions() {
+        let mut mgr = SessionManager::new();
+        let now = Instant::now();
+        let a = mgr.open(0, 1, 10, now);
+        let b = mgr.open(1, 2, 10, now);
+        mgr.get_mut(a).expect("live").pending.extend([0.0; 5]);
+        mgr.get_mut(b).expect("live").pending.extend([0.0; 7]);
+        assert_eq!(mgr.total_buffered_samples(), 12);
+        assert_eq!(
+            mgr.get(a).expect("live").priority,
+            SessionPriority::Normal,
+            "sessions open at normal priority"
+        );
+        assert!(SessionPriority::Critical > SessionPriority::Normal);
+
+        // Parking moves the buffer, it does not free it: the global ledger
+        // still counts detached pending samples.
+        let token_b = mgr.get(b).expect("live").token;
+        assert!(mgr.detach(b, now));
+        assert_eq!(mgr.total_buffered_samples(), 12);
+        assert_eq!(mgr.detached_tokens(), vec![token_b]);
+        assert_eq!(mgr.detached_get(token_b).expect("parked").buffered(), 7);
+
+        // Shedding a parked session's tail shows up in the recount.
+        mgr.detached_get_mut(token_b)
+            .expect("parked")
+            .pending
+            .truncate(2);
+        assert_eq!(mgr.total_buffered_samples(), 7);
+        assert!(mgr.detached_get(0xDEAD).is_none());
+        assert!(mgr.detached_get_mut(0xDEAD).is_none());
     }
 
     #[test]

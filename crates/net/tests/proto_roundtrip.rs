@@ -24,7 +24,7 @@ fn next(state: &mut u64) -> u64 {
 
 /// Deterministically builds one of every frame kind from a seed.
 fn frame_from(state: &mut u64) -> Frame {
-    match next(state) % 11 {
+    match next(state) % 12 {
         0 => Frame::Hello {
             version: next(state) as u16,
         },
@@ -64,6 +64,9 @@ fn frame_from(state: &mut u64) -> Frame {
             session: next(state) as u32,
             next_expected_seq: next(state) as u32,
             credit: next(state) as u32,
+        },
+        11 => Frame::Busy {
+            retry_after_ms: next(state) as u32,
         },
         6 => {
             let n = (next(state) % 40) as usize;
