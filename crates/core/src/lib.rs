@@ -66,6 +66,7 @@ pub use hbc_dsp;
 pub use hbc_ecg;
 pub use hbc_embedded;
 pub use hbc_nfc;
+pub use hbc_obs;
 pub use hbc_rp;
 
 /// Errors surfaced by the framework crate.

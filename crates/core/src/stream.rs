@@ -21,8 +21,9 @@ use hbc_dsp::window::match_peaks;
 use hbc_dsp::{FrontendScratch, MorphologicalFilter, PeakDetector, PeakThresholds};
 use hbc_ecg::record::Annotation;
 use hbc_embedded::firmware::BeatOutcome;
-use hbc_embedded::{StreamingFirmware, WbsnFirmware};
+use hbc_embedded::{StageMetrics, StreamingFirmware, WbsnFirmware};
 use hbc_nfc::EvaluationReport;
+use hbc_obs::Histogram;
 use hbc_par::Par;
 
 use crate::{CoreError, Result};
@@ -111,6 +112,13 @@ pub struct StreamHub<'fw> {
     /// concurrent calibrations. Sits alongside the per-session `BeatScratch`
     /// the streaming firmware already owns.
     calibration: Mutex<Vec<CalibrationScratch>>,
+    /// Wall-clock microseconds per [`Self::ingest`] batch (the full parallel
+    /// sweep). Behind a mutex because `ingest` takes `&self`; uncontended in
+    /// the single-reactor serving path.
+    ingest_micros: Mutex<Histogram>,
+    /// Stage histograms of sessions that have closed, merged at close time
+    /// so their timings survive slot reuse.
+    closed_stages: StageMetrics,
 }
 
 /// Buffers for one threshold calibration: the front-end scratch plus the
@@ -147,6 +155,8 @@ impl<'fw> StreamHub<'fw> {
             sessions: Vec::new(),
             free: Vec::new(),
             calibration: Mutex::new(Vec::new()),
+            ingest_micros: Mutex::new(Histogram::new()),
+            closed_stages: StageMetrics::default(),
         }
     }
 
@@ -230,6 +240,7 @@ impl<'fw> StreamHub<'fw> {
         drop(slot);
         session.stream.finish();
         session.drain();
+        self.closed_stages.merge(session.stream.stage_metrics());
         self.free.push(id.0);
         Ok(SessionReport {
             patient_id: session.patient_id,
@@ -281,6 +292,7 @@ impl<'fw> StreamHub<'fw> {
                 return Err(Self::closed(*id));
             }
         }
+        let started = std::time::Instant::now();
         self.par.map(feeds, |&(id, chunk)| {
             let mut slot = self.sessions[id.0].lock().expect("session poisoned");
             // Checked above; `ingest` takes `&self` and closing needs
@@ -289,7 +301,35 @@ impl<'fw> StreamHub<'fw> {
             session.stream.push_chunk(chunk);
             session.drain();
         });
+        self.ingest_micros
+            .lock()
+            .expect("ingest histogram poisoned")
+            .record(started.elapsed().as_micros() as u64);
         Ok(())
+    }
+
+    /// Wall-clock microseconds per [`Self::ingest`] batch so far (cloned
+    /// snapshot).
+    pub fn ingest_latency(&self) -> Histogram {
+        self.ingest_micros
+            .lock()
+            .expect("ingest histogram poisoned")
+            .clone()
+    }
+
+    /// Per-stage latency histograms aggregated across the hub: every closed
+    /// session's timings (merged at close) plus the current state of every
+    /// live session. Histogram merge is deterministic, so the aggregate is
+    /// independent of session scheduling and close order.
+    pub fn stage_metrics(&self) -> StageMetrics {
+        let mut merged = self.closed_stages.clone();
+        for slot in &self.sessions {
+            let slot = slot.lock().expect("session poisoned");
+            if let Some(session) = slot.as_ref() {
+                merged.merge(session.stream.stage_metrics());
+            }
+        }
+        merged
     }
 
     /// Finishes every live session in parallel: borders are drained and all

@@ -149,6 +149,72 @@ impl BeatScratch {
             .map_err(|e| EmbeddedError::Dimension(e.to_string()))?;
         Ok(classifier.classify(&self.coefficients, alpha)?.class)
     }
+
+    /// [`Self::classify`] with per-stage wall-clock attribution: runs the
+    /// *identical* operations (bit-identical result) and additionally fills
+    /// `stages` with the nanoseconds spent in window preparation
+    /// (downsample + ADC quantisation), packed projection, and integer NFC.
+    /// The untimed path stays clock-free for batch runs that do not need
+    /// telemetry.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::classify`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `downsample` is zero.
+    // One argument over clippy's limit: the signature is `classify` plus
+    // the `stages` out-parameter, and grouping the model handles into a
+    // struct here would fork the two call shapes apart.
+    #[allow(clippy::too_many_arguments)]
+    pub fn classify_timed(
+        &mut self,
+        samples: &[f64],
+        downsample: usize,
+        adc: &AdcModel,
+        projection: &PackedProjection,
+        classifier: &IntegerNfc,
+        alpha: AlphaQ16,
+        stages: &mut StageNanos,
+    ) -> Result<BeatClass> {
+        let t0 = std::time::Instant::now();
+        self.downsampled.clear();
+        self.downsampled.extend(samples.iter().step_by(downsample));
+        adc.quantize_samples_into(&self.downsampled, &mut self.quantized);
+        let t1 = std::time::Instant::now();
+        self.coefficients.resize(projection.rows(), 0);
+        projection
+            .project_into(&self.quantized, &mut self.coefficients)
+            .map_err(|e| EmbeddedError::Dimension(e.to_string()))?;
+        let t2 = std::time::Instant::now();
+        let class = classifier.classify(&self.coefficients, alpha)?.class;
+        let t3 = std::time::Instant::now();
+        stages.prepare = (t1 - t0).as_nanos() as u64;
+        stages.project = (t2 - t1).as_nanos() as u64;
+        stages.classify = (t3 - t2).as_nanos() as u64;
+        Ok(class)
+    }
+}
+
+/// Wall-clock nanoseconds one beat spent in each stage of
+/// [`BeatScratch::classify_timed`]. A plain out-parameter so the scratch
+/// path stays allocation-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageNanos {
+    /// Window preparation: downsample + ADC quantisation.
+    pub prepare: u64,
+    /// Packed integer random projection.
+    pub project: u64,
+    /// Integer NFC classification.
+    pub classify: u64,
+}
+
+impl StageNanos {
+    /// Total nanoseconds across the three stages.
+    pub fn total(&self) -> u64 {
+        self.prepare + self.project + self.classify
+    }
 }
 
 /// The embedded application: configuration plus all trained artefacts.
@@ -257,6 +323,38 @@ impl WbsnFirmware {
             &self.projection,
             &self.classifier,
             self.alpha,
+        )
+    }
+
+    /// [`Self::classify_window_with`] with per-stage timing attribution (see
+    /// [`BeatScratch::classify_timed`]); the classification result is
+    /// bit-identical to the untimed path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbeddedError::Dimension`] when the window length does not
+    /// match the firmware configuration.
+    pub fn classify_window_timed(
+        &self,
+        samples: &[f64],
+        scratch: &mut BeatScratch,
+        stages: &mut StageNanos,
+    ) -> Result<BeatClass> {
+        if samples.len() != self.window.len() {
+            return Err(EmbeddedError::Dimension(format!(
+                "expected a {}-sample window, got {}",
+                self.window.len(),
+                samples.len()
+            )));
+        }
+        scratch.classify_timed(
+            samples,
+            self.downsample,
+            &self.adc,
+            &self.projection,
+            &self.classifier,
+            self.alpha,
+            stages,
         )
     }
 

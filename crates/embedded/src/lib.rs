@@ -40,12 +40,12 @@ pub mod platform;
 pub mod streaming;
 
 pub use energy::{EnergyModel, EnergyReport, TransmissionPolicy};
-pub use firmware::{BeatOutcome, BeatScratch, FirmwareReport, WbsnFirmware};
+pub use firmware::{BeatOutcome, BeatScratch, FirmwareReport, StageNanos, WbsnFirmware};
 pub use fixed::{AdcModel, Quantizer};
 pub use int_classifier::{IntegerNfc, MembershipKind};
 pub use linear_mf::{IntMembership, LinearizedMf, TriangularMf, MF_FULL_SCALE};
 pub use platform::{IcyHeartPlatform, StageCycles};
-pub use streaming::StreamingFirmware;
+pub use streaming::{StageMetrics, StreamingFirmware};
 
 /// Errors produced by the embedded crate.
 #[derive(Debug, Clone, PartialEq)]

@@ -34,12 +34,46 @@
 //! positions against annotations (see `hbc_core`'s `StreamHub`).
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use hbc_dsp::peak::{PeakDetector, PeakThresholds};
 use hbc_dsp::streaming::{StreamingBaselineFilter, StreamingBeatWindower};
 use hbc_dsp::{Delineator, StreamingPeakDetector};
+use hbc_obs::Histogram;
 
-use crate::firmware::{BeatOutcome, BeatScratch, WbsnFirmware};
+use crate::firmware::{BeatOutcome, BeatScratch, StageNanos, WbsnFirmware};
+
+/// Per-stage latency histograms for one online pipeline (nanoseconds).
+///
+/// `conditioning` is recorded once per [`StreamingFirmware::push_chunk`]
+/// call and covers the front-end DSP — baseline filter, wavelet cascade,
+/// peak scan and windowing — with the per-beat stage time subtracted out.
+/// The remaining histograms are per beat. Histogram merge is deterministic
+/// (element-wise bucket addition), so per-session metrics aggregate to
+/// hub- or fleet-level distributions independent of how sessions were
+/// sharded.
+#[derive(Debug, Clone, Default)]
+pub struct StageMetrics {
+    /// Front-end conditioning per ingested chunk.
+    pub conditioning_nanos: Histogram,
+    /// Window preparation + packed projection per beat.
+    pub projection_nanos: Histogram,
+    /// Integer NFC classification per beat.
+    pub classify_nanos: Histogram,
+    /// MMD delineation per forwarded (abnormal) beat.
+    pub delineation_nanos: Histogram,
+}
+
+impl StageMetrics {
+    /// Merges another pipeline's stage histograms into this one
+    /// (deterministic: any split/merge order yields the same result).
+    pub fn merge(&mut self, other: &StageMetrics) {
+        self.conditioning_nanos.merge(&other.conditioning_nanos);
+        self.projection_nanos.merge(&other.projection_nanos);
+        self.classify_nanos.merge(&other.classify_nanos);
+        self.delineation_nanos.merge(&other.delineation_nanos);
+    }
+}
 
 /// The Figure 6 application as a push-based stream processor with bounded
 /// memory and zero steady-state allocation.
@@ -58,6 +92,11 @@ pub struct StreamingFirmware<'fw> {
     beats_out: usize,
     forwarded: usize,
     finished: bool,
+    stages: StageMetrics,
+    /// Nanoseconds spent in per-beat stages since construction; `push_chunk`
+    /// subtracts its delta from the chunk wall-clock to attribute the rest
+    /// to front-end conditioning.
+    beat_nanos_acc: u64,
 }
 
 impl<'fw> StreamingFirmware<'fw> {
@@ -89,6 +128,8 @@ impl<'fw> StreamingFirmware<'fw> {
             beats_out: 0,
             forwarded: 0,
             finished: false,
+            stages: StageMetrics::default(),
+            beat_nanos_acc: 0,
             firmware,
         }
     }
@@ -139,10 +180,25 @@ impl<'fw> StreamingFirmware<'fw> {
     /// Pushes a chunk of consecutive samples. Chunking is immaterial: any
     /// partition of the signal into `push_chunk`/`push` calls produces the
     /// identical outcome stream.
+    ///
+    /// Each call records one observation in the conditioning-stage
+    /// histogram (chunk wall-clock minus the per-beat stage time), so the
+    /// serving path's batch ingestion is telemetered for free; the
+    /// per-sample [`Self::push`] entry point stays clock-free.
     pub fn push_chunk(&mut self, samples: &[f64]) {
+        if samples.is_empty() {
+            return;
+        }
+        let started = Instant::now();
+        let beats_before = self.beat_nanos_acc;
         for &s in samples {
             self.push(s);
         }
+        let total = started.elapsed().as_nanos() as u64;
+        let beat_time = self.beat_nanos_acc - beats_before;
+        self.stages
+            .conditioning_nanos
+            .record(total.saturating_sub(beat_time));
     }
 
     /// Declares the end of the stream: the filter drains its right border
@@ -222,25 +278,42 @@ impl<'fw> StreamingFirmware<'fw> {
         self.window_buf = window;
     }
 
+    /// Per-stage latency histograms accumulated by this pipeline.
+    pub fn stage_metrics(&self) -> &StageMetrics {
+        &self.stages
+    }
+
     fn emit_beat(&mut self, peak: usize, window: &[f64]) {
         // Stage 3-5 exactly as the batch path runs them: the decimation grid
         // anchors at the window start (phase-correct relative to the R peak,
         // the `step_by` inside the shared scratch), then ADC quantisation,
         // packed projection and integer NFC against reused buffers.
         let fw = self.firmware;
+        let mut beat_stages = StageNanos::default();
         let predicted = fw
-            .classify_window_with(window, &mut self.scratch)
+            .classify_window_timed(window, &mut self.scratch, &mut beat_stages)
             .expect("windower emits firmware-sized windows");
         let delineated = predicted.is_abnormal();
         let fiducials_transmitted = if delineated {
             self.forwarded += 1;
-            self.delineator
+            let del_started = Instant::now();
+            let fiducials = self
+                .delineator
                 .delineate_multilead(&[window], fw.window.pre)
                 .map(|f| f.count().max(1))
-                .unwrap_or(1)
+                .unwrap_or(1);
+            let del_nanos = del_started.elapsed().as_nanos() as u64;
+            self.stages.delineation_nanos.record(del_nanos);
+            self.beat_nanos_acc += del_nanos;
+            fiducials
         } else {
             1 // peak position only
         };
+        self.stages
+            .projection_nanos
+            .record(beat_stages.prepare + beat_stages.project);
+        self.stages.classify_nanos.record(beat_stages.classify);
+        self.beat_nanos_acc += beat_stages.total();
         self.beats_out += 1;
         self.outcomes.push_back(BeatOutcome {
             peak,

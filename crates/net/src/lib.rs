@@ -58,7 +58,9 @@ pub use chaos::{ChaosConfig, ChaosDirection, ChaosProxy, ChaosStats, FaultKind};
 pub use client::{NodeClient, SessionSummary};
 pub use proto::{Frame, FrameDecoder, ProtoError, WireOutcome, WireReport, PROTOCOL_VERSION};
 pub use replay::{replay_log, ReplayReport, ReplayedSession};
-pub use server::{Gateway, GatewayConfig, GatewayHealth, GatewayStats, Heartbeat, OverflowPolicy};
+pub use server::{
+    Gateway, GatewayConfig, GatewayHealth, GatewayReport, GatewayStats, Heartbeat, OverflowPolicy,
+};
 pub use session::SessionPriority;
 
 /// Errors surfaced by the networking crate.

@@ -77,6 +77,23 @@
 //!   sweeps over [`GatewayConfig::watchdog_budget`]
 //!   ([`GatewayStats::watchdog_stalls`]), and [`Gateway::health`] snapshots
 //!   budget utilization and the shed/deny counters for supervisors.
+//!
+//! ## Observability
+//!
+//! The reactor carries an `hbc-obs` telemetry substrate, cheap enough to
+//! stay on in release builds and allocation-free in steady state: log2
+//! latency histograms for sweeps, per-frame handling, batched hub ingests
+//! and the headline **first-ADC-sample-to-outcome** path, plus a bounded
+//! [`TraceRing`] of typed lifecycle events (opens, closes, detach/resume,
+//! sheds, reaps, durable-log appends, hot-swaps, watchdog stalls).
+//! [`Gateway::metrics_snapshot`] assembles every source — reactor, hub,
+//! per-stage firmware timings and the durable log — into one
+//! [`MetricsSnapshot`]; [`Gateway::trace_dump`] returns the retained
+//! timeline. With [`GatewayConfig::admin_addr`] set, a second listener
+//! serves the same data over HTTP: `GET /metrics` (Prometheus text),
+//! `/metrics.json`, `/health` and `/trace`. Instrumentation never changes
+//! outcomes: every classification path stays bit-identical with telemetry
+//! enabled.
 
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -87,6 +104,7 @@ use std::time::{Duration, Instant};
 
 use hbc_core::StreamHub;
 use hbc_embedded::WbsnFirmware;
+use hbc_obs::{Histogram, MetricsSnapshot, TraceEvent, TraceRecord, TraceRing};
 use hbc_wal::{Wal, WalConfig, WalRecord};
 
 use crate::proto::{
@@ -183,6 +201,22 @@ pub struct GatewayConfig {
     /// Reactor sweeps longer than this are counted as watchdog stalls
     /// ([`GatewayStats::watchdog_stalls`]) by the run loop.
     pub watchdog_budget: Duration,
+    /// Optional admin listener address. When set, [`Gateway::bind`] opens a
+    /// second (nonblocking) listener serving `GET /metrics` (Prometheus
+    /// text exposition), `/metrics.json`, `/health` and `/trace` over
+    /// HTTP/1.0 — a scrape surface that never mixes with the node protocol.
+    /// Bind to port 0 and read [`Gateway::admin_addr`] for tests.
+    pub admin_addr: Option<SocketAddr>,
+    /// Capacity of the trace ring (older events are overwritten once the
+    /// ring is full; [`TraceRing::dropped`] counts the overwrites).
+    pub trace_capacity: usize,
+    /// Length of one poll-latency accounting window for the *windowed*
+    /// high-water mark ([`GatewayStats::poll_recent_high_water_micros`]):
+    /// unlike the all-time [`GatewayStats::poll_high_water_micros`], the
+    /// windowed figure decays, covering roughly the last two windows.
+    /// `Duration::ZERO` disables rotation (the windowed figure then equals
+    /// the all-time mark).
+    pub poll_window: Duration,
 }
 
 impl Default for GatewayConfig {
@@ -203,6 +237,9 @@ impl Default for GatewayConfig {
             progress_interval: Duration::from_secs(30),
             min_progress_bytes: 1,
             watchdog_budget: Duration::from_secs(1),
+            admin_addr: None,
+            trace_capacity: 4096,
+            poll_window: Duration::from_secs(10),
         }
     }
 }
@@ -279,6 +316,12 @@ pub struct GatewayStats {
     /// Worst sweep latency the run loop has observed, in microseconds —
     /// the poll-latency high-water mark.
     pub poll_high_water_micros: u64,
+    /// Worst sweep latency over roughly the last two
+    /// [`GatewayConfig::poll_window`]s, in microseconds — the *windowed*
+    /// counterpart of [`GatewayStats::poll_high_water_micros`]: it decays
+    /// once a slow sweep ages out, so a supervisor can tell a long-healed
+    /// startup hiccup from an ongoing stall.
+    pub poll_recent_high_water_micros: u64,
     /// Largest total of buffered sample bytes (live + parked sessions)
     /// ever held — the *global* bounded-memory witness alongside the
     /// per-session [`GatewayStats::peak_buffered_samples`].
@@ -363,6 +406,9 @@ pub struct GatewayHealth {
     pub memory_budget: usize,
     /// Worst sweep latency the run loop has observed.
     pub poll_high_water: Duration,
+    /// Worst sweep latency over roughly the last two
+    /// [`GatewayConfig::poll_window`]s (the decaying high-water mark).
+    pub poll_recent_high_water: Duration,
     /// Sweeps that overran [`GatewayConfig::watchdog_budget`].
     pub watchdog_stalls: u64,
     /// Admission denials answered with [`Frame::Busy`].
@@ -371,6 +417,16 @@ pub struct GatewayHealth {
     pub sheds: u64,
     /// Samples shed so far.
     pub samples_shed: u64,
+    /// Durable-log append failures so far. Non-zero means the gateway gave
+    /// up on the log and is running undurably (see
+    /// [`GatewayStats::wal_errors`]).
+    pub wal_errors: u64,
+    /// Bytes the durable ingest log occupies on disk across its live
+    /// segments, `0` when no log is configured (or it was disabled by an
+    /// append failure).
+    pub wal_log_bytes: u64,
+    /// Whether the durable ingest log is still accepting appends.
+    pub wal_active: bool,
 }
 
 impl GatewayHealth {
@@ -431,6 +487,84 @@ struct CompletedSession {
     since: Instant,
 }
 
+/// The gateway's telemetry state: latency histograms, the bounded trace
+/// ring and the rotation bookkeeping behind the windowed poll high-water
+/// mark. Everything here is fixed-size after construction; recording is
+/// allocation-free.
+struct GatewayObs {
+    /// Latency of every run-loop sweep, in microseconds.
+    sweep_micros: Histogram,
+    /// Latency of each handled frame, in microseconds.
+    frame_micros: Histogram,
+    /// Latency of each batched [`StreamHub::ingest`] call issued by the
+    /// sweep, in microseconds.
+    ingest_batch_micros: Histogram,
+    /// The headline first-ADC-sample-to-outcome latency, in microseconds:
+    /// from the arrival of the oldest sample buffered for a session to the
+    /// sweep that forwarded the outcomes its chunk produced.
+    beat_to_outcome_micros: Histogram,
+    /// Bounded ring of typed reactor events.
+    trace: TraceRing,
+    /// When the current poll-latency window began.
+    window_started: Instant,
+    /// Worst sweep latency inside the current window, in microseconds.
+    window_max_micros: u64,
+    /// Worst sweep latency of the previous (complete) window.
+    prev_window_max_micros: u64,
+}
+
+impl GatewayObs {
+    fn new(trace_capacity: usize) -> Self {
+        GatewayObs {
+            sweep_micros: Histogram::new(),
+            frame_micros: Histogram::new(),
+            ingest_batch_micros: Histogram::new(),
+            beat_to_outcome_micros: Histogram::new(),
+            trace: TraceRing::new(trace_capacity),
+            window_started: Instant::now(),
+            window_max_micros: 0,
+            prev_window_max_micros: 0,
+        }
+    }
+}
+
+/// One in-flight exchange on the admin listener: read an HTTP request
+/// until its request line is complete, write one response, flush, close.
+struct AdminConn {
+    stream: TcpStream,
+    inbox: Vec<u8>,
+    outbox: Vec<u8>,
+    sent: usize,
+    /// The response is built; only flushing remains.
+    responding: bool,
+    dead: bool,
+}
+
+/// Extracts the method and path from the first request line, once a whole
+/// line has arrived.
+fn admin_request_line(inbox: &[u8]) -> Option<(String, String)> {
+    let line_end = inbox.iter().position(|&b| b == b'\n')?;
+    let line = std::str::from_utf8(&inbox[..line_end]).ok()?;
+    let mut parts = line.trim_end_matches('\r').split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    Some((method, path))
+}
+
+/// Everything [`Gateway::run_with_report`] hands back at shutdown: the
+/// reactor counters, a final [`MetricsSnapshot`] and the retained trace
+/// timeline.
+#[derive(Debug, Clone)]
+pub struct GatewayReport {
+    /// Final reactor counters (what [`Gateway::run`] alone returns).
+    pub stats: GatewayStats,
+    /// Final metrics snapshot, as [`Gateway::metrics_snapshot`] would have
+    /// produced it at the moment of shutdown.
+    pub metrics: MetricsSnapshot,
+    /// The retained trace timeline, oldest first.
+    pub trace: Vec<TraceRecord>,
+}
+
 /// The TCP ingestion gateway: owns the listener, the connections and the
 /// [`StreamHub`] every session streams into.
 pub struct Gateway<'fw> {
@@ -458,6 +592,13 @@ pub struct Gateway<'fw> {
     buffered_samples: usize,
     /// Liveness probe stamped at the start of every sweep.
     heartbeat: Heartbeat,
+    /// Telemetry: latency histograms, the trace ring and the poll-window
+    /// rotation state.
+    obs: GatewayObs,
+    /// Optional admin listener serving metrics/health/trace over HTTP.
+    admin: Option<TcpListener>,
+    /// In-flight admin exchanges.
+    admin_conns: Vec<AdminConn>,
 }
 
 impl<'fw> Gateway<'fw> {
@@ -510,6 +651,21 @@ impl<'fw> Gateway<'fw> {
         // Recovered sessions arrive with their replay buffers; seed the
         // global ledger from the recount so the budget sees them.
         let buffered_samples = sessions.total_buffered_samples();
+        let mut obs = GatewayObs::new(config.trace_capacity);
+        for token in sessions.detached_tokens() {
+            if let Some(s) = sessions.detached_get(token) {
+                obs.trace
+                    .push(TraceEvent::SessionRecover { session: s.wire_id });
+            }
+        }
+        let admin = match config.admin_addr {
+            Some(addr) => {
+                let admin = TcpListener::bind(addr)?;
+                admin.set_nonblocking(true)?;
+                Some(admin)
+            }
+            None => None,
+        };
         Ok(Gateway {
             listener,
             hub,
@@ -524,6 +680,9 @@ impl<'fw> Gateway<'fw> {
             completed_by_wire: HashMap::new(),
             buffered_samples,
             heartbeat: Heartbeat::new(),
+            obs,
+            admin,
+            admin_conns: Vec::new(),
         })
     }
 
@@ -533,9 +692,15 @@ impl<'fw> Gateway<'fw> {
     /// disk stays a valid prefix of the accepted traffic.
     fn wal_log(&mut self, record: &WalRecord) {
         if let Some(wal) = self.wal.as_mut() {
-            if wal.append(record).is_err() {
-                self.stats.wal_errors += 1;
-                self.wal = None;
+            match wal.append(record) {
+                Ok(bytes) => self.obs.trace.push(TraceEvent::WalAppend {
+                    bytes: u32::try_from(bytes).unwrap_or(u32::MAX),
+                }),
+                Err(_) => {
+                    self.stats.wal_errors += 1;
+                    self.obs.trace.push(TraceEvent::WalError);
+                    self.wal = None;
+                }
             }
         }
     }
@@ -591,11 +756,37 @@ impl<'fw> Gateway<'fw> {
             memory_used: self.memory_used(),
             memory_budget: self.config.global_memory_budget,
             poll_high_water: Duration::from_micros(self.stats.poll_high_water_micros),
+            poll_recent_high_water: Duration::from_micros(self.recent_high_water_micros()),
             watchdog_stalls: self.stats.watchdog_stalls,
             busy_denials: self.stats.busy_denials,
             sheds: self.stats.sheds,
             samples_shed: self.stats.samples_shed,
+            wal_errors: self.stats.wal_errors,
+            wal_log_bytes: self.wal.as_ref().map_or(0, Wal::total_bytes),
+            wal_active: self.wal.is_some(),
         }
+    }
+
+    /// The windowed poll-latency high-water mark: the worst sweep over the
+    /// current and the previous [`GatewayConfig::poll_window`].
+    fn recent_high_water_micros(&self) -> u64 {
+        self.obs
+            .window_max_micros
+            .max(self.obs.prev_window_max_micros)
+    }
+
+    /// Feeds one sweep latency into the telemetry: the sweep histogram and
+    /// the windowed high-water rotation.
+    fn note_sweep(&mut self, micros: u64) {
+        self.obs.sweep_micros.record(micros);
+        let window = self.config.poll_window;
+        if !window.is_zero() && self.obs.window_started.elapsed() > window {
+            self.obs.prev_window_max_micros = self.obs.window_max_micros;
+            self.obs.window_max_micros = 0;
+            self.obs.window_started = Instant::now();
+        }
+        self.obs.window_max_micros = self.obs.window_max_micros.max(micros);
+        self.stats.poll_recent_high_water_micros = self.recent_high_water_micros();
     }
 
     /// The reactor's liveness probe. Clone it out *before*
@@ -618,21 +809,347 @@ impl<'fw> Gateway<'fw> {
     ///
     /// Propagates fatal listener errors; per-connection errors only drop the
     /// affected connection.
-    pub fn run(mut self, shutdown: &AtomicBool) -> std::io::Result<GatewayStats> {
+    pub fn run(self, shutdown: &AtomicBool) -> std::io::Result<GatewayStats> {
+        Ok(self.run_with_report(shutdown)?.stats)
+    }
+
+    /// Like [`Gateway::run`], but additionally returns the final
+    /// [`MetricsSnapshot`] and the retained trace timeline — everything a
+    /// harness needs to inspect the telemetry of a gateway it just shut
+    /// down, without racing the reactor for it while it was live.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors; per-connection errors only drop the
+    /// affected connection.
+    pub fn run_with_report(mut self, shutdown: &AtomicBool) -> std::io::Result<GatewayReport> {
         while !shutdown.load(Ordering::Acquire) {
             let sweep_started = Instant::now();
             let progress = self.poll()?;
             let latency = sweep_started.elapsed();
             let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
             self.stats.poll_high_water_micros = self.stats.poll_high_water_micros.max(micros);
+            self.note_sweep(micros);
             if latency > self.config.watchdog_budget {
                 self.stats.watchdog_stalls += 1;
+                self.obs.trace.push(TraceEvent::WatchdogStall { micros });
             }
             if !progress {
                 std::thread::sleep(Duration::from_micros(300));
             }
         }
-        Ok(self.stats)
+        let metrics = self.metrics_snapshot();
+        let trace = self.obs.trace.dump();
+        Ok(GatewayReport {
+            stats: self.stats,
+            metrics,
+            trace,
+        })
+    }
+
+    /// The admin listener's address, when [`GatewayConfig::admin_addr`] was
+    /// set (use with port 0 binds).
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// The retained trace timeline, oldest first.
+    pub fn trace_dump(&self) -> Vec<TraceRecord> {
+        self.obs.trace.dump()
+    }
+
+    /// Hot-swaps the classification pipeline under every live and parked
+    /// session (delegates to [`StreamHub::swap_pipeline`]; the swap lands
+    /// on a beat boundary) and records the swap on the trace ring.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the hub's compatibility check: the incoming image must
+    /// share the deployed window geometry.
+    pub fn swap_pipeline(&mut self, firmware: &'fw WbsnFirmware) -> hbc_core::Result<()> {
+        self.hub.swap_pipeline(firmware)?;
+        let sessions = self.sessions.len() + self.sessions.detached_len();
+        self.obs.trace.push(TraceEvent::HotSwap {
+            sessions: u32::try_from(sessions).unwrap_or(u32::MAX),
+        });
+        Ok(())
+    }
+
+    /// Assembles a point-in-time [`MetricsSnapshot`] from every telemetry
+    /// source the gateway owns: the reactor counters and gauges, the
+    /// reactor latency histograms (sweep, per-frame, batched ingest and the
+    /// headline first-sample-to-outcome path), the hub's ingest-batch
+    /// latency, the per-stage firmware timings aggregated across every
+    /// session the hub has served, and the durable-log metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        let s = &self.stats;
+        let health = self.health();
+        snap.push_counter(
+            "hbc_gateway_connections_total",
+            "Connections accepted.",
+            s.connections,
+        );
+        snap.push_counter(
+            "hbc_gateway_frames_in_total",
+            "Frames decoded from clients.",
+            s.frames_in,
+        );
+        snap.push_counter(
+            "hbc_gateway_frames_out_total",
+            "Frames sent to clients.",
+            s.frames_out,
+        );
+        snap.push_counter(
+            "hbc_gateway_samples_in_total",
+            "Samples accepted into session buffers.",
+            s.samples_in,
+        );
+        snap.push_counter(
+            "hbc_gateway_samples_dropped_total",
+            "Samples discarded without entering a session buffer.",
+            s.samples_dropped,
+        );
+        snap.push_counter(
+            "hbc_gateway_beats_out_total",
+            "Beat outcomes forwarded to clients.",
+            s.beats_out,
+        );
+        snap.push_counter(
+            "hbc_gateway_sessions_opened_total",
+            "Sessions opened.",
+            s.sessions_opened,
+        );
+        snap.push_counter(
+            "hbc_gateway_sessions_closed_total",
+            "Sessions closed by request.",
+            s.sessions_closed,
+        );
+        snap.push_counter(
+            "hbc_gateway_sessions_evicted_total",
+            "Sessions evicted by the idle timeout.",
+            s.sessions_evicted,
+        );
+        snap.push_counter(
+            "hbc_gateway_sessions_detached_total",
+            "Sessions parked for resume when their connection died.",
+            s.sessions_detached,
+        );
+        snap.push_counter(
+            "hbc_gateway_sessions_resumed_total",
+            "Sessions re-attached via ResumeSession.",
+            s.sessions_resumed,
+        );
+        snap.push_counter(
+            "hbc_gateway_sessions_expired_total",
+            "Detached sessions dropped at the end of the retention window.",
+            s.sessions_expired,
+        );
+        snap.push_counter(
+            "hbc_gateway_sessions_recovered_total",
+            "Sessions rebuilt from the durable log at bind time.",
+            s.sessions_recovered,
+        );
+        snap.push_counter(
+            "hbc_gateway_reports_refetched_total",
+            "Cached final reports re-served after a lost link.",
+            s.reports_refetched,
+        );
+        snap.push_counter(
+            "hbc_gateway_denials_total",
+            "Connections denied (handshake, protocol or credit violations).",
+            s.denials,
+        );
+        snap.push_counter(
+            "hbc_gateway_busy_denials_total",
+            "Admission denials answered with Busy.",
+            s.busy_denials,
+        );
+        snap.push_counter(
+            "hbc_gateway_sheds_total",
+            "Shed events under the global memory budget.",
+            s.sheds,
+        );
+        snap.push_counter(
+            "hbc_gateway_samples_shed_total",
+            "Samples shed from buffered sessions under the memory budget.",
+            s.samples_shed,
+        );
+        snap.push_counter(
+            "hbc_gateway_handshake_reaps_total",
+            "Connections reaped at the pre-session handshake deadline.",
+            s.handshake_reaps,
+        );
+        snap.push_counter(
+            "hbc_gateway_progress_reaps_total",
+            "Connections reaped by the minimum-progress check.",
+            s.progress_reaps,
+        );
+        snap.push_counter(
+            "hbc_gateway_watchdog_stalls_total",
+            "Sweeps that exceeded the watchdog budget.",
+            s.watchdog_stalls,
+        );
+        snap.push_counter(
+            "hbc_gateway_wal_errors_total",
+            "Durable-log append failures (the log disables itself on the first).",
+            s.wal_errors,
+        );
+        snap.push_counter(
+            "hbc_gateway_internal_skips_total",
+            "Internal invariant violations skipped at runtime.",
+            s.internal_skips,
+        );
+        snap.push_counter(
+            "hbc_gateway_trace_events_total",
+            "Events ever pushed onto the trace ring.",
+            self.obs.trace.recorded(),
+        );
+        snap.push_counter(
+            "hbc_gateway_trace_events_dropped_total",
+            "Trace events lost to ring overwrites.",
+            self.obs.trace.dropped(),
+        );
+        snap.push_gauge(
+            "hbc_gateway_live_sessions",
+            "Live wire sessions.",
+            health.live_sessions as f64,
+        );
+        snap.push_gauge(
+            "hbc_gateway_parked_sessions",
+            "Sessions parked for resume.",
+            health.parked_sessions as f64,
+        );
+        snap.push_gauge(
+            "hbc_gateway_open_connections",
+            "Open connections, including ones draining toward a close.",
+            health.connections as f64,
+        );
+        snap.push_gauge(
+            "hbc_gateway_buffered_bytes",
+            "Bytes of buffered samples across live and parked sessions.",
+            health.buffered_bytes as f64,
+        );
+        snap.push_gauge(
+            "hbc_gateway_memory_used_bytes",
+            "Bytes charged against the global memory budget.",
+            health.memory_used as f64,
+        );
+        snap.push_gauge(
+            "hbc_gateway_memory_budget_bytes",
+            "The configured global memory budget.",
+            health.memory_budget as f64,
+        );
+        snap.push_gauge(
+            "hbc_gateway_budget_utilization",
+            "Fraction of the global memory budget in use.",
+            health.budget_utilization(),
+        );
+        snap.push_gauge(
+            "hbc_gateway_peak_buffered_samples",
+            "Largest per-session sample buffer ever observed.",
+            s.peak_buffered_samples as f64,
+        );
+        snap.push_gauge(
+            "hbc_gateway_peak_buffered_bytes",
+            "Largest total of buffered sample bytes ever observed.",
+            s.peak_buffered_bytes as f64,
+        );
+        snap.push_gauge(
+            "hbc_gateway_poll_high_water_micros",
+            "Worst sweep latency ever observed, in microseconds.",
+            s.poll_high_water_micros as f64,
+        );
+        snap.push_gauge(
+            "hbc_gateway_poll_recent_high_water_micros",
+            "Worst sweep latency over roughly the last two poll windows.",
+            s.poll_recent_high_water_micros as f64,
+        );
+        snap.push_gauge(
+            "hbc_gateway_wal_log_bytes",
+            "Bytes the durable ingest log occupies across its segments.",
+            health.wal_log_bytes as f64,
+        );
+        snap.push_gauge(
+            "hbc_gateway_wal_active",
+            "Whether the durable log is still accepting appends (1/0).",
+            if health.wal_active { 1.0 } else { 0.0 },
+        );
+        snap.push_histogram(
+            "hbc_gateway_sweep_micros",
+            "Latency of one reactor sweep, in microseconds.",
+            &self.obs.sweep_micros,
+        );
+        snap.push_histogram(
+            "hbc_gateway_frame_micros",
+            "Latency of handling one decoded frame, in microseconds.",
+            &self.obs.frame_micros,
+        );
+        snap.push_histogram(
+            "hbc_gateway_ingest_batch_micros",
+            "Latency of one batched hub ingest issued by the sweep.",
+            &self.obs.ingest_batch_micros,
+        );
+        snap.push_histogram(
+            "hbc_gateway_beat_to_outcome_micros",
+            "First-ADC-sample-to-outcome latency, in microseconds.",
+            &self.obs.beat_to_outcome_micros,
+        );
+        snap.push_histogram(
+            "hbc_hub_ingest_micros",
+            "Latency of one parallel StreamHub ingest call.",
+            &self.hub.ingest_latency(),
+        );
+        let stages = self.hub.stage_metrics();
+        snap.push_histogram(
+            "hbc_stage_conditioning_nanos",
+            "Per-chunk signal-conditioning time, in nanoseconds.",
+            &stages.conditioning_nanos,
+        );
+        snap.push_histogram(
+            "hbc_stage_projection_nanos",
+            "Per-beat window preparation plus random projection time.",
+            &stages.projection_nanos,
+        );
+        snap.push_histogram(
+            "hbc_stage_classify_nanos",
+            "Per-beat classifier scoring time, in nanoseconds.",
+            &stages.classify_nanos,
+        );
+        snap.push_histogram(
+            "hbc_stage_delineation_nanos",
+            "Per-abnormal-beat delineation time, in nanoseconds.",
+            &stages.delineation_nanos,
+        );
+        if let Some(wal) = &self.wal {
+            let m = wal.metrics();
+            snap.push_counter(
+                "hbc_wal_appends_total",
+                "Records appended to the durable log.",
+                m.appends.get(),
+            );
+            snap.push_counter(
+                "hbc_wal_appended_bytes_total",
+                "Encoded bytes appended to the durable log.",
+                m.appended_bytes.get(),
+            );
+            snap.push_counter(
+                "hbc_wal_syncs_total",
+                "Explicit fsyncs of the durable log.",
+                m.syncs.get(),
+            );
+            snap.push_histogram(
+                "hbc_wal_append_nanos",
+                "Latency of one durable-log append, in nanoseconds.",
+                &m.append_nanos,
+            );
+            snap.push_histogram(
+                "hbc_wal_sync_nanos",
+                "Latency of one durable-log fsync, in nanoseconds.",
+                &m.sync_nanos,
+            );
+        }
+        snap
     }
 
     /// One reactor sweep; returns whether any progress was made (bytes
@@ -645,6 +1162,7 @@ impl<'fw> Gateway<'fw> {
     pub fn poll(&mut self) -> std::io::Result<bool> {
         self.heartbeat.beat();
         let mut progress = self.accept_new()?;
+        progress |= self.serve_admin();
         for idx in 0..self.conns.len() {
             progress |= self.service_reads(idx);
         }
@@ -768,7 +1286,11 @@ impl<'fw> Gateway<'fw> {
             if self.conns[idx].as_ref().is_none_or(|c| c.closing || c.dead) {
                 break;
             }
+            let frame_started = Instant::now();
             self.handle_frame(idx, frame);
+            self.obs
+                .frame_micros
+                .record(u64::try_from(frame_started.elapsed().as_micros()).unwrap_or(u64::MAX));
         }
         if let Some(message) = violation {
             self.deny(idx, &message);
@@ -798,6 +1320,7 @@ impl<'fw> Gateway<'fw> {
     /// Sends [`Frame::Deny`] and marks the connection for a flush-then-close.
     fn deny(&mut self, idx: usize, message: &str) {
         self.stats.denials += 1;
+        self.obs.trace.push(TraceEvent::Deny);
         self.send(
             idx,
             &Frame::Deny {
@@ -816,6 +1339,7 @@ impl<'fw> Gateway<'fw> {
         self.stats.busy_denials += 1;
         let retry_after_ms =
             u32::try_from(self.config.busy_retry_after.as_millis()).unwrap_or(u32::MAX);
+        self.obs.trace.push(TraceEvent::Busy { retry_after_ms });
         self.send(idx, &Frame::Busy { retry_after_ms });
         if let Some(conn) = self.conns[idx].as_mut() {
             conn.closing = true;
@@ -975,6 +1499,10 @@ impl<'fw> Gateway<'fw> {
         };
         self.mark_established(idx);
         self.stats.sessions_opened += 1;
+        self.obs.trace.push(TraceEvent::SessionOpen {
+            session: wire_id,
+            patient: patient_id,
+        });
         self.wal_log(&WalRecord::SessionOpen {
             token,
             wire_id,
@@ -1091,6 +1619,9 @@ impl<'fw> Gateway<'fw> {
                 let next_expected_seq = s.next_seq;
                 self.mark_established(idx);
                 self.stats.sessions_resumed += 1;
+                self.obs
+                    .trace
+                    .push(TraceEvent::SessionResume { session: wire_id });
                 self.send(
                     idx,
                     &Frame::SessionResumed {
@@ -1204,6 +1735,11 @@ impl<'fw> Gateway<'fw> {
             return;
         };
         let adc = crate::proto::wire_adc();
+        // Anchor the beat-to-outcome clock on the empty → non-empty
+        // transition: the oldest buffered sample arrived now.
+        if s.pending.is_empty() && accepted > 0 && s.oldest_pending_at.is_none() {
+            s.oldest_pending_at = Some(Instant::now());
+        }
         s.pending.extend(
             samples[..accepted]
                 .iter()
@@ -1253,7 +1789,7 @@ impl<'fw> Gateway<'fw> {
                 }
             }
             victims.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-            for (_, _, live, key) in victims {
+            for (_, wire_id, live, key) in victims {
                 if need == 0 {
                     return;
                 }
@@ -1277,6 +1813,10 @@ impl<'fw> Gateway<'fw> {
                 self.buffered_samples -= shed;
                 self.stats.samples_shed += shed as u64;
                 self.stats.sheds += 1;
+                self.obs.trace.push(TraceEvent::Shed {
+                    session: wire_id,
+                    samples: u32::try_from(shed).unwrap_or(u32::MAX),
+                });
             }
         }
     }
@@ -1302,6 +1842,7 @@ impl<'fw> Gateway<'fw> {
                 if !handshake.is_zero() && now.duration_since(conn.accepted_at) > handshake {
                     conn.dead = true;
                     handshake_reaps += 1;
+                    self.obs.trace.push(TraceEvent::ReapHandshake);
                 }
                 continue;
             }
@@ -1315,6 +1856,7 @@ impl<'fw> Gateway<'fw> {
             if trickling || frozen {
                 conn.dead = true;
                 progress_reaps += 1;
+                self.obs.trace.push(TraceEvent::ReapStalled);
             }
             conn.read_since_check = 0;
             conn.wrote_since_check = 0;
@@ -1376,6 +1918,9 @@ impl<'fw> Gateway<'fw> {
                         },
                     );
                     self.stats.sessions_closed += 1;
+                    self.obs
+                        .trace
+                        .push(TraceEvent::SessionClose { session: wire_id });
                 }
             }
         }
@@ -1392,6 +1937,7 @@ impl<'fw> Gateway<'fw> {
             staged,
             stats,
             buffered_samples,
+            obs,
             ..
         } = self;
         staged.clear();
@@ -1413,6 +1959,16 @@ impl<'fw> Gateway<'fw> {
             let take = s.pending.len().min(config.max_ingest_per_poll);
             s.chunk.clear();
             s.chunk.extend(s.pending.drain(..take));
+            // Carry the beat-to-outcome anchor with the staged chunk. An
+            // earlier staged anchor (a chunk that has not produced a
+            // forwarded outcome yet) wins: the clock runs from the oldest
+            // unanswered sample. The arrival anchor only resets once the
+            // buffer fully drains — a partial drain keeps it, which
+            // over-estimates rather than hides queueing delay.
+            s.staged_anchor = s.staged_anchor.or(s.oldest_pending_at);
+            if s.pending.is_empty() {
+                s.oldest_pending_at = None;
+            }
             s.consumed_since_grant += take;
             // Staged samples leave the buffered ledger: from here they are
             // the one in-flight chunk, consumed this very sweep.
@@ -1436,9 +1992,15 @@ impl<'fw> Gateway<'fw> {
         // Staged sessions are live, unique hub sessions by construction; a
         // rejection would mean the staging scan and the hub disagree about
         // liveness, and dropping the chunk beats poisoning the reactor.
-        if !feeds.is_empty() && hub.ingest(&feeds).is_err() {
-            stats.internal_skips += 1;
-            debug_assert!(false, "staged ingest rejected by the hub");
+        if !feeds.is_empty() {
+            let ingest_started = Instant::now();
+            let rejected = hub.ingest(&feeds).is_err();
+            obs.ingest_batch_micros
+                .record(u64::try_from(ingest_started.elapsed().as_micros()).unwrap_or(u64::MAX));
+            if rejected {
+                stats.internal_skips += 1;
+                debug_assert!(false, "staged ingest rejected by the hub");
+            }
         }
         true
     }
@@ -1487,6 +2049,14 @@ impl<'fw> Gateway<'fw> {
                     continue;
                 };
                 s.outcomes_sent += n;
+                // The headline metric: from the arrival of the oldest
+                // sample behind these outcomes to the sweep forwarding
+                // them. One record per forwarding event.
+                if let Some(anchor) = s.staged_anchor.take() {
+                    self.obs
+                        .beat_to_outcome_micros
+                        .record(u64::try_from(anchor.elapsed().as_micros()).unwrap_or(u64::MAX));
+                }
                 self.stats.beats_out += n as u64;
                 progress = true;
             }
@@ -1625,8 +2195,14 @@ impl<'fw> Gateway<'fw> {
         }
         if evicted {
             self.stats.sessions_evicted += 1;
+            self.obs
+                .trace
+                .push(TraceEvent::SessionEvict { session: wire_id });
         } else {
             self.stats.sessions_closed += 1;
+            self.obs
+                .trace
+                .push(TraceEvent::SessionClose { session: wire_id });
         }
     }
 
@@ -1648,6 +2224,9 @@ impl<'fw> Gateway<'fw> {
                 if retain {
                     if self.sessions.detach(wire_id, now) {
                         self.stats.sessions_detached += 1;
+                        self.obs
+                            .trace
+                            .push(TraceEvent::SessionDetach { session: wire_id });
                     }
                 } else if let Some(s) = self.sessions.remove(wire_id) {
                     // Without retention nobody can ever resume this stream;
@@ -1682,6 +2261,9 @@ impl<'fw> Gateway<'fw> {
                 let _ = self.hub.close_session(hub_id);
             }
             self.stats.sessions_expired += 1;
+            self.obs
+                .trace
+                .push(TraceEvent::SessionExpire { session: s.wire_id });
         }
         if !self.completed.is_empty() {
             self.completed
@@ -1727,6 +2309,193 @@ impl<'fw> Gateway<'fw> {
             conn.sent = 0;
         }
         progress
+    }
+
+    /// Services the admin listener: accepts scrapers, answers
+    /// `GET /metrics`, `/metrics.json`, `/health` and `/trace`, flushes and
+    /// closes. One call makes all progress the sockets allow; the admin
+    /// path never blocks the reactor.
+    fn serve_admin(&mut self) -> bool {
+        if self.admin.is_none() {
+            return false;
+        }
+        let mut progress = false;
+        if let Some(listener) = self.admin.as_ref() {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        self.admin_conns.push(AdminConn {
+                            stream,
+                            inbox: Vec::new(),
+                            outbox: Vec::new(),
+                            sent: 0,
+                            responding: false,
+                            dead: false,
+                        });
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+        }
+        // Read requests first; building a response needs `&self` (the
+        // metrics snapshot walks the hub), so the routes are resolved in a
+        // second pass.
+        let mut ready: Vec<(usize, String, String)> = Vec::new();
+        for (i, conn) in self.admin_conns.iter_mut().enumerate() {
+            if conn.dead || conn.responding {
+                continue;
+            }
+            let mut buf = [0u8; 4096];
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        // EOF before a request line: nothing to answer.
+                        if admin_request_line(&conn.inbox).is_none() {
+                            conn.dead = true;
+                        }
+                        break;
+                    }
+                    Ok(n) => {
+                        if conn.inbox.len() + n > 16 * 1024 {
+                            conn.dead = true;
+                            break;
+                        }
+                        conn.inbox.extend_from_slice(&buf[..n]);
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.dead {
+                continue;
+            }
+            if let Some((method, path)) = admin_request_line(&conn.inbox) {
+                ready.push((i, method, path));
+            }
+        }
+        for (i, method, path) in ready {
+            let response = self.admin_response(&method, &path);
+            let conn = &mut self.admin_conns[i];
+            conn.outbox = response;
+            conn.responding = true;
+            progress = true;
+        }
+        for conn in &mut self.admin_conns {
+            if conn.dead || !conn.responding {
+                continue;
+            }
+            while conn.sent < conn.outbox.len() {
+                match conn.stream.write(&conn.outbox[conn.sent..]) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.sent += n;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.sent == conn.outbox.len() {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                conn.dead = true;
+            }
+        }
+        self.admin_conns.retain(|c| !c.dead);
+        progress
+    }
+
+    /// Builds one HTTP/1.0 response for an admin route.
+    fn admin_response(&self, method: &str, path: &str) -> Vec<u8> {
+        let (status, content_type, body) = if method != "GET" {
+            (
+                "405 Method Not Allowed",
+                "text/plain; charset=utf-8",
+                "only GET is served here\n".to_string(),
+            )
+        } else {
+            match path {
+                "/metrics" => (
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    self.metrics_snapshot().to_prometheus(),
+                ),
+                "/metrics.json" => (
+                    "200 OK",
+                    "application/json",
+                    self.metrics_snapshot().to_json(),
+                ),
+                "/health" => ("200 OK", "application/json", self.health_json()),
+                "/trace" => {
+                    let mut body = String::new();
+                    for rec in self.obs.trace.dump() {
+                        body.push_str(&format!("tick={} {}\n", rec.tick, rec.event));
+                    }
+                    ("200 OK", "text/plain; charset=utf-8", body)
+                }
+                _ => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "routes: /metrics /metrics.json /health /trace\n".to_string(),
+                ),
+            }
+        };
+        let mut response = format!(
+            "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        response.extend_from_slice(body.as_bytes());
+        response
+    }
+
+    /// The [`Gateway::health`] snapshot as a JSON object.
+    fn health_json(&self) -> String {
+        let h = self.health();
+        format!(
+            concat!(
+                "{{\"live_sessions\":{},\"parked_sessions\":{},",
+                "\"connections\":{},\"buffered_bytes\":{},",
+                "\"memory_used\":{},\"memory_budget\":{},",
+                "\"budget_utilization\":{},\"poll_high_water_micros\":{},",
+                "\"poll_recent_high_water_micros\":{},\"watchdog_stalls\":{},",
+                "\"busy_denials\":{},\"sheds\":{},\"samples_shed\":{},",
+                "\"wal_errors\":{},\"wal_log_bytes\":{},\"wal_active\":{}}}"
+            ),
+            h.live_sessions,
+            h.parked_sessions,
+            h.connections,
+            h.buffered_bytes,
+            h.memory_used,
+            h.memory_budget,
+            h.budget_utilization(),
+            h.poll_high_water.as_micros(),
+            h.poll_recent_high_water.as_micros(),
+            h.watchdog_stalls,
+            h.busy_denials,
+            h.sheds,
+            h.samples_shed,
+            h.wal_errors,
+            h.wal_log_bytes,
+            h.wal_active
+        )
     }
 }
 
@@ -1911,6 +2680,8 @@ fn recover_sessions(
                 samples_received,
                 last_activity: now,
                 priority: SessionPriority::Normal,
+                oldest_pending_at: None,
+                staged_anchor: None,
             },
             now,
         );

@@ -109,6 +109,15 @@ pub struct NetSession {
     /// Shedding priority, refreshed from the recent outcome stream by the
     /// reactor's forwarding sweep.
     pub priority: SessionPriority,
+    /// Arrival time of the oldest sample in `pending`, kept while the buffer
+    /// is non-empty. After a partial drain the anchor is left in place: the
+    /// remaining samples arrived no earlier, so latency derived from it
+    /// over-estimates rather than hides queueing delay.
+    pub oldest_pending_at: Option<Instant>,
+    /// Arrival anchor of the chunk most recently staged into the hub; the
+    /// reactor charges `now - staged_anchor` to the beat-to-outcome
+    /// histogram for every outcome that chunk produced, then clears it.
+    pub staged_anchor: Option<Instant>,
 }
 
 impl NetSession {
@@ -206,6 +215,8 @@ impl SessionManager {
                 samples_received: 0,
                 last_activity: now,
                 priority: SessionPriority::Normal,
+                oldest_pending_at: None,
+                staged_anchor: None,
             },
         );
         wire_id
@@ -608,6 +619,8 @@ mod tests {
                 samples_received: 30,
                 last_activity: now,
                 priority: SessionPriority::Normal,
+                oldest_pending_at: None,
+                staged_anchor: None,
             },
             now,
         );

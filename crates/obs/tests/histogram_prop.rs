@@ -1,0 +1,133 @@
+//! Property-based correctness for the log2-bucketed histogram:
+//!
+//! * quantile readout against a sorted-vector oracle: the reported
+//!   p50/p90/p99 always lands in the same power-of-two bucket as the true
+//!   order statistic, bounds it from above, and never exceeds the observed
+//!   maximum;
+//! * deterministic merge: partitioning an observation stream at arbitrary
+//!   split points into per-shard histograms and merging them back — in any
+//!   order — reproduces the histogram of the whole stream exactly.
+
+use hbc_obs::Histogram;
+use proptest::prelude::*;
+
+/// SplitMix64 step, the workspace's stock deterministic generator.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Observations spread across the full bucket range: a raw uniform `u64`
+/// would land almost everything in the top buckets, so shift each draw
+/// right by a random amount (occasionally all the way to zero).
+fn observations(seed: u64, n: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            let raw = next(&mut state);
+            let shift = (next(&mut state) % 65) as u32;
+            if shift == 64 {
+                0
+            } else {
+                raw >> shift
+            }
+        })
+        .collect()
+}
+
+/// The oracle order statistic matching `Histogram::quantile`'s rank rule:
+/// the `ceil(q * n)`-th smallest observation (1-based), clamped to `[1, n]`.
+fn oracle_rank_value(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_match_sorted_oracle_at_bucket_resolution(
+        seed in any::<u64>(),
+        n in 1usize..=400,
+    ) {
+        let values = observations(seed, n);
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(h.count(), n as u64);
+        prop_assert_eq!(h.min(), sorted.first().copied());
+        prop_assert_eq!(h.max(), sorted.last().copied());
+
+        for q in [0.50, 0.90, 0.99] {
+            let truth = oracle_rank_value(&sorted, q);
+            let got = h.quantile(q).expect("non-empty");
+            // Bucket-resolution exactness: the reported quantile bounds the
+            // true order statistic from above, stays within the observed
+            // range, and lives in the same power-of-two bucket.
+            prop_assert!(truth <= got, "q={q}: truth {truth} > reported {got}");
+            prop_assert!(got <= sorted[n - 1], "q={q}: reported above max");
+            prop_assert_eq!(
+                Histogram::bucket_index(got),
+                Histogram::bucket_index(truth),
+                "q={} landed in a different bucket", q
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_for_any_split(
+        seed in any::<u64>(),
+        split_seed in any::<u64>(),
+        n in 1usize..=300,
+        parts in 1usize..=8,
+    ) {
+        let values = observations(seed, n);
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+
+        // Partition at arbitrary (seeded) split points into `parts` shards,
+        // some possibly empty.
+        let mut state = split_seed;
+        let mut cuts: Vec<usize> =
+            (0..parts - 1).map(|_| (next(&mut state) as usize) % (n + 1)).collect();
+        cuts.sort_unstable();
+        let mut shards: Vec<Histogram> = Vec::new();
+        let mut start = 0usize;
+        for &cut in cuts.iter().chain(std::iter::once(&n)) {
+            let mut shard = Histogram::new();
+            for &v in &values[start..cut] {
+                shard.record(v);
+            }
+            shards.push(shard);
+            start = cut;
+        }
+
+        // Forward merge order.
+        let mut fwd = Histogram::new();
+        for s in &shards {
+            fwd.merge(s);
+        }
+        // Reverse merge order.
+        let mut rev = Histogram::new();
+        for s in shards.iter().rev() {
+            rev.merge(s);
+        }
+
+        prop_assert_eq!(&fwd, &whole, "forward merge diverged from the whole");
+        prop_assert_eq!(&rev, &whole, "merge is not order-independent");
+        // Quantile readout is a pure function of the merged state.
+        for q in [0.50, 0.90, 0.99] {
+            prop_assert_eq!(fwd.quantile(q), whole.quantile(q));
+        }
+    }
+}

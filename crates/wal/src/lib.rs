@@ -57,6 +57,9 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use hbc_obs::{Counter, Histogram};
 
 /// Upper bound on `len` (tag + body) of a single record. Mirrors the wire
 /// protocol's `MAX_FRAME_LEN`; anything larger in a length prefix is treated
@@ -463,6 +466,25 @@ fn sync_dir(dir: &Path) -> Result<()> {
     Ok(())
 }
 
+/// Telemetry for one [`Wal`]: append/fsync call counts, appended byte
+/// volume, and log2-bucketed latency histograms for both syscalls. Updated
+/// inline on the append path (two clock reads per call); read via
+/// [`Wal::metrics`].
+#[derive(Debug, Clone, Default)]
+pub struct WalMetrics {
+    /// Successful [`Wal::append`] calls.
+    pub appends: Counter,
+    /// Encoded bytes appended (framing included).
+    pub appended_bytes: Counter,
+    /// Explicit [`Wal::sync`] calls (policy-driven fsyncs inside `append`
+    /// are timed as part of the append histogram instead).
+    pub syncs: Counter,
+    /// Wall-clock nanoseconds per append (encode + write + policy fsync).
+    pub append_nanos: Histogram,
+    /// Wall-clock nanoseconds per explicit sync.
+    pub sync_nanos: Histogram,
+}
+
 /// Append-only segment log. See the crate docs for the format and the
 /// durability/recovery contracts.
 #[derive(Debug)]
@@ -471,7 +493,9 @@ pub struct Wal {
     active: File,
     active_index: u64,
     active_len: u64,
+    total_bytes: u64,
     scratch: Vec<u8>,
+    metrics: WalMetrics,
 }
 
 impl Wal {
@@ -552,23 +576,33 @@ impl Wal {
             .append(true)
             .open(segment_path(&config.dir, active_index))?;
         active.seek(SeekFrom::End(0))?;
+        // Durable footprint carried forward from previous runs: the segment
+        // files as they stand after recovery truncation.
+        let mut total_bytes = 0u64;
+        for &index in &list_segments(&config.dir)? {
+            total_bytes += fs::metadata(segment_path(&config.dir, index))?.len();
+        }
         let wal = Wal {
             config,
             active,
             active_index,
             active_len,
+            total_bytes,
             scratch: Vec::new(),
+            metrics: WalMetrics::default(),
         };
         Ok((wal, recovery))
     }
 
     /// Appends one record, rotating the active segment first if it is full.
+    /// Returns the encoded size in bytes (framing included).
     ///
     /// # Errors
     ///
     /// On filesystem failure, or [`WalError::RecordTooLarge`] for a record
     /// whose encoding exceeds [`MAX_RECORD_LEN`].
-    pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+    pub fn append(&mut self, record: &WalRecord) -> Result<usize> {
+        let started = Instant::now();
         self.scratch.clear();
         let n = record.encode_into(&mut self.scratch);
         if n > MAX_RECORD_LEN + 8 {
@@ -585,7 +619,13 @@ impl Wal {
         if self.config.sync == SyncPolicy::Always {
             self.active.sync_data()?;
         }
-        Ok(())
+        self.total_bytes += n as u64;
+        self.metrics.appends.inc();
+        self.metrics.appended_bytes.add(n as u64);
+        self.metrics
+            .append_nanos
+            .record(started.elapsed().as_nanos() as u64);
+        Ok(n)
     }
 
     /// Seals the active segment (fsync per policy) and opens the next one.
@@ -609,7 +649,12 @@ impl Wal {
     ///
     /// On filesystem failure.
     pub fn sync(&mut self) -> Result<()> {
+        let started = Instant::now();
         self.active.sync_data()?;
+        self.metrics.syncs.inc();
+        self.metrics
+            .sync_nanos
+            .record(started.elapsed().as_nanos() as u64);
         Ok(())
     }
 
@@ -621,6 +666,17 @@ impl Wal {
     /// Bytes written to the active segment so far.
     pub fn active_len(&self) -> u64 {
         self.active_len
+    }
+
+    /// Total durable footprint of the log in bytes: every segment on disk as
+    /// of open (post-recovery) plus everything appended since.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Telemetry accumulated by this handle since open.
+    pub fn metrics(&self) -> &WalMetrics {
+        &self.metrics
     }
 
     /// The configuration the log was opened with.

@@ -81,8 +81,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let shutdown = AtomicBool::new(false);
 
-    let (summaries, stats) = std::thread::scope(|scope| {
-        let gateway_thread = scope.spawn(|| gateway.run(&shutdown).expect("gateway"));
+    let (summaries, report) = std::thread::scope(|scope| {
+        let gateway_thread = scope.spawn(|| gateway.run_with_report(&shutdown).expect("gateway"));
 
         // 4. One node per patient, each replaying its record in ragged
         //    chunks under credit-based flow control.
@@ -112,9 +112,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let summaries: Vec<SessionSummary> =
             nodes.into_iter().map(|n| n.join().expect("node")).collect();
         shutdown.store(true, Ordering::Release);
-        let stats = gateway_thread.join().expect("gateway thread");
-        (summaries, stats)
+        let report = gateway_thread.join().expect("gateway thread");
+        (summaries, report)
     });
+    let stats = &report.stats;
 
     // 5. Score what came back over the wire.
     println!("\nper-patient results (beats classified on the gateway, labelled post hoc):");
@@ -158,6 +159,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.beats_out,
         stats.peak_buffered_samples,
     );
+
+    // 6. The shutdown telemetry: the final metrics snapshot (latency
+    //    quantiles of every instrumented stage) and the trace-ring tail.
+    println!("\ngateway telemetry at shutdown (hbc-obs):");
+    println!(
+        "{:>34} {:>9} {:>10} {:>10} {:>10}",
+        "histogram", "count", "p50", "p90", "p99"
+    );
+    for name in [
+        "hbc_gateway_beat_to_outcome_micros",
+        "hbc_gateway_sweep_micros",
+        "hbc_gateway_frame_micros",
+        "hbc_gateway_ingest_batch_micros",
+        "hbc_hub_ingest_micros",
+        "hbc_stage_conditioning_nanos",
+        "hbc_stage_projection_nanos",
+        "hbc_stage_classify_nanos",
+        "hbc_stage_delineation_nanos",
+    ] {
+        let Some(h) = report.metrics.histogram(name) else {
+            continue;
+        };
+        println!(
+            "{:>34} {:>9} {:>10} {:>10} {:>10}",
+            name,
+            h.count(),
+            h.p50(),
+            h.p90(),
+            h.p99()
+        );
+    }
+    let trace = &report.trace;
+    let tail = &trace[trace.len().saturating_sub(12)..];
+    println!(
+        "\ntrace-ring tail ({} of {} events):",
+        tail.len(),
+        trace.len()
+    );
+    for rec in tail {
+        println!("  tick={:<6} {}", rec.tick, rec.event);
+    }
     // Abnormal beats ship up to nine fiducial points, normal ones only the
     // peak — the transmission asymmetry the paper's radio budget rests on.
     assert!(transmitted_points >= fleet.total());

@@ -1,0 +1,394 @@
+//! End-to-end telemetry guarantees of the `hbc-obs` substrate threaded
+//! through the gateway:
+//!
+//! * **Headline histogram** — after real loopback traffic the
+//!   first-ADC-sample-to-outcome histogram is non-empty and its quantiles
+//!   are ordered; the snapshot's counters agree exactly with the reactor's
+//!   own [`GatewayStats`];
+//! * **Trace ordering** — the trace ring orders a session's lifecycle
+//!   (open before close), and a sever/resume/overload run orders
+//!   detach → resume → shed with event counts that match the counters;
+//! * **Admin surface** — a raw HTTP scrape of the admin listener serves
+//!   the Prometheus text exposition, the JSON snapshot, the health
+//!   document and the trace dump, and 404s unknown routes;
+//! * **Bit-invisibility** — outcomes received over the wire with
+//!   instrumentation enabled are the same outcomes the un-instrumented
+//!   parity suites pin down (the loopback suite re-checks that end to
+//!   end; here we assert the telemetry rides along without changing the
+//!   session summary).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use heartbeat_rp::config::ExperimentConfig;
+use heartbeat_rp::hbc_ecg::beat::BeatWindow;
+use heartbeat_rp::hbc_ecg::record::EcgRecord;
+use heartbeat_rp::hbc_ecg::synthetic::SyntheticEcg;
+use heartbeat_rp::hbc_embedded::int_classifier::AlphaQ16;
+use heartbeat_rp::hbc_embedded::WbsnFirmware;
+use heartbeat_rp::hbc_net::proto::{dequantize_mv_into, quantize_mv_into};
+use heartbeat_rp::hbc_net::{Gateway, GatewayConfig, GatewayReport, NodeClient};
+use heartbeat_rp::hbc_obs::TraceEvent;
+use heartbeat_rp::hbc_rp::PackedProjection;
+use heartbeat_rp::hbc_wal::WalConfig;
+use heartbeat_rp::pipeline::TrainedSystem;
+
+mod support;
+
+fn system() -> &'static TrainedSystem {
+    static SYSTEM: OnceLock<TrainedSystem> = OnceLock::new();
+    SYSTEM.get_or_init(|| TrainedSystem::train(&ExperimentConfig::quick()).expect("training"))
+}
+
+fn firmware() -> WbsnFirmware {
+    let system = system();
+    WbsnFirmware::new(
+        PackedProjection::from_matrix(&system.pc_downsampled.projection),
+        system.wbsn.classifier.clone(),
+        AlphaQ16::from_f64(system.pc_downsampled.alpha_train).expect("alpha in range"),
+        system.config.downsample,
+        BeatWindow::PAPER,
+    )
+    .expect("firmware dimensions")
+}
+
+/// A single-lead synthetic record pre-quantised through the wire ADC.
+fn wire_record(seed: u64, beats: usize) -> EcgRecord {
+    let mut gen = SyntheticEcg::with_seed(seed);
+    let rhythm = gen.rhythm(beats, 0.1, 0.1);
+    let mut record = gen.record(seed as u32, &rhythm, 1).expect("record");
+    let mut codes = Vec::new();
+    let mut exact = Vec::new();
+    quantize_mv_into(&record.leads[0], &mut codes);
+    dequantize_mv_into(&codes, &mut exact);
+    record.leads[0] = exact;
+    record
+}
+
+/// Runs `body` against a live gateway and returns the full shutdown
+/// [`GatewayReport`] (stats + final metrics snapshot + trace dump). The
+/// second address handed to `body` is the admin listener's, when one was
+/// configured.
+fn with_gateway_report<R>(
+    fw: &WbsnFirmware,
+    fs: f64,
+    config: GatewayConfig,
+    body: impl FnOnce(SocketAddr, Option<SocketAddr>) -> R,
+) -> (R, GatewayReport) {
+    struct FlipOnDrop<'a>(&'a AtomicBool);
+    impl Drop for FlipOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+    let shutdown = AtomicBool::new(false);
+    let gateway = Gateway::bind("127.0.0.1:0", fw, fs, config).expect("bind");
+    let addr = gateway.local_addr().expect("addr");
+    let admin = gateway.admin_addr();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| gateway.run_with_report(&shutdown).expect("gateway runs"));
+        let result = {
+            let _flip = FlipOnDrop(&shutdown);
+            body(addr, admin)
+        };
+        let report = handle.join().expect("gateway thread");
+        (result, report)
+    })
+}
+
+/// Streams one record through a session and closes it. Draining the replay
+/// buffer before the close makes the gateway consume (and forward outcomes
+/// for) the stream *while the session is live* — the path the
+/// beat-to-outcome histogram measures — instead of in the close drain.
+fn stream_record(addr: SocketAddr, record: &EcgRecord, calib_len: u32) -> u64 {
+    let mut client = NodeClient::connect(addr).expect("connect");
+    let session = client
+        .open_session(record.id, record.fs, calib_len)
+        .expect("open");
+    for chunk in record.leads[0].chunks(768) {
+        client.send_mv(session, chunk).expect("send");
+    }
+    let start = Instant::now();
+    while client.replay_depth(session) > 0 {
+        client.pump().expect("pump");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "gateway never acked the stream"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let summary = client.close_session(session).expect("close");
+    summary.report.beats
+}
+
+#[test]
+fn loopback_traffic_fills_the_headline_histogram_and_matches_counters() {
+    let fw = firmware();
+    let record = wire_record(9100, 30);
+    let fs = record.fs;
+    let tmp = support::TempDir::new("obs-headline");
+    let config = GatewayConfig {
+        wal: Some(WalConfig::new(tmp.path())),
+        ..GatewayConfig::default()
+    };
+    let (beats, report) = with_gateway_report(&fw, fs, config, |addr, _| {
+        stream_record(addr, &record, 2048)
+    });
+    assert!(beats > 0, "the session must classify beats");
+
+    // The headline metric: non-empty after real traffic, quantiles ordered.
+    let b2o = report
+        .metrics
+        .histogram("hbc_gateway_beat_to_outcome_micros")
+        .expect("headline histogram present");
+    assert!(b2o.count() > 0, "beat-to-outcome histogram must be fed");
+    assert!(b2o.p50() <= b2o.p90() && b2o.p90() <= b2o.p99());
+    assert!(b2o.p99() > 0, "forwarding an outcome takes nonzero time");
+
+    // Every latency source was exercised by the run.
+    for name in [
+        "hbc_gateway_sweep_micros",
+        "hbc_gateway_frame_micros",
+        "hbc_gateway_ingest_batch_micros",
+        "hbc_hub_ingest_micros",
+        "hbc_stage_conditioning_nanos",
+        "hbc_stage_projection_nanos",
+        "hbc_stage_classify_nanos",
+    ] {
+        let h = report.metrics.histogram(name).expect(name);
+        assert!(h.count() > 0, "{name} must be fed by the run");
+    }
+
+    // The snapshot's counters are the reactor's counters, verbatim.
+    let s = &report.stats;
+    let counter = |name: &str| report.metrics.counter(name).expect(name);
+    assert_eq!(counter("hbc_gateway_connections_total"), s.connections);
+    assert_eq!(counter("hbc_gateway_frames_in_total"), s.frames_in);
+    assert_eq!(counter("hbc_gateway_frames_out_total"), s.frames_out);
+    assert_eq!(counter("hbc_gateway_samples_in_total"), s.samples_in);
+    assert_eq!(counter("hbc_gateway_beats_out_total"), s.beats_out);
+    assert_eq!(counter("hbc_gateway_sessions_opened_total"), 1);
+    assert_eq!(counter("hbc_gateway_sessions_closed_total"), 1);
+    assert_eq!(counter("hbc_gateway_wal_errors_total"), 0);
+    assert!(counter("hbc_wal_appends_total") > 0, "the log saw appends");
+    assert!(counter("hbc_wal_appended_bytes_total") > 0);
+
+    // The windowed high-water mark never exceeds the all-time mark.
+    assert!(s.poll_recent_high_water_micros <= s.poll_high_water_micros);
+
+    // Trace ordering: this session opened before it closed, and the
+    // durable log appended before the session closed on the wire.
+    let open_tick = report
+        .trace
+        .iter()
+        .find(|r| matches!(r.event, TraceEvent::SessionOpen { .. }))
+        .expect("open traced")
+        .tick;
+    let close_tick = report
+        .trace
+        .iter()
+        .find(|r| matches!(r.event, TraceEvent::SessionClose { .. }))
+        .expect("close traced")
+        .tick;
+    assert!(open_tick < close_tick, "open must precede close");
+    assert!(
+        report
+            .trace
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::WalAppend { .. })),
+        "durable-log appends must be traced"
+    );
+    let mut last = 0u64;
+    for rec in &report.trace {
+        assert!(rec.tick > last, "ticks must strictly increase in a dump");
+        last = rec.tick;
+    }
+
+    // Exposition formats carry the headline metric.
+    let text = report.metrics.to_prometheus();
+    assert!(text.contains("# TYPE hbc_gateway_beat_to_outcome_micros histogram"));
+    assert!(text.contains("hbc_gateway_beat_to_outcome_micros_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("hbc_gateway_beat_to_outcome_micros_count"));
+    let json = report.metrics.to_json();
+    assert!(json.contains("\"hbc_gateway_beat_to_outcome_micros\":{\"count\":"));
+
+    // Satellite: WAL health folds into GatewayHealth. A fresh bind on the
+    // same log directory sees the bytes the run left behind.
+    let gw = Gateway::bind(
+        "127.0.0.1:0",
+        &fw,
+        fs,
+        GatewayConfig {
+            wal: Some(WalConfig::new(tmp.path())),
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("rebind");
+    let health = gw.health();
+    assert!(health.wal_active, "the log must be accepting appends");
+    assert!(health.wal_log_bytes > 0, "the log kept the run's records");
+    assert_eq!(health.wal_errors, 0);
+}
+
+#[test]
+fn sever_resume_and_overload_order_detach_resume_shed_on_the_trace() {
+    let fw = firmware();
+    let record = wire_record(9200, 30);
+    let fs = record.fs;
+    assert!(record.leads[0].len() >= 4096, "record long enough");
+    // 36000 bytes = 4500 samples of budget. Session A's calibration
+    // stretch (4096 samples) fits under the hard-deny check but occupies
+    // most of the budget once buffered — a session still *calibrating*
+    // never drains, so its buffer sits there deterministically. Session
+    // B's very first frame then breaches the budget by arithmetic, not by
+    // racing the drain, and the shedder must fire.
+    let config = GatewayConfig {
+        global_memory_budget: 36_000,
+        resume_window: Duration::from_secs(30),
+        ..GatewayConfig::default()
+    };
+    let ((), report) = with_gateway_report(&fw, fs, config, |addr, _| {
+        // Session A: buffer a partial calibration stretch (4000 of 4096 —
+        // nothing drains while calibrating), then sever and resume:
+        // detach → resume on the trace.
+        let mut a = NodeClient::connect(addr).expect("connect A");
+        let sa = a.open_session(record.id, fs, 4096).expect("open A");
+        a.send_mv(sa, &record.leads[0][..4000]).expect("send A");
+        // Let the gateway ingest the frames before the link dies.
+        std::thread::sleep(Duration::from_millis(150));
+        a.sever();
+        // Give the reactor time to notice the dead link and park the
+        // session, so the resume below finds it detached, not live.
+        std::thread::sleep(Duration::from_millis(200));
+        let start = Instant::now();
+        loop {
+            match a.reconnect_with_backoff(addr, 4, Duration::from_millis(5)) {
+                Ok(()) => break,
+                Err(e) => {
+                    assert!(
+                        start.elapsed() < Duration::from_secs(30),
+                        "could not resume within the deadline: {e}"
+                    );
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        // Session B: a small calibration stretch keeps its open admissible
+        // (32000 + 2048 < 36000); its first 1024-sample frame then charges
+        // 8192 bytes against the ~4000 remaining — shed.
+        let mut b = NodeClient::connect(addr).expect("connect B");
+        let sb = b.open_session(record.id + 1, fs, 256).expect("open B");
+        for chunk in record.leads[0][..4096].chunks(1024) {
+            b.send_mv(sb, chunk).expect("send B");
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    });
+
+    let s = &report.stats;
+    assert!(s.sessions_detached >= 1, "the sever must detach A");
+    assert!(s.sessions_resumed >= 1, "A must resume");
+    assert!(s.sheds >= 1, "the flood must trigger the shedder");
+
+    // The trace tells the same story, in order: detach → resume → shed.
+    let tick_of = |pred: &dyn Fn(&TraceEvent) -> bool, what: &str| {
+        report
+            .trace
+            .iter()
+            .find(|r| pred(&r.event))
+            .unwrap_or_else(|| panic!("{what} must be traced"))
+            .tick
+    };
+    let detach = tick_of(&|e| matches!(e, TraceEvent::SessionDetach { .. }), "detach");
+    let resume = tick_of(&|e| matches!(e, TraceEvent::SessionResume { .. }), "resume");
+    let shed = tick_of(&|e| matches!(e, TraceEvent::Shed { .. }), "shed");
+    assert!(
+        detach < resume && resume < shed,
+        "expected detach ({detach}) < resume ({resume}) < shed ({shed})"
+    );
+
+    // Event counts agree with the counters (the ring was not overrun).
+    let count_of = |pred: &dyn Fn(&TraceEvent) -> bool| {
+        report.trace.iter().filter(|r| pred(&r.event)).count() as u64
+    };
+    assert_eq!(
+        count_of(&|e| matches!(e, TraceEvent::SessionDetach { .. })),
+        s.sessions_detached
+    );
+    assert_eq!(
+        count_of(&|e| matches!(e, TraceEvent::SessionResume { .. })),
+        s.sessions_resumed
+    );
+    assert_eq!(count_of(&|e| matches!(e, TraceEvent::Shed { .. })), s.sheds);
+    let shed_samples: u64 = report
+        .trace
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::Shed { samples, .. } => Some(u64::from(samples)),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(shed_samples, s.samples_shed);
+}
+
+/// One blocking HTTP/1.0 exchange against the admin listener.
+fn scrape(admin: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(admin).expect("connect admin");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    response
+}
+
+#[test]
+fn admin_surface_serves_metrics_health_and_trace() {
+    let fw = firmware();
+    let record = wire_record(9300, 25);
+    let fs = record.fs;
+    let config = GatewayConfig {
+        admin_addr: Some("127.0.0.1:0".parse().expect("addr")),
+        ..GatewayConfig::default()
+    };
+    let (scrapes, report) = with_gateway_report(&fw, fs, config, |addr, admin| {
+        let admin = admin.expect("admin listener configured");
+        let beats = stream_record(addr, &record, 2048);
+        assert!(beats > 0);
+        let metrics = scrape(admin, "/metrics");
+        let json = scrape(admin, "/metrics.json");
+        let health = scrape(admin, "/health");
+        let trace = scrape(admin, "/trace");
+        let missing = scrape(admin, "/nope");
+        (metrics, json, health, trace, missing)
+    });
+    let (metrics, json, health, trace, missing) = scrapes;
+
+    assert!(metrics.starts_with("HTTP/1.0 200 OK\r\n"));
+    assert!(metrics.contains("text/plain; version=0.0.4"));
+    assert!(metrics.contains("# TYPE hbc_gateway_beat_to_outcome_micros histogram"));
+    assert!(metrics.contains("# TYPE hbc_gateway_sessions_opened_total counter"));
+    assert!(metrics.contains("hbc_gateway_sessions_opened_total 1"));
+
+    assert!(json.starts_with("HTTP/1.0 200 OK\r\n"));
+    assert!(json.contains("application/json"));
+    assert!(json.contains("\"hbc_gateway_sessions_opened_total\":1"));
+    assert!(json.contains("\"hbc_gateway_beat_to_outcome_micros\":{\"count\":"));
+
+    assert!(health.starts_with("HTTP/1.0 200 OK\r\n"));
+    assert!(health.contains("\"live_sessions\":"));
+    assert!(health.contains("\"wal_active\":false"));
+
+    assert!(trace.starts_with("HTTP/1.0 200 OK\r\n"));
+    assert!(trace.contains("session_open"));
+
+    assert!(missing.starts_with("HTTP/1.0 404 Not Found\r\n"));
+
+    // The scrape surface is read-only: the run's summary is the usual one.
+    assert_eq!(report.stats.sessions_opened, 1);
+    assert_eq!(report.stats.sessions_closed, 1);
+    assert_eq!(report.stats.denials, 0);
+}
